@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks of the modeling substrate itself: the analytic
+//! performance model (used tens of thousands of times per figure sweep),
+//! the exact cache simulator, and the reuse-distance analyzer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opm_core::perf::PerfModel;
+use opm_core::platform::{EdramMode, McdramMode, OpmConfig};
+use opm_core::profile::{AccessProfile, Phase, Tier};
+use opm_memsim::{reuse_histogram, HierarchySim, Trace};
+use std::hint::black_box;
+
+fn model_profile() -> AccessProfile {
+    let fp = 64.0 * 1024.0 * 1024.0;
+    let mut ph = Phase::new("p", fp, fp * 4.0);
+    ph.tiers = vec![
+        Tier::new(96.0 * 1024.0, 0.5),
+        Tier::new(8.0 * 1024.0 * 1024.0, 0.2),
+        Tier::new(fp, 0.25),
+    ];
+    ph.threads = 8;
+    AccessProfile::single("p", ph, fp)
+}
+
+fn bench_perf_model(c: &mut Criterion) {
+    let prof = model_profile();
+    let mut g = c.benchmark_group("perf_model");
+    for config in [
+        OpmConfig::Broadwell(EdramMode::On),
+        OpmConfig::Knl(McdramMode::Hybrid),
+    ] {
+        let model = PerfModel::for_config(config);
+        g.bench_function(BenchmarkId::new("evaluate", config.label()), |b| {
+            b.iter(|| model.evaluate(black_box(&prof)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let trace = Trace::random(0, 4 * 1024 * 1024, 200_000, 11);
+    let mut g = c.benchmark_group("memsim");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for config in [
+        OpmConfig::Broadwell(EdramMode::On),
+        OpmConfig::Knl(McdramMode::Cache),
+    ] {
+        g.bench_function(BenchmarkId::new("hierarchy", config.label()), |b| {
+            b.iter(|| {
+                let mut sim = HierarchySim::for_config(config, 1024);
+                sim.run(black_box(&trace));
+                sim.result().dram
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_reuse_distance(c: &mut Criterion) {
+    let trace = Trace::random(0, 1024 * 1024, 50_000, 5);
+    let mut g = c.benchmark_group("reuse_distance");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("histogram", |b| {
+        b.iter(|| reuse_histogram(black_box(&trace)))
+    });
+    g.finish();
+}
+
+fn bench_corpus_sweep(c: &mut Criterion) {
+    // One whole figure-sweep unit: 100 corpus matrices through the model.
+    let specs = opm_sparse::corpus(100);
+    let mut g = c.benchmark_group("figure_sweep");
+    g.bench_function("spmv_corpus_100", |b| {
+        b.iter(|| {
+            opm_kernels::sweeps::sparse_sweep(
+                OpmConfig::Broadwell(EdramMode::On),
+                opm_kernels::SparseKernelId::Spmv,
+                black_box(&specs),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_perf_model,
+    bench_cache_sim,
+    bench_reuse_distance,
+    bench_corpus_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Ablation study of the performance-model design choices (see DESIGN.md).
+fn main() {
+    opm_bench::ablation::run();
+}

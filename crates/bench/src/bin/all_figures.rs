@@ -1,0 +1,30 @@
+//! Regenerates every figure and table in one run.
+fn main() {
+    opm_bench::figures::fig01_gemm_pdf();
+    opm_bench::figures::fig04_ai_spectrum();
+    opm_bench::figures::fig05_roofline();
+    opm_bench::figures::fig06_stepping_model();
+    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Gemm, opm_core::Machine::Broadwell, "fig07_gemm_broadwell");
+    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Cholesky, opm_core::Machine::Broadwell, "fig08_cholesky_broadwell");
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Spmv, opm_core::Machine::Broadwell, "fig09_spmv_broadwell");
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrans, opm_core::Machine::Broadwell, "fig10_sptrans_broadwell");
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrsv, opm_core::Machine::Broadwell, "fig11_sptrsv_broadwell");
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stream, opm_core::Machine::Broadwell, "fig12_stream_broadwell");
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stencil, opm_core::Machine::Broadwell, "fig13_stencil_broadwell");
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Fft, opm_core::Machine::Broadwell, "fig14_fft_broadwell");
+    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Gemm, opm_core::Machine::Knl, "fig15_gemm_knl");
+    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Cholesky, opm_core::Machine::Knl, "fig16_cholesky_knl");
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Spmv, opm_core::Machine::Knl, "fig17_spmv_knl");
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrans, opm_core::Machine::Knl, "fig18_sptrans_knl");
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrsv, opm_core::Machine::Knl, "fig19_sptrsv_knl");
+    opm_bench::figures::fig20_22_knl_structure();
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stream, opm_core::Machine::Knl, "fig23_stream_knl");
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stencil, opm_core::Machine::Knl, "fig24_stencil_knl");
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Fft, opm_core::Machine::Knl, "fig25_fft_knl");
+    opm_bench::figures::power_figure(opm_core::Machine::Broadwell, "fig26_power_broadwell");
+    opm_bench::figures::power_figure(opm_core::Machine::Knl, "fig27_power_knl");
+    opm_bench::figures::fig28_29_guidelines();
+    opm_bench::figures::fig30_hw_tuning();
+    opm_bench::figures::table4_edram_summary();
+    opm_bench::figures::table5_mcdram_summary();
+}

@@ -1,0 +1,4 @@
+//! Extension: KNL cluster-mode (quadrant/all-to-all/SNC-4) what-if.
+fn main() {
+    opm_bench::extensions::ext_cluster_modes();
+}

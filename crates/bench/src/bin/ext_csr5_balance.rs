@@ -1,0 +1,4 @@
+//! Extension: CSR5 nonzero balancing vs row-parallel CSR under skew.
+fn main() {
+    opm_bench::extensions::ext_csr5_balance();
+}

@@ -1,0 +1,4 @@
+//! Extension: Eq. 1 generalized to EDP/ED2P objectives per kernel.
+fn main() {
+    opm_bench::extensions::ext_energy_objectives();
+}

@@ -1,0 +1,83 @@
+//! Extension experiment (paper §8 future work): how should an OS divide
+//! MCDRAM among co-scheduled applications? Sweeps two co-run scenarios
+//! across the sharing policies and reports per-app progress, system
+//! throughput and Jain fairness.
+
+use opm_core::platform::{McdramMode, OpmConfig};
+use opm_core::profile::{AccessProfile, Phase, Tier};
+use opm_core::report::{Series, TextTable};
+use opm_core::sharing::{evaluate_sharing, SharingPolicy};
+use opm_core::units::GIB;
+
+fn app(name: &str, fp: f64, ai: f64, prefetch: f64) -> AccessProfile {
+    let bytes = fp * 4.0;
+    let mut ph = Phase::new(name, bytes * ai, bytes);
+    ph.tiers = vec![Tier::new(fp, 1.0)];
+    ph.prefetch = prefetch;
+    ph.stream_prefetch = prefetch;
+    ph.threads = 128;
+    AccessProfile::single(name, ph, fp)
+}
+
+fn main() {
+    let scenarios: Vec<(&str, Vec<AccessProfile>)> = vec![
+        (
+            "two-streams",
+            vec![app("stream-a", 6.0 * GIB, 1.0 / 16.0, 0.95), app("stream-b", 6.0 * GIB, 1.0 / 16.0, 0.95)],
+        ),
+        (
+            "stream+compute",
+            vec![app("stream", 6.0 * GIB, 1.0 / 16.0, 0.95), app("gemm-ish", 2.0 * GIB, 16.0, 0.95)],
+        ),
+        (
+            "big+small",
+            vec![app("big", 14.0 * GIB, 0.1, 0.9), app("small", 1.0 * GIB, 0.1, 0.9)],
+        ),
+    ];
+    let policies: Vec<(&str, SharingPolicy)> = vec![
+        ("equal", SharingPolicy::EqualPartition),
+        ("weighted-3:1", SharingPolicy::WeightedPartition(vec![3.0, 1.0])),
+        ("shared", SharingPolicy::Shared),
+        ("priority-0", SharingPolicy::Priority(0)),
+    ];
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "policy",
+        "app0 progress",
+        "app1 progress",
+        "system",
+        "fairness",
+    ]);
+    let mut series = Series::new(vec![
+        "scenario_index",
+        "policy_index",
+        "progress_app0",
+        "progress_app1",
+        "system_throughput",
+        "fairness",
+    ]);
+    for (si, (sname, apps)) in scenarios.iter().enumerate() {
+        for (pi, (pname, policy)) in policies.iter().enumerate() {
+            let out = evaluate_sharing(OpmConfig::Knl(McdramMode::Flat), apps, policy);
+            table.push(vec![
+                sname.to_string(),
+                pname.to_string(),
+                format!("{:.2}", out.apps[0].progress),
+                format!("{:.2}", out.apps[1].progress),
+                format!("{:.2}", out.system_throughput),
+                format!("{:.3}", out.fairness),
+            ]);
+            series.push(vec![
+                si as f64,
+                pi as f64,
+                out.apps[0].progress,
+                out.apps[1].progress,
+                out.system_throughput,
+                out.fairness,
+            ]);
+        }
+    }
+    opm_bench::emit(&series, "ext_opm_sharing");
+    print!("{}", table.render());
+    println!("\n(paper §8: OPM distribution among applications — fairness vs efficiency)");
+}

@@ -1,0 +1,4 @@
+//! Extension: CPU-side (Broadwell) vs memory-side (Skylake) eDRAM placement.
+fn main() {
+    opm_bench::extensions::ext_skylake_edram();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 1: GEMM throughput probability density.
+fn main() {
+    opm_bench::figures::fig01_gemm_pdf();
+}

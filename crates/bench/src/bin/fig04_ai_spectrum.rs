@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 4: arithmetic-intensity spectrum.
+fn main() {
+    opm_bench::figures::fig04_ai_spectrum();
+}

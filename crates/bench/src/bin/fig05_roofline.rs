@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 5: rooflines for Broadwell/eDRAM and KNL/MCDRAM.
+fn main() {
+    opm_bench::figures::fig05_roofline();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 6: the Stepping Model schematic.
+fn main() {
+    opm_bench::figures::fig06_stepping_model();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 7: GEMM heat map on Broadwell (w/ and w/o eDRAM).
+fn main() {
+    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Gemm, opm_core::Machine::Broadwell, "fig07_gemm_broadwell");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 8: Cholesky heat map on Broadwell.
+fn main() {
+    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Cholesky, opm_core::Machine::Broadwell, "fig08_cholesky_broadwell");
+}

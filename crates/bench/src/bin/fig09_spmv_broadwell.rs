@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 9: SpMV corpus sweep on Broadwell.
+fn main() {
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Spmv, opm_core::Machine::Broadwell, "fig09_spmv_broadwell");
+}

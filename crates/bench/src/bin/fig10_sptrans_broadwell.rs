@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 10: SpTRANS corpus sweep on Broadwell.
+fn main() {
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrans, opm_core::Machine::Broadwell, "fig10_sptrans_broadwell");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 11: SpTRSV corpus sweep on Broadwell.
+fn main() {
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrsv, opm_core::Machine::Broadwell, "fig11_sptrsv_broadwell");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 12: Stream on Broadwell.
+fn main() {
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stream, opm_core::Machine::Broadwell, "fig12_stream_broadwell");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 13: Stencil on Broadwell.
+fn main() {
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stencil, opm_core::Machine::Broadwell, "fig13_stencil_broadwell");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 14: FFT on Broadwell.
+fn main() {
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Fft, opm_core::Machine::Broadwell, "fig14_fft_broadwell");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 15: GEMM heat map on KNL (four MCDRAM modes).
+fn main() {
+    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Gemm, opm_core::Machine::Knl, "fig15_gemm_knl");
+}

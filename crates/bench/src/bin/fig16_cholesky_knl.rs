@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 16: Cholesky heat map on KNL.
+fn main() {
+    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Cholesky, opm_core::Machine::Knl, "fig16_cholesky_knl");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 17: SpMV corpus sweep on KNL.
+fn main() {
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Spmv, opm_core::Machine::Knl, "fig17_spmv_knl");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 18: SpTRANS corpus sweep on KNL.
+fn main() {
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrans, opm_core::Machine::Knl, "fig18_sptrans_knl");
+}

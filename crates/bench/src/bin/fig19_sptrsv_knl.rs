@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 19: SpTRSV corpus sweep on KNL.
+fn main() {
+    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrsv, opm_core::Machine::Knl, "fig19_sptrsv_knl");
+}

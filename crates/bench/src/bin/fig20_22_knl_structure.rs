@@ -1,0 +1,4 @@
+//! Regenerates paper Figs. 20-22: sparse structure heat maps on KNL.
+fn main() {
+    opm_bench::figures::fig20_22_knl_structure();
+}

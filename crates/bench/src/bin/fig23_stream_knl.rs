@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 23: Stream on KNL (four modes).
+fn main() {
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stream, opm_core::Machine::Knl, "fig23_stream_knl");
+}

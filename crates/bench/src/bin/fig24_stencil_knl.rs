@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 24: Stencil on KNL.
+fn main() {
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stencil, opm_core::Machine::Knl, "fig24_stencil_knl");
+}

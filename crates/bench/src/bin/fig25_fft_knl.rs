@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 25: FFT on KNL.
+fn main() {
+    opm_bench::figures::curve_figure(opm_kernels::KernelId::Fft, opm_core::Machine::Knl, "fig25_fft_knl");
+}

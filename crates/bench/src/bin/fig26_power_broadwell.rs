@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 26: Broadwell power breakdown.
+fn main() {
+    opm_bench::figures::power_figure(opm_core::Machine::Broadwell, "fig26_power_broadwell");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 27: KNL power breakdown.
+fn main() {
+    opm_bench::figures::power_figure(opm_core::Machine::Knl, "fig27_power_knl");
+}

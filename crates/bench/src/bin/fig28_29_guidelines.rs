@@ -1,0 +1,4 @@
+//! Regenerates paper Figs. 28-29: OPM tuning guidelines via the Stepping Model.
+fn main() {
+    opm_bench::figures::fig28_29_guidelines();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 30: tuning OPM hardware (capacity vs bandwidth scaling).
+fn main() {
+    opm_bench::figures::fig30_hw_tuning();
+}

@@ -1,0 +1,12 @@
+//! The `opm` CLI: ad-hoc model queries, guideline recommendations,
+//! stepping curves and corpus inspection. Run `opm help` for usage.
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match opm_bench::cli::run(&raw) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

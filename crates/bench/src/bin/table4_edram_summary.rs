@@ -1,0 +1,4 @@
+//! Regenerates paper Table 4: eDRAM summary statistics.
+fn main() {
+    opm_bench::figures::table4_edram_summary();
+}

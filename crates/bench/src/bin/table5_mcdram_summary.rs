@@ -1,0 +1,4 @@
+//! Regenerates paper Table 5: MCDRAM summary statistics.
+fn main() {
+    opm_bench::figures::table5_mcdram_summary();
+}

@@ -1,0 +1,108 @@
+//! Cross-validation harness: sweep footprints through both the exact
+//! milli-machine simulator (with simulation-based timing) and the analytic
+//! Stepping-Model evaluator, and report where they agree and diverge.
+//! Writes `validate_model_<machine>.csv`.
+
+use opm_bench::emit;
+use opm_core::perf::PerfModel;
+use opm_core::platform::OpmConfig;
+use opm_core::profile::{AccessProfile, Phase, Tier};
+use opm_core::report::Series;
+use opm_core::stats::logspace;
+use opm_memsim::{HierarchySim, SimResult, SimTiming, Trace};
+
+const SCALE: u64 = 1024;
+
+fn line_sweep(bytes: u64, passes: usize) -> Trace {
+    let mut t = Trace::new();
+    for _ in 0..passes {
+        let mut a = 0;
+        while a < bytes {
+            t.read(a, 8);
+            a += 64;
+        }
+    }
+    t
+}
+
+fn sim_bandwidth(config: OpmConfig, milli_bytes: u64, conc: f64) -> f64 {
+    let mut sim = HierarchySim::for_config(config, SCALE);
+    sim.run(&line_sweep(milli_bytes, 1));
+    let before = sim.result().clone();
+    sim.run(&line_sweep(milli_bytes, 3));
+    let after = sim.result().clone();
+    let delta = SimResult {
+        accesses: after.accesses - before.accesses,
+        level_hits: after
+            .level_hits
+            .iter()
+            .zip(&before.level_hits)
+            .map(|(a, b)| a - b)
+            .collect(),
+        victim_hits: after.victim_hits - before.victim_hits,
+        opm_flat: after.opm_flat - before.opm_flat,
+        dram: after.dram - before.dram,
+        dram_writebacks: after.dram_writebacks - before.dram_writebacks,
+    };
+    SimTiming::for_config(config).effective_bandwidth(&delta, conc)
+}
+
+fn model_bandwidth(config: OpmConfig, full_bytes: f64, threads: usize) -> f64 {
+    let mut ph = Phase::new("sweep", full_bytes, full_bytes * 4.0);
+    ph.tiers = vec![Tier::new(full_bytes, 1.0)];
+    ph.threads = threads;
+    let prof = AccessProfile::single("sweep", ph, full_bytes);
+    PerfModel::for_config(config)
+        .evaluate(&prof)
+        .bandwidth_gbs
+}
+
+/// (machine label, configs, concurrency, threads, (lo, hi) footprint range).
+type Case = (&'static str, Vec<OpmConfig>, f64, usize, (f64, f64));
+
+fn main() {
+    let cases: Vec<Case> = vec![
+        (
+            "broadwell",
+            OpmConfig::broadwell_modes().to_vec(),
+            64.0,
+            8,
+            (256.0 * 1024.0, 2.0 * 1024.0 * 1024.0 * 1024.0),
+        ),
+        (
+            "knl",
+            OpmConfig::knl_modes().to_vec(),
+            2048.0,
+            256,
+            (4.0 * 1024.0 * 1024.0, 48.0 * 1024.0 * 1024.0 * 1024.0),
+        ),
+    ];
+    for (machine, configs, conc, threads, (lo, hi)) in cases {
+        let mut cols = vec!["footprint_mb".to_string()];
+        for c in &configs {
+            cols.push(format!("sim_gbs_{}", c.label()));
+            cols.push(format!("model_gbs_{}", c.label()));
+        }
+        let mut series = Series::new(cols);
+        let mut max_rel: f64 = 0.0;
+        for fp in logspace(lo, hi, 20) {
+            let milli = ((fp / SCALE as f64) as u64).max(2048) / 64 * 64;
+            let mut row = vec![fp / (1024.0 * 1024.0)];
+            for &c in &configs {
+                let s = sim_bandwidth(c, milli, conc);
+                let m = model_bandwidth(c, fp, threads);
+                max_rel = max_rel.max(((s - m).abs() / m).min(10.0));
+                row.push(s);
+                row.push(m);
+            }
+            series.push(row);
+        }
+        emit(&series, &format!("validate_model_{machine}"));
+        println!("{machine}: max |sim - model| / model across sweep = {max_rel:.2}");
+    }
+    println!(
+        "\nagreement is expected to be qualitative (same peaks/plateaus), not exact:\n\
+         the simulator sees one concrete LRU/direct-mapped realization, the model a\n\
+         smoothed reuse abstraction."
+    );
+}

@@ -1,0 +1,370 @@
+//! The `opm` command-line driver: ad-hoc model queries without writing
+//! code. Subcommands: `model` (evaluate one kernel configuration),
+//! `recommend` (§6 guidelines), `stepping` (print a stepping curve),
+//! `corpus` (inspect the UF-substitute corpus). Argument parsing is
+//! hand-rolled (`--key value` pairs) to stay inside the approved
+//! dependency set.
+
+use opm_core::guideline::{explain_mcdram, recommend_mcdram, Workload};
+use opm_core::perf::PerfModel;
+use opm_core::platform::{Machine, OpmConfig, PlatformSpec};
+use opm_core::power::PowerModel;
+use opm_core::profile::AccessProfile;
+use opm_core::stepping::{stepping_curve, SweepKernel};
+use opm_core::units::{GIB, MIB};
+use opm_kernels::registry::KernelId;
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments plus positional words.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// Positional arguments (subcommand first).
+    pub positional: Vec<String>,
+    /// `--key value` options (`--flag` alone stores "true").
+    pub options: HashMap<String, String>,
+}
+
+/// Parse a raw argument list.
+pub fn parse_args(raw: &[String]) -> Args {
+    let mut args = Args::default();
+    let mut i = 0;
+    while i < raw.len() {
+        let a = &raw[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let next_is_value = raw.get(i + 1).map(|v| !v.starts_with("--")).unwrap_or(false);
+            if next_is_value {
+                args.options.insert(key.to_string(), raw[i + 1].clone());
+                i += 2;
+            } else {
+                args.options.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            args.positional.push(a.clone());
+            i += 1;
+        }
+    }
+    args
+}
+
+impl Args {
+    fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.options
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}")))
+            .unwrap_or(default)
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get_f64(key, default as f64) as usize
+    }
+
+    fn get_flag(&self, key: &str) -> bool {
+        self.options.get(key).map(|v| v == "true").unwrap_or(false)
+    }
+}
+
+/// Parse a configuration label (as printed by `OpmConfig::label`).
+pub fn parse_config(label: &str) -> Option<OpmConfig> {
+    OpmConfig::broadwell_modes()
+        .into_iter()
+        .chain(OpmConfig::knl_modes())
+        .find(|c| c.label() == label)
+}
+
+/// Parse a kernel name (case-insensitive).
+pub fn parse_kernel(name: &str) -> Option<KernelId> {
+    KernelId::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// Build the profile for a `model` invocation from CLI options.
+pub fn profile_from_args(kernel: KernelId, machine: Machine, args: &Args) -> AccessProfile {
+    let threads = args.get_usize("threads", kernel.threads(machine));
+    let cores = PlatformSpec::for_machine(machine).cores;
+    match kernel {
+        KernelId::Gemm => opm_dense::gemm_profile(
+            args.get_usize("n", 8192),
+            args.get_usize("tile", 384),
+            threads,
+            cores,
+        ),
+        KernelId::Cholesky => opm_dense::cholesky_profile(
+            args.get_usize("n", 8192),
+            args.get_usize("tile", 384),
+            threads,
+            cores,
+        ),
+        KernelId::Spmv => opm_sparse::spmv_profile(
+            args.get_usize("rows", 1_000_000),
+            args.get_usize("nnz", 15_000_000),
+            args.get_f64("span", 400_000.0),
+            threads,
+        ),
+        KernelId::Sptrans => opm_sparse::sptrans_profile(
+            args.get_usize("rows", 1_000_000),
+            args.get_usize("nnz", 15_000_000),
+            threads,
+        ),
+        KernelId::Sptrsv => opm_sparse::sptrsv_profile(
+            args.get_usize("rows", 1_000_000),
+            args.get_usize("nnz", 15_000_000),
+            args.get_f64("span", 400_000.0),
+            args.get_f64("levels", 300.0),
+            threads,
+        ),
+        KernelId::Fft => opm_fft::fft3d_profile(args.get_usize("n", 400), threads, cores),
+        KernelId::Stencil => {
+            let g = args.get_usize("grid", 512);
+            opm_stencil::stencil_profile(g, g, g, (64, 64, 96), threads, cores)
+        }
+        KernelId::Stream => {
+            let mb = args.get_f64("footprint-mb", 2048.0);
+            opm_stencil::stream_profile(((mb * MIB) / 24.0) as usize, 4, threads)
+        }
+    }
+}
+
+/// Run the CLI; returns the text that would be printed (testable).
+pub fn run(raw: &[String]) -> Result<String, String> {
+    let args = parse_args(raw);
+    let cmd = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    match cmd {
+        "model" => cmd_model(&args),
+        "recommend" => cmd_recommend(&args),
+        "stepping" => cmd_stepping(&args),
+        "corpus" => cmd_corpus(&args),
+        "help" | "--help" => Ok(HELP.to_string()),
+        other => Err(format!("unknown subcommand '{other}'\n{HELP}")),
+    }
+}
+
+const HELP: &str = "\
+opm — query the OPM reproduction models
+
+USAGE:
+  opm model --kernel <name> --config <label> [kernel options]
+      kernels: GEMM Cholesky SpMV SpTRANS SpTRSV FFT Stencil Stream
+      configs: brd-no-edram brd-edram knl-ddr knl-flat knl-cache knl-hybrid
+      options: --n --tile --rows --nnz --span --levels --grid --footprint-mb --threads
+  opm recommend --footprint-gib <f> [--hot-gib <f>] [--latency-bound]
+  opm stepping --config <label> [--ai <f>] [--samples <n>]
+  opm corpus [--count <n>] [--index <i>]
+";
+
+fn cmd_model(args: &Args) -> Result<String, String> {
+    let kernel = parse_kernel(
+        args.options
+            .get("kernel")
+            .ok_or("model requires --kernel")?,
+    )
+    .ok_or("unknown kernel")?;
+    let config = parse_config(
+        args.options
+            .get("config")
+            .ok_or("model requires --config")?,
+    )
+    .ok_or("unknown config label")?;
+    let machine = config.machine();
+    let prof = profile_from_args(kernel, machine, args);
+    let est = PerfModel::for_config(config).evaluate(&prof);
+    let power = PowerModel::for_machine(machine).sample(
+        &est,
+        config,
+        prof.total_flops(),
+        prof.total_bytes(),
+    );
+    Ok(format!(
+        "{} on {} ({})\n\
+         footprint        {:.1} MB\n\
+         modeled time     {:.3} ms\n\
+         throughput       {:.1} GFlop/s ({:.1} GB/s effective)\n\
+         compute/memory   {:.2} ms / {:.2} ms\n\
+         DRAM traffic     {:.1} MB   OPM traffic {:.1} MB\n\
+         package power    {:.1} W    DRAM power  {:.1} W",
+        kernel.name(),
+        PlatformSpec::for_machine(machine).name,
+        config.label(),
+        prof.footprint / MIB,
+        est.time_ns / 1e6,
+        est.gflops,
+        est.bandwidth_gbs,
+        est.compute_ns / 1e6,
+        est.memory_ns / 1e6,
+        est.dram_bytes / MIB,
+        est.opm_bytes / MIB,
+        power.package_w,
+        power.dram_w,
+    ))
+}
+
+fn cmd_recommend(args: &Args) -> Result<String, String> {
+    let fp = args.get_f64("footprint-gib", f64::NAN);
+    if fp.is_nan() {
+        return Err("recommend requires --footprint-gib".into());
+    }
+    let hot = args.get_f64("hot-gib", fp);
+    let w = Workload {
+        footprint: fp * GIB,
+        hot_set: hot * GIB,
+        latency_bound: args.get_flag("latency-bound"),
+    };
+    Ok(format!(
+        "recommended MCDRAM mode: {:?}\n{}",
+        recommend_mcdram(&w),
+        explain_mcdram(&w)
+    ))
+}
+
+fn cmd_stepping(args: &Args) -> Result<String, String> {
+    let config = parse_config(
+        args.options
+            .get("config")
+            .ok_or("stepping requires --config")?,
+    )
+    .ok_or("unknown config label")?;
+    let mut kernel = SweepKernel::default();
+    kernel.ai = args.get_f64("ai", kernel.ai);
+    if config.machine() == Machine::Knl {
+        kernel.threads = 256;
+    }
+    let samples = args.get_usize("samples", 32);
+    let (lo, hi) = match config.machine() {
+        Machine::Broadwell => (256.0 * 1024.0, 8.0 * GIB),
+        Machine::Knl => (1.0 * MIB, 64.0 * GIB),
+    };
+    let curve = stepping_curve(config, kernel, lo, hi, samples);
+    let mut out = String::from("footprint_mb,gflops\n");
+    for (fp, g) in &curve.points {
+        out.push_str(&format!("{:.3},{:.3}\n", fp / MIB, g));
+    }
+    Ok(out)
+}
+
+fn cmd_corpus(args: &Args) -> Result<String, String> {
+    let count = args.get_usize("count", 10);
+    let specs = opm_sparse::corpus(count);
+    match args.options.get("index") {
+        Some(i) => {
+            let i: usize = i.parse().map_err(|_| "--index expects an integer")?;
+            let spec = specs.get(i).ok_or("index out of range")?;
+            let est = spec.estimate();
+            Ok(format!(
+                "corpus[{i}]: {} rows={} nnz~{} span~{:.0} levels~{:.0}",
+                spec.kind.label(),
+                est.rows,
+                est.nnz,
+                est.avg_col_span,
+                est.levels
+            ))
+        }
+        None => {
+            let mut out = String::from("index,kind,rows,nnz,span,levels\n");
+            for (i, spec) in specs.iter().enumerate() {
+                let est = spec.estimate();
+                out.push_str(&format!(
+                    "{i},{},{},{},{:.0},{:.0}\n",
+                    spec.kind.label(),
+                    est.rows,
+                    est.nnz,
+                    est.avg_col_span,
+                    est.levels
+                ));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(cmd: &str) -> Result<String, String> {
+        run(&cmd.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parse_args_handles_flags_and_values() {
+        let a = parse_args(&[
+            "model".into(),
+            "--kernel".into(),
+            "gemm".into(),
+            "--latency-bound".into(),
+        ]);
+        assert_eq!(a.positional, vec!["model"]);
+        assert_eq!(a.options.get("kernel").unwrap(), "gemm");
+        assert!(a.get_flag("latency-bound"));
+    }
+
+    #[test]
+    fn model_command_reports_throughput() {
+        let out = run_str("model --kernel gemm --config brd-edram --n 8192 --tile 384").unwrap();
+        assert!(out.contains("GFlop/s"), "{out}");
+        assert!(out.contains("Broadwell"));
+    }
+
+    #[test]
+    fn model_requires_kernel_and_config() {
+        assert!(run_str("model --config brd-edram").is_err());
+        assert!(run_str("model --kernel gemm").is_err());
+        assert!(run_str("model --kernel gemm --config nope").is_err());
+    }
+
+    #[test]
+    fn recommend_command() {
+        let out = run_str("recommend --footprint-gib 40 --hot-gib 4").unwrap();
+        assert!(out.contains("Hybrid"), "{out}");
+        let out = run_str("recommend --footprint-gib 8 --latency-bound").unwrap();
+        assert!(out.contains("Off"), "{out}");
+    }
+
+    #[test]
+    fn stepping_command_emits_csv() {
+        let out = run_str("stepping --config knl-flat --samples 8").unwrap();
+        assert_eq!(out.lines().count(), 9);
+        assert!(out.starts_with("footprint_mb,gflops"));
+    }
+
+    #[test]
+    fn corpus_command_lists_and_indexes() {
+        let out = run_str("corpus --count 5").unwrap();
+        assert_eq!(out.lines().count(), 6);
+        let one = run_str("corpus --count 5 --index 2").unwrap();
+        assert!(one.contains("corpus[2]"));
+        assert!(run_str("corpus --count 5 --index 9").is_err());
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run_str("help").unwrap().contains("USAGE"));
+        assert!(run_str("frobnicate").is_err());
+    }
+
+    #[test]
+    fn every_kernel_and_config_parses() {
+        for k in KernelId::ALL {
+            assert_eq!(parse_kernel(k.name()), Some(k));
+        }
+        for c in OpmConfig::broadwell_modes().into_iter().chain(OpmConfig::knl_modes()) {
+            assert_eq!(parse_config(c.label()), Some(c));
+        }
+        assert_eq!(parse_kernel("nope"), None);
+    }
+
+    #[test]
+    fn model_runs_for_every_kernel_on_both_machines() {
+        for k in KernelId::ALL {
+            for cfg in ["brd-edram", "knl-flat"] {
+                let cmd = format!("model --kernel {} --config {cfg}", k.name());
+                let out = run_str(&cmd).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+                assert!(out.contains("GFlop/s"));
+            }
+        }
+    }
+}

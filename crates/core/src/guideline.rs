@@ -1,0 +1,203 @@
+//! The paper's §6 optimization guidelines as executable logic: which OPM
+//! configuration to pick for a workload, and whether it pays off in energy
+//! (Eq. 1).
+
+use crate::platform::{EdramMode, McdramMode, PlatformSpec};
+use crate::power::opm_saves_energy;
+use crate::units::GIB;
+
+/// A workload description for mode recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Total data-set size in bytes.
+    pub footprint: f64,
+    /// Most-frequently-used (hot) working-set size in bytes.
+    pub hot_set: f64,
+    /// Whether the kernel is latency bound (low memory-level parallelism,
+    /// e.g. SpTRSV) rather than bandwidth bound.
+    pub latency_bound: bool,
+}
+
+impl Workload {
+    /// Bandwidth-bound workload constructor.
+    pub fn bandwidth_bound(footprint: f64, hot_set: f64) -> Self {
+        Workload {
+            footprint,
+            hot_set,
+            latency_bound: false,
+        }
+    }
+}
+
+/// Recommend an MCDRAM mode per the paper's guidelines (§6, Fig. 29):
+///
+/// * latency-bound kernels gain nothing — MCDRAM's latency exceeds DDR's,
+///   prefer DDR (observation on SpTRSV, §4.2.2);
+/// * data fits MCDRAM → **flat** (all hits, no tag overhead) — guideline II;
+/// * data exceeds MCDRAM but the hot set fits the 8 GB hybrid cache →
+///   **hybrid** — guideline III;
+/// * otherwise → **cache** (hardware-managed scope tracking) — guideline IV.
+/// ```
+/// use opm_core::guideline::{recommend_mcdram, Workload};
+/// use opm_core::platform::McdramMode;
+/// const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+///
+/// // 40 GiB of data with a 4 GiB hot set: hybrid mode (guideline III).
+/// let w = Workload::bandwidth_bound(40.0 * GIB, 4.0 * GIB);
+/// assert_eq!(recommend_mcdram(&w), McdramMode::Hybrid);
+/// ```
+pub fn recommend_mcdram(w: &Workload) -> McdramMode {
+    let knl = PlatformSpec::knl();
+    let mc = knl.opm.capacity;
+    if w.latency_bound {
+        return McdramMode::Off;
+    }
+    if w.footprint <= mc {
+        McdramMode::Flat
+    } else if w.hot_set <= mc / 2.0 {
+        McdramMode::Hybrid
+    } else {
+        McdramMode::Cache
+    }
+}
+
+/// Recommend the eDRAM setting. Performance-wise the paper never observed
+/// eDRAM hurting (§5.1), so performance-priority users should keep it on;
+/// energy-priority users should disable it when the expected gain is below
+/// the Eq. 1 break-even.
+pub fn recommend_edram(expected_gain: f64, power_overhead: f64, energy_priority: bool) -> EdramMode {
+    if !energy_priority {
+        return EdramMode::On;
+    }
+    if opm_saves_energy(expected_gain, power_overhead) {
+        EdramMode::On
+    } else {
+        EdramMode::Off
+    }
+}
+
+/// Human-readable explanation of a recommendation, for tooling output.
+pub fn explain_mcdram(w: &Workload) -> String {
+    let mode = recommend_mcdram(w);
+    let gib = |b: f64| b / GIB;
+    match mode {
+        McdramMode::Off => "DDR preferred: the workload is latency bound and MCDRAM's access \
+             latency exceeds DDR's (paper §4.2.2)".to_string(),
+        McdramMode::Flat => format!(
+            "flat mode: the {:.1} GiB data set fits the 16 GiB MCDRAM, so every \
+             access hits at full bandwidth with no tag overhead (guideline II)",
+            gib(w.footprint)
+        ),
+        McdramMode::Hybrid => format!(
+            "hybrid mode: the {:.1} GiB data set exceeds MCDRAM but the {:.1} GiB \
+             hot set fits the 8 GiB cache partition (guideline III)",
+            gib(w.footprint),
+            gib(w.hot_set)
+        ),
+        McdramMode::Cache => format!(
+            "cache mode: the {:.1} GiB data set exceeds MCDRAM and the {:.1} GiB \
+             hot set overflows the hybrid cache partition — let hardware track \
+             the hotspot (guideline IV)",
+            gib(w.footprint),
+            gib(w.hot_set)
+        ),
+    }
+}
+
+/// Validate a recommendation empirically: evaluate the workload-like sweep
+/// kernel under every mode and return the best-measured mode label.
+pub fn empirically_best_mode(
+    footprint: f64,
+    ai: f64,
+    prefetch: f64,
+    mlp: f64,
+    threads: usize,
+) -> (McdramMode, f64) {
+    use crate::perf::PerfModel;
+    use crate::platform::OpmConfig;
+    use crate::profile::{AccessProfile, Phase, Tier};
+    let modes = [
+        McdramMode::Off,
+        McdramMode::Flat,
+        McdramMode::Cache,
+        McdramMode::Hybrid,
+    ];
+    let mut best = (McdramMode::Off, f64::NEG_INFINITY);
+    for m in modes {
+        let bytes = footprint * 4.0;
+        let mut ph = Phase::new("probe", bytes * ai, bytes);
+        ph.tiers = vec![Tier::new(footprint, 1.0)];
+        ph.prefetch = prefetch;
+        ph.stream_prefetch = prefetch;
+        ph.mlp = mlp;
+        ph.threads = threads;
+        ph.compute_eff = 0.9;
+        let prof = AccessProfile::single("probe", ph, footprint);
+        let g = PerfModel::for_config(OpmConfig::Knl(m)).evaluate(&prof).gflops;
+        if g > best.1 {
+            best = (m, g);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_data_prefers_flat() {
+        let w = Workload::bandwidth_bound(4.0 * GIB, 1.0 * GIB);
+        assert_eq!(recommend_mcdram(&w), McdramMode::Flat);
+        assert!(explain_mcdram(&w).contains("flat mode"));
+    }
+
+    #[test]
+    fn big_data_small_hot_set_prefers_hybrid() {
+        let w = Workload::bandwidth_bound(64.0 * GIB, 4.0 * GIB);
+        assert_eq!(recommend_mcdram(&w), McdramMode::Hybrid);
+    }
+
+    #[test]
+    fn big_data_big_hot_set_prefers_cache() {
+        let w = Workload::bandwidth_bound(64.0 * GIB, 12.0 * GIB);
+        assert_eq!(recommend_mcdram(&w), McdramMode::Cache);
+    }
+
+    #[test]
+    fn latency_bound_prefers_ddr() {
+        let w = Workload {
+            footprint: 4.0 * GIB,
+            hot_set: 1.0 * GIB,
+            latency_bound: true,
+        };
+        assert_eq!(recommend_mcdram(&w), McdramMode::Off);
+    }
+
+    #[test]
+    fn edram_rules() {
+        assert_eq!(recommend_edram(0.01, 0.086, false), EdramMode::On);
+        assert_eq!(recommend_edram(0.01, 0.086, true), EdramMode::Off);
+        assert_eq!(recommend_edram(0.20, 0.086, true), EdramMode::On);
+    }
+
+    #[test]
+    fn recommendation_agrees_with_model_for_fitting_data() {
+        // Bandwidth-bound, fits MCDRAM: model should agree flat wins.
+        let (best, g) = empirically_best_mode(8.0 * GIB, 0.0625, 0.95, 10.0, 256);
+        assert_eq!(best, McdramMode::Flat);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn recommendation_agrees_with_model_for_latency_bound() {
+        // Dependency-limited parallelism (like SpTRSV): few usable threads.
+        let (best, _) = empirically_best_mode(8.0 * GIB, 0.0625, 0.05, 1.2, 8);
+        assert_eq!(best, McdramMode::Off);
+    }
+
+    #[test]
+    fn machine_constants_referenced() {
+        assert_eq!(PlatformSpec::knl().opm.capacity, 16.0 * GIB);
+    }
+}

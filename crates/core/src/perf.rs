@@ -1,0 +1,847 @@
+//! The execution-time model: a quantitative version of the paper's
+//! **Stepping Model** (§4, Fig. 6), in the ECM/Roofline family.
+//!
+//! For each phase, compute time is `flops / (peak · eff · thread-scale)` and
+//! memory time is the sum over *service components*. A component is a chunk
+//! of traffic served by one level of the effective hierarchy; its cost per
+//! byte blends a bandwidth term with a latency term,
+//!
+//! ```text
+//! cost = p_eff / BW  +  (1 - p_eff) · latency / (concurrency · line)
+//! ```
+//!
+//! where the prefetch efficiency `p_eff` and the concurrency both *ramp up*
+//! as a working set grows past the capacity of the level above. This ramp is
+//! exactly the paper's explanation of the **cache valley**: just past a
+//! capacity edge the memory-level parallelism is "insufficient to saturate
+//! the bandwidth of the lower memory hierarchy" (Fig. 6 caption), so isolated
+//! misses pay latency; far past the edge long streams prefetch at full
+//! bandwidth, forming the plateau.
+//!
+//! The effective hierarchy encodes all six OPM configurations of Table 1,
+//! including the MCDRAM-specific behaviours observed in §4.2: direct-mapped
+//! conflict losses and tag-check overhead in cache mode, the flat-mode
+//! straddle cliff past 16 GB, and the hybrid 8 GB + 8 GB split.
+
+use crate::platform::{EdramMode, LevelKind, McdramMode, MemLevel, OpmConfig, PlatformSpec};
+use crate::profile::{AccessProfile, Phase};
+use crate::units::CACHE_LINE;
+
+/// Fraction of capacity below which a larger working set gets no hits
+/// (LRU-thrash shoulder: hits fall linearly from `C == W` to `C == THRASH·W`).
+pub const THRASH: f64 = 0.85;
+/// Working sets this many times larger than the upper level's capacity reach
+/// full concurrency/prefetch.
+pub const RAMP_GROW: f64 = 4.0;
+/// Concurrency/prefetch floor just past a capacity edge.
+pub const RAMP_FLOOR: f64 = 0.3;
+/// Effective-capacity factor for the direct-mapped MCDRAM cache (conflict
+/// misses; §4.2.1-(b)).
+pub const DIRECT_MAPPED_EFF: f64 = 0.7;
+/// Effective-capacity factor for the eDRAM victim L4.
+pub const VICTIM_EFF: f64 = 0.95;
+/// Bandwidth retained by MCDRAM in cache mode (tag checking overhead,
+/// §4.2.1-III).
+pub const TAG_BW_EFF: f64 = 0.85;
+/// Extra latency of MCDRAM cache-mode accesses (local tag check), ns.
+pub const TAG_LATENCY_NS: f64 = 10.0;
+/// Bandwidth penalty factor when a flat-mode allocation straddles MCDRAM and
+/// DDR (NoC bus conflicts + L2 set conflicts, §4.2.1-II).
+pub const STRADDLE_PENALTY: f64 = 0.06;
+
+/// Tunable parameters of the performance model, defaulting to the
+/// calibrated constants. The ablation harness
+/// (`opm-bench --bin ablation_model`) sweeps these to show which modeled
+/// findings depend on which design choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// LRU-thrash shoulder of on-die caches ([`THRASH`]).
+    pub thrash: f64,
+    /// Concurrency/prefetch ramp span ([`RAMP_GROW`]).
+    pub ramp_grow: f64,
+    /// Concurrency/prefetch floor ([`RAMP_FLOOR`]).
+    pub ramp_floor: f64,
+    /// Direct-mapped MCDRAM effective capacity ([`DIRECT_MAPPED_EFF`]).
+    pub direct_mapped_eff: f64,
+    /// eDRAM victim effective capacity ([`VICTIM_EFF`]).
+    pub victim_eff: f64,
+    /// MCDRAM cache-mode bandwidth retention ([`TAG_BW_EFF`]).
+    pub tag_bw_eff: f64,
+    /// MCDRAM cache-mode extra latency ([`TAG_LATENCY_NS`]).
+    pub tag_latency_ns: f64,
+    /// Flat-mode straddle penalty ([`STRADDLE_PENALTY`]).
+    pub straddle_penalty: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            thrash: THRASH,
+            ramp_grow: RAMP_GROW,
+            ramp_floor: RAMP_FLOOR,
+            direct_mapped_eff: DIRECT_MAPPED_EFF,
+            victim_eff: VICTIM_EFF,
+            tag_bw_eff: TAG_BW_EFF,
+            tag_latency_ns: TAG_LATENCY_NS,
+            straddle_penalty: STRADDLE_PENALTY,
+        }
+    }
+}
+
+/// How a cache's hit fraction degrades once a working set outgrows it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AbsorbKind {
+    /// On-die SRAM LRU cache: cyclic reuse thrashes, hits collapse just past
+    /// capacity (sharp shoulder at `THRASH`).
+    #[default]
+    Sharp,
+    /// Memory-side OPM cache (eDRAM victim L4, direct-mapped MCDRAM): hit
+    /// fraction degrades proportionally as `C / W`. This is why the paper
+    /// never observes eDRAM hurting performance (§5.1) and why MCDRAM cache
+    /// mode degrades gracefully past its capacity (Figs. 23–25).
+    Proportional,
+}
+
+/// A serving point in the effective hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffLevel {
+    /// Name for reporting.
+    pub name: &'static str,
+    /// Effective caching capacity in bytes (`None` for the backing store).
+    pub capacity: Option<f64>,
+    /// Bandwidth in GB/s.
+    pub bandwidth: f64,
+    /// Loaded latency in ns.
+    pub latency_ns: f64,
+    /// Hit-fraction degradation shape.
+    pub absorb: AbsorbKind,
+}
+
+impl EffLevel {
+    /// Fraction of a working set of `w` bytes this level serves.
+    pub fn absorb_fraction(&self, w: f64) -> f64 {
+        self.absorb_fraction_with(w, THRASH)
+    }
+
+    /// [`EffLevel::absorb_fraction`] with an explicit thrash shoulder.
+    pub fn absorb_fraction_with(&self, w: f64, thrash: f64) -> f64 {
+        match self.capacity {
+            None => 1.0,
+            Some(c) => match self.absorb {
+                AbsorbKind::Sharp => absorb_with(c, w, thrash),
+                AbsorbKind::Proportional => absorb_proportional(c, w),
+            },
+        }
+    }
+}
+
+/// The hierarchy actually in effect for a (platform, OPM config, footprint)
+/// triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffHierarchy {
+    /// Cache levels, upper first (each has `capacity: Some(..)`).
+    pub caches: Vec<EffLevel>,
+    /// Backing store (DDR, MCDRAM-flat, or the penalized straddle mix).
+    pub backing: EffLevel,
+    /// Fraction of backing traffic served by a flat OPM partition at
+    /// `flat_spec` instead of `backing` (hybrid mode).
+    pub flat_share: f64,
+    /// Service spec for the flat partition, if any.
+    pub flat_spec: Option<EffLevel>,
+}
+
+impl EffHierarchy {
+    /// Build the effective hierarchy for one OPM configuration.
+    ///
+    /// `footprint` is the total allocation, which determines flat-mode
+    /// placement (preferred-node allocation spills to DDR past the MCDRAM
+    /// capacity, triggering the straddle penalty).
+    pub fn build(platform: &PlatformSpec, config: OpmConfig, footprint: f64) -> Self {
+        Self::build_with(platform, config, footprint, &ModelParams::default())
+    }
+
+    /// [`EffHierarchy::build`] with explicit model parameters.
+    pub fn build_with(
+        platform: &PlatformSpec,
+        config: OpmConfig,
+        footprint: f64,
+        params: &ModelParams,
+    ) -> Self {
+        assert_eq!(platform.machine, config.machine(), "config/platform mismatch");
+        let mut caches: Vec<EffLevel> = platform
+            .caches
+            .iter()
+            .map(|c| EffLevel {
+                name: c.name,
+                capacity: Some(c.capacity),
+                bandwidth: c.bandwidth,
+                latency_ns: c.latency_ns,
+                absorb: AbsorbKind::Sharp,
+            })
+            .collect();
+        let dram = EffLevel {
+            name: platform.dram.name,
+            capacity: None,
+            bandwidth: platform.dram.bandwidth,
+            latency_ns: platform.dram.latency_ns,
+            absorb: AbsorbKind::Proportional,
+        };
+        let opm = &platform.opm;
+        match config {
+            OpmConfig::Broadwell(EdramMode::Off) | OpmConfig::Knl(McdramMode::Off) => {
+                EffHierarchy {
+                    caches,
+                    backing: dram,
+                    flat_share: 0.0,
+                    flat_spec: None,
+                }
+            }
+            OpmConfig::Broadwell(EdramMode::On) => {
+                caches.push(EffLevel {
+                    name: opm.name,
+                    capacity: Some(opm.capacity * params.victim_eff),
+                    bandwidth: opm.bandwidth,
+                    latency_ns: opm.latency_ns,
+                    absorb: AbsorbKind::Proportional,
+                });
+                EffHierarchy {
+                    caches,
+                    backing: dram,
+                    flat_share: 0.0,
+                    flat_spec: None,
+                }
+            }
+            OpmConfig::Knl(McdramMode::Cache) => {
+                caches.push(mcdram_cache_level(opm, opm.capacity, params));
+                EffHierarchy {
+                    caches,
+                    backing: dram,
+                    flat_share: 0.0,
+                    flat_spec: None,
+                }
+            }
+            OpmConfig::Knl(McdramMode::Flat) => {
+                let backing = if footprint <= opm.capacity {
+                    // Whole allocation lands on the MCDRAM NUMA node.
+                    EffLevel {
+                        name: "MCDRAM(flat)",
+                        capacity: None,
+                        bandwidth: opm.bandwidth,
+                        latency_ns: opm.latency_ns,
+                        absorb: AbsorbKind::Proportional,
+                    }
+                } else {
+                    // Allocation straddles MCDRAM and DDR: harmonic-mean
+                    // bandwidth of the two portions, scaled by the conflict
+                    // penalty the paper measured (§4.2.1-II: "extremely
+                    // poor", below pure DDR).
+                    let f_mc = opm.capacity / footprint;
+                    let f_dd = 1.0 - f_mc;
+                    let harmonic = 1.0 / (f_mc / opm.bandwidth + f_dd / dram.bandwidth);
+                    EffLevel {
+                        name: "MCDRAM+DDR(straddle)",
+                        capacity: None,
+                        bandwidth: harmonic * params.straddle_penalty,
+                        latency_ns: opm.latency_ns.max(dram.latency_ns) * 1.5,
+                        absorb: AbsorbKind::Proportional,
+                    }
+                };
+                EffHierarchy {
+                    caches,
+                    backing,
+                    flat_share: 0.0,
+                    flat_spec: None,
+                }
+            }
+            OpmConfig::Knl(McdramMode::Hybrid) => {
+                let half = opm.capacity / 2.0;
+                caches.push(mcdram_cache_level(opm, half, params));
+                // The 8 GB flat partition holds `min(half/footprint, 1)` of
+                // the data; that share of backing traffic is served at pure
+                // MCDRAM specs (no tag overhead).
+                let flat_share = (half / footprint).min(1.0);
+                EffHierarchy {
+                    caches,
+                    backing: dram,
+                    flat_share,
+                    flat_spec: Some(EffLevel {
+                        name: "MCDRAM(flat-half)",
+                        capacity: None,
+                        bandwidth: opm.bandwidth,
+                        latency_ns: opm.latency_ns,
+                        absorb: AbsorbKind::Proportional,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+fn mcdram_cache_level(opm: &MemLevel, raw_capacity: f64, params: &ModelParams) -> EffLevel {
+    debug_assert_eq!(opm.kind, LevelKind::OpmCache);
+    EffLevel {
+        name: "MCDRAM(cache)",
+        capacity: Some(raw_capacity * params.direct_mapped_eff),
+        bandwidth: opm.bandwidth * params.tag_bw_eff,
+        latency_ns: opm.latency_ns + params.tag_latency_ns,
+        absorb: AbsorbKind::Proportional,
+    }
+}
+
+/// Fraction of a working set of `w` bytes served by a cache of `c` bytes.
+///
+/// 1.0 when it fits, falling linearly to 0 once the set exceeds `c / THRASH`
+/// (LRU cyclic reuse thrashes).
+pub fn absorb(c: f64, w: f64) -> f64 {
+    absorb_with(c, w, THRASH)
+}
+
+/// [`absorb`] with an explicit thrash shoulder.
+pub fn absorb_with(c: f64, w: f64, thrash: f64) -> f64 {
+    if w <= 0.0 {
+        return 1.0;
+    }
+    let r = c / w;
+    ((r - thrash) / (1.0 - thrash)).clamp(0.0, 1.0)
+}
+
+/// Proportional absorption for memory-side OPM caches: hit fraction `C/W`
+/// once the set outgrows the capacity.
+pub fn absorb_proportional(c: f64, w: f64) -> f64 {
+    if w <= 0.0 {
+        return 1.0;
+    }
+    (c / w).min(1.0)
+}
+
+/// Concurrency/prefetch ramp for a working set `w` served below a level of
+/// capacity `upper_c`: low just past the edge, 1.0 once `w >= RAMP_GROW ·
+/// upper_c`.
+pub fn ramp(w: f64, upper_c: f64) -> f64 {
+    ramp_with(w, upper_c, RAMP_GROW, RAMP_FLOOR)
+}
+
+/// [`ramp`] with explicit span/floor.
+pub fn ramp_with(w: f64, upper_c: f64, grow: f64, floor: f64) -> f64 {
+    if upper_c <= 0.0 {
+        return 1.0;
+    }
+    (((w / upper_c) - 1.0) / (grow - 1.0)).clamp(floor, 1.0)
+}
+
+/// Traffic served by one level on behalf of one tier, with its service cost
+/// parameters resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Serving level name.
+    pub level: &'static str,
+    /// Bytes served.
+    pub bytes: f64,
+    /// Time spent, ns.
+    pub time_ns: f64,
+}
+
+/// Result of evaluating a profile on a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Total modeled execution time in nanoseconds.
+    pub time_ns: f64,
+    /// Delivered throughput in GFlop/s (`flops / time_ns`).
+    pub gflops: f64,
+    /// Effective data bandwidth in GB/s (`bytes / time_ns`).
+    pub bandwidth_gbs: f64,
+    /// Compute-side time, ns.
+    pub compute_ns: f64,
+    /// Memory-side time, ns.
+    pub memory_ns: f64,
+    /// Bytes served by off-package DRAM (for the power model).
+    pub dram_bytes: f64,
+    /// Bytes served by the on-package memory in any role.
+    pub opm_bytes: f64,
+    /// Per-component service breakdown.
+    pub components: Vec<Component>,
+}
+
+/// The performance model.
+///
+/// ```
+/// use opm_core::perf::PerfModel;
+/// use opm_core::platform::{EdramMode, OpmConfig};
+/// use opm_core::profile::{AccessProfile, Phase, Tier};
+///
+/// // A STREAM-like workload: 64 MiB footprint, AI = 1/16.
+/// let fp = 64.0 * 1024.0 * 1024.0;
+/// let mut phase = Phase::new("triad", fp / 4.0, fp * 4.0);
+/// phase.tiers = vec![Tier::new(fp, 1.0)];
+/// phase.threads = 8;
+/// let profile = AccessProfile::single("stream", phase, fp);
+///
+/// let with = PerfModel::for_config(OpmConfig::Broadwell(EdramMode::On)).evaluate(&profile);
+/// let without = PerfModel::for_config(OpmConfig::Broadwell(EdramMode::Off)).evaluate(&profile);
+/// // 64 MiB sits in the eDRAM-effective region: a clear speedup.
+/// assert!(with.gflops > 1.5 * without.gflops);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    platform: PlatformSpec,
+    config: OpmConfig,
+    params: ModelParams,
+}
+
+impl PerfModel {
+    /// Create a model for one machine configuration.
+    pub fn new(platform: PlatformSpec, config: OpmConfig) -> Self {
+        Self::with_params(platform, config, ModelParams::default())
+    }
+
+    /// Create a model with explicit (ablation) parameters.
+    pub fn with_params(platform: PlatformSpec, config: OpmConfig, params: ModelParams) -> Self {
+        assert_eq!(platform.machine, config.machine(), "config/platform mismatch");
+        PerfModel {
+            platform,
+            config,
+            params,
+        }
+    }
+
+    /// The active model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Convenience constructor from the config alone.
+    pub fn for_config(config: OpmConfig) -> Self {
+        Self::new(PlatformSpec::for_machine(config.machine()), config)
+    }
+
+    /// The platform being modeled.
+    pub fn platform(&self) -> &PlatformSpec {
+        &self.platform
+    }
+
+    /// The OPM configuration being modeled.
+    pub fn config(&self) -> OpmConfig {
+        self.config
+    }
+
+    /// Evaluate a full profile: phases run back to back.
+    pub fn evaluate(&self, profile: &AccessProfile) -> Estimate {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile for {}: {e}", profile.kernel));
+        let hier =
+            EffHierarchy::build_with(&self.platform, self.config, profile.footprint, &self.params);
+        let mut time_ns = 0.0;
+        let mut compute_ns = 0.0;
+        let mut memory_ns = 0.0;
+        let mut dram_bytes = 0.0;
+        let mut opm_bytes = 0.0;
+        let mut components = Vec::new();
+        for phase in &profile.phases {
+            let r = self.evaluate_phase(phase, &hier);
+            time_ns += r.time_ns;
+            compute_ns += r.compute_ns;
+            memory_ns += r.memory_ns;
+            dram_bytes += r.dram_bytes;
+            opm_bytes += r.opm_bytes;
+            components.extend(r.components);
+        }
+        let flops = profile.total_flops();
+        let bytes = profile.total_bytes();
+        Estimate {
+            time_ns,
+            gflops: if time_ns > 0.0 { flops / time_ns } else { 0.0 },
+            bandwidth_gbs: if time_ns > 0.0 { bytes / time_ns } else { 0.0 },
+            compute_ns,
+            memory_ns,
+            dram_bytes,
+            opm_bytes,
+            components,
+        }
+    }
+
+    fn evaluate_phase(&self, phase: &Phase, hier: &EffHierarchy) -> Estimate {
+        let p = &self.platform;
+        // Compute side: threads beyond the core count (SMT) add no FLOP
+        // throughput, only memory-level parallelism.
+        let core_scale = (phase.threads.min(p.cores) as f64) / p.cores as f64;
+        let peak = p.dp_peak_gflops() * phase.compute_eff * core_scale;
+        let compute_ns = if phase.flops > 0.0 {
+            phase.flops / peak
+        } else {
+            0.0
+        };
+
+        let threads_mem = phase.threads.min(p.max_threads) as f64;
+        let mut memory_ns = 0.0;
+        let mut dram_bytes = 0.0;
+        let mut opm_bytes = 0.0;
+        let mut components = Vec::new();
+
+        // (bytes, working set, prefetch, mlp, upper sharp-cache capacity)
+        let mut backing_traffic: Vec<(f64, f64, f64, f64, f64)> = Vec::new();
+
+        // Distribute each tier across the cache chain.
+        for tier in &phase.tiers {
+            let p_max = tier.prefetch.unwrap_or(phase.prefetch);
+            let mlp = tier.mlp.unwrap_or(phase.mlp);
+            let bytes = phase.bytes * tier.fraction;
+            if bytes <= 0.0 {
+                continue;
+            }
+            let mut served_below = 1.0; // fraction not yet absorbed
+            let mut absorbed_cum = 0.0;
+            // The concurrency/prefetch ramp (cache-valley effect) is driven
+            // by the last *on-die* cache the working set outgrew: memory-side
+            // OPM caches are transparent to the core-side prefetchers, so
+            // missing them does not re-expose latency (this is also why
+            // eDRAM never makes things worse, §5.1).
+            let mut upper_sharp_cap = 0.0;
+            for lvl in &hier.caches {
+                let cap = lvl.capacity.expect("cache level has capacity");
+                let a = lvl.absorb_fraction_with(tier.working_set, self.params.thrash);
+                let here = (a - absorbed_cum).max(0.0).min(served_below);
+                if here > 0.0 {
+                    let b = bytes * here;
+                    let t = service_time(
+                        b,
+                        lvl,
+                        tier.working_set,
+                        upper_sharp_cap,
+                        threads_mem,
+                        mlp,
+                        p_max,
+                        &self.params,
+                    );
+                    memory_ns += t;
+                    if lvl.name.starts_with("MCDRAM") || lvl.name == "eDRAM" {
+                        opm_bytes += b;
+                    }
+                    components.push(Component {
+                        level: lvl.name,
+                        bytes: b,
+                        time_ns: t,
+                    });
+                    served_below -= here;
+                    absorbed_cum += here;
+                }
+                if lvl.absorb == AbsorbKind::Sharp {
+                    upper_sharp_cap = cap;
+                }
+            }
+            if served_below > 1e-12 {
+                backing_traffic.push((bytes * served_below, tier.working_set, p_max, mlp, upper_sharp_cap));
+            }
+        }
+        // Streaming remainder: compulsory traffic with a working set far
+        // larger than any cache (use the footprint-equivalent: infinite).
+        let stream_bytes = phase.bytes * phase.streaming_fraction();
+        if stream_bytes > 0.0 {
+            backing_traffic.push((
+                stream_bytes,
+                f64::INFINITY,
+                phase.stream_prefetch,
+                phase.mlp,
+                0.0,
+            ));
+        }
+
+        for (bytes, w, p_max, mlp, sharp_cap) in backing_traffic {
+            // Hybrid mode: a share of backing traffic is served by the flat
+            // OPM partition.
+            let (flat_b, back_b) = match &hier.flat_spec {
+                Some(_) => (bytes * hier.flat_share, bytes * (1.0 - hier.flat_share)),
+                None => (0.0, bytes),
+            };
+            if flat_b > 0.0 {
+                let spec = hier.flat_spec.as_ref().unwrap();
+                let t = service_time(flat_b, spec, w, sharp_cap, threads_mem, mlp, p_max, &self.params);
+                memory_ns += t;
+                opm_bytes += flat_b;
+                components.push(Component {
+                    level: spec.name,
+                    bytes: flat_b,
+                    time_ns: t,
+                });
+            }
+            if back_b > 0.0 {
+                let t = service_time(back_b, &hier.backing, w, sharp_cap, threads_mem, mlp, p_max, &self.params);
+                memory_ns += t;
+                if hier.backing.name.starts_with("MCDRAM") {
+                    // Flat mode: backing *is* the OPM (plus straddle DDR).
+                    opm_bytes += back_b;
+                    if hier.backing.name.contains("straddle") {
+                        dram_bytes += back_b * 0.3;
+                    }
+                } else {
+                    dram_bytes += back_b;
+                }
+                components.push(Component {
+                    level: hier.backing.name,
+                    bytes: back_b,
+                    time_ns: t,
+                });
+            }
+        }
+
+        let time_ns = compute_ns.max(memory_ns);
+        Estimate {
+            time_ns,
+            gflops: 0.0,
+            bandwidth_gbs: 0.0,
+            compute_ns,
+            memory_ns,
+            dram_bytes,
+            opm_bytes,
+            components,
+        }
+    }
+}
+
+/// Time (ns) for `bytes` served by `lvl`, given the working set `w` and the
+/// capacity of the level above (`upper_cap`) for the valley ramp.
+#[allow(clippy::too_many_arguments)]
+fn service_time(
+    bytes: f64,
+    lvl: &EffLevel,
+    w: f64,
+    upper_cap: f64,
+    threads: f64,
+    mlp: f64,
+    p_max: f64,
+    params: &ModelParams,
+) -> f64 {
+    let r = if w.is_finite() {
+        ramp_with(w, upper_cap, params.ramp_grow, params.ramp_floor)
+    } else {
+        1.0
+    };
+    let p_eff = (p_max * r).clamp(0.0, 1.0);
+    // Kernel MLP models *miss*-level parallelism to memory; short on-die
+    // latencies are covered by the out-of-order window regardless, so
+    // low-MLP kernels (SpTRSV) are not latency-bound on cache hits.
+    let eff_mlp = if lvl.latency_ns <= 20.0 { mlp.max(8.0) } else { mlp };
+    let conc = (threads * eff_mlp * r).max(1.0);
+    let lat_bw = conc * CACHE_LINE / lvl.latency_ns; // GB/s equivalent
+    let bw_term = p_eff / lvl.bandwidth;
+    let lat_term = (1.0 - p_eff) / lat_bw.min(lvl.bandwidth);
+    bytes * (bw_term + lat_term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Tier;
+    use crate::units::{GIB, MIB};
+
+    fn stream_profile(footprint: f64) -> AccessProfile {
+        // STREAM TRIAD-like phase: AI = 1/16, whole footprint reused across
+        // repetitions.
+        let bytes = footprint * 4.0; // several sweeps
+        let mut ph = Phase::new("triad", bytes / 16.0, bytes);
+        ph.tiers = vec![Tier::new(footprint, 1.0)];
+        ph.prefetch = 0.95;
+        ph.mlp = 10.0;
+        ph.compute_eff = 0.5;
+        ph.threads = 8;
+        AccessProfile::single("stream", ph, footprint)
+    }
+
+    fn gflops(config: OpmConfig, footprint: f64) -> f64 {
+        let model = PerfModel::for_config(config);
+        model.evaluate(&stream_profile(footprint)).gflops
+    }
+
+    #[test]
+    fn absorb_behaviour() {
+        assert_eq!(absorb(100.0, 50.0), 1.0);
+        assert_eq!(absorb(100.0, 100.0), 1.0);
+        assert_eq!(absorb(84.0, 100.0), 0.0); // below thrash shoulder
+        let mid = absorb(95.0, 100.0);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn ramp_behaviour() {
+        assert_eq!(ramp(100.0, 0.0), 1.0);
+        assert_eq!(ramp(101.0, 100.0), RAMP_FLOOR);
+        assert_eq!(ramp(400.0, 100.0), 1.0);
+        let mid = ramp(250.0, 100.0);
+        assert!(mid > RAMP_FLOOR && mid < 1.0);
+    }
+
+    #[test]
+    fn stream_shows_cache_peaks_and_plateau() {
+        let cfg = OpmConfig::Broadwell(EdramMode::Off);
+        let in_l3 = gflops(cfg, 4.0 * MIB);
+        let plateau = gflops(cfg, 512.0 * MIB);
+        // L3-resident runs far faster than the DDR plateau.
+        assert!(in_l3 > 3.0 * plateau, "L3 peak {in_l3} vs plateau {plateau}");
+        // Plateau throughput tracks DDR bandwidth: AI/16 of 34.1 GB/s ~ 2.1.
+        assert!((plateau * 16.0 - 34.1).abs() < 8.0);
+    }
+
+    #[test]
+    fn stream_has_l3_valley_without_edram() {
+        let cfg = OpmConfig::Broadwell(EdramMode::Off);
+        let valley = gflops(cfg, 8.0 * MIB);
+        let plateau = gflops(cfg, 512.0 * MIB);
+        assert!(
+            valley < plateau,
+            "expected valley ({valley}) below plateau ({plateau})"
+        );
+    }
+
+    #[test]
+    fn edram_fills_the_valley_and_forms_a_peak() {
+        let off = OpmConfig::Broadwell(EdramMode::Off);
+        let on = OpmConfig::Broadwell(EdramMode::On);
+        // eDRAM cache peak at ~64 MB footprint.
+        assert!(gflops(on, 64.0 * MIB) > 2.0 * gflops(off, 64.0 * MIB));
+        // Valley region is lifted.
+        assert!(gflops(on, 8.0 * MIB) > gflops(off, 8.0 * MIB));
+        // Far beyond eDRAM, both converge to the DDR plateau.
+        let a = gflops(on, 4.0 * GIB);
+        let b = gflops(off, 4.0 * GIB);
+        assert!((a - b).abs() / b < 0.05, "{a} vs {b}");
+    }
+
+    #[test]
+    fn edram_never_hurts() {
+        // Paper §5.1: "we have not observed worse performance using eDRAM
+        // than without eDRAM".
+        for mb in [1.0, 4.0, 6.0, 8.0, 16.0, 64.0, 120.0, 200.0, 1024.0, 8192.0] {
+            let on = gflops(OpmConfig::Broadwell(EdramMode::On), mb * MIB);
+            let off = gflops(OpmConfig::Broadwell(EdramMode::Off), mb * MIB);
+            assert!(
+                on >= off * 0.999,
+                "eDRAM hurt at {mb} MB: {on} < {off}"
+            );
+        }
+    }
+
+    fn knl_stream(config: OpmConfig, footprint: f64) -> f64 {
+        let bytes = footprint * 4.0;
+        let mut ph = Phase::new("triad", bytes / 16.0, bytes);
+        ph.tiers = vec![Tier::new(footprint, 1.0)];
+        ph.mlp = 8.0;
+        ph.compute_eff = 0.5;
+        ph.threads = 256;
+        let prof = AccessProfile::single("stream", ph, footprint);
+        PerfModel::for_config(config).evaluate(&prof).gflops
+    }
+
+    #[test]
+    fn knl_flat_mode_beats_ddr_within_capacity() {
+        let flat = knl_stream(OpmConfig::Knl(McdramMode::Flat), 2.0 * GIB);
+        let ddr = knl_stream(OpmConfig::Knl(McdramMode::Off), 2.0 * GIB);
+        let ratio = flat / ddr;
+        // MCDRAM offers ~4.8x DDR bandwidth.
+        assert!(ratio > 3.0 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn knl_flat_mode_cliff_past_capacity() {
+        let inside = knl_stream(OpmConfig::Knl(McdramMode::Flat), 12.0 * GIB);
+        let straddle = knl_stream(OpmConfig::Knl(McdramMode::Flat), 20.0 * GIB);
+        let ddr = knl_stream(OpmConfig::Knl(McdramMode::Off), 20.0 * GIB);
+        assert!(straddle < inside / 3.0, "no cliff: {inside} -> {straddle}");
+        // §4.2.1-II: worse than not using MCDRAM at all.
+        assert!(straddle < ddr, "straddle {straddle} vs ddr {ddr}");
+    }
+
+    #[test]
+    fn knl_cache_mode_survives_past_capacity_better_than_flat() {
+        let cache = knl_stream(OpmConfig::Knl(McdramMode::Cache), 20.0 * GIB);
+        let flat = knl_stream(OpmConfig::Knl(McdramMode::Flat), 20.0 * GIB);
+        assert!(cache > flat);
+    }
+
+    #[test]
+    fn knl_hybrid_tracks_flat_until_half_capacity() {
+        let hybrid = knl_stream(OpmConfig::Knl(McdramMode::Hybrid), 4.0 * GIB);
+        let flat = knl_stream(OpmConfig::Knl(McdramMode::Flat), 4.0 * GIB);
+        assert!(
+            (hybrid - flat).abs() / flat < 0.25,
+            "hybrid {hybrid} vs flat {flat}"
+        );
+    }
+
+    #[test]
+    fn low_mlp_kernel_prefers_ddr_over_mcdram() {
+        // SpTRSV-like: low MLP and low prefetchability -> latency bound;
+        // MCDRAM's higher latency makes it *slower* than DDR (§4.2.2).
+        // Dependencies cap the usable parallelism far below the machine's
+        // 256 hardware threads, so the profile carries the level-schedule
+        // limited thread count.
+        let mk = |config: OpmConfig| {
+            let footprint = 2.0 * GIB;
+            let bytes = footprint;
+            let mut ph = Phase::new("sptrsv", bytes / 8.0, bytes);
+            ph.tiers = vec![Tier::irregular(footprint, 1.0, 0.05, 1.2)];
+            ph.prefetch = 0.05;
+            ph.mlp = 1.2;
+            ph.compute_eff = 0.3;
+            ph.threads = 16;
+            let prof = AccessProfile::single("sptrsv", ph, footprint);
+            PerfModel::for_config(config).evaluate(&prof).gflops
+        };
+        let ddr = mk(OpmConfig::Knl(McdramMode::Off));
+        let flat = mk(OpmConfig::Knl(McdramMode::Flat));
+        assert!(flat < ddr, "flat {flat} should lose to ddr {ddr} at low MLP");
+    }
+
+    #[test]
+    fn estimate_accounting_is_consistent() {
+        let model = PerfModel::for_config(OpmConfig::Broadwell(EdramMode::On));
+        let prof = stream_profile(64.0 * MIB);
+        let est = model.evaluate(&prof);
+        let served: f64 = est.components.iter().map(|c| c.bytes).sum();
+        assert!((served - prof.total_bytes()).abs() / prof.total_bytes() < 1e-9);
+        assert!(est.time_ns >= est.compute_ns && est.time_ns >= est.memory_ns - 1e-9);
+        assert!(est.gflops > 0.0 && est.bandwidth_gbs > 0.0);
+    }
+
+    #[test]
+    fn params_change_model_behaviour() {
+        // Removing the straddle penalty removes the flat-mode cliff.
+        let params = ModelParams {
+            straddle_penalty: 1.0,
+            ..ModelParams::default()
+        };
+        let lenient = PerfModel::with_params(
+            PlatformSpec::knl(),
+            OpmConfig::Knl(McdramMode::Flat),
+            params,
+        );
+        let strict = PerfModel::for_config(OpmConfig::Knl(McdramMode::Flat));
+        let fp = 20.0 * GIB;
+        let bytes = fp * 4.0;
+        let mut ph = Phase::new("triad", bytes / 16.0, bytes);
+        ph.tiers = vec![Tier::new(fp, 1.0)];
+        ph.threads = 256;
+        let prof = AccessProfile::single("stream", ph, fp);
+        let g_lenient = lenient.evaluate(&prof).gflops;
+        let g_strict = strict.evaluate(&prof).gflops;
+        assert!(g_lenient > 3.0 * g_strict, "{g_lenient} vs {g_strict}");
+        assert_eq!(strict.params(), &ModelParams::default());
+    }
+
+    #[test]
+    fn default_params_match_constants() {
+        let p = ModelParams::default();
+        assert_eq!(p.thrash, THRASH);
+        assert_eq!(p.straddle_penalty, STRADDLE_PENALTY);
+        assert_eq!(absorb_with(90.0, 100.0, THRASH), absorb(90.0, 100.0));
+        assert_eq!(ramp_with(200.0, 100.0, RAMP_GROW, RAMP_FLOOR), ramp(200.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "config/platform mismatch")]
+    fn mismatched_platform_panics() {
+        PerfModel::new(
+            PlatformSpec::broadwell(),
+            OpmConfig::Knl(McdramMode::Cache),
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Platform descriptions for the two evaluated machines (paper Table 3) and
+//! their on-package-memory tuning options (paper Table 1).
+//!
+//! * **Broadwell i7-5775c** — 4 cores @ 3.7 GHz, 6 MB L3, optional 128 MB
+//!   eDRAM L4 (102.4 GB/s, latency *below* DDR), DDR3-2133 @ 34.1 GB/s.
+//! * **Knights Landing 7210** — 64 cores @ 1.5 GHz, 32 MB L2, 16 GB MCDRAM
+//!   (490 GB/s, latency *above* DDR) configurable off/cache/flat/hybrid,
+//!   DDR4-2133 @ 102 GB/s.
+//!
+//! All numbers are the spec-sheet values from Table 3 plus the latency
+//! relationships stated in §2 of the paper (eDRAM latency < DDR; MCDRAM
+//! latency ≥ DDR when bandwidth demand is low).
+
+use crate::units::{GIB, KIB, MIB};
+
+/// Which physical machine is being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// Intel Core i7-5775c (Broadwell) with optional eDRAM L4.
+    Broadwell,
+    /// Intel Xeon Phi 7210 (Knights Landing) with MCDRAM.
+    Knl,
+}
+
+/// eDRAM tuning options on Broadwell (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EdramMode {
+    /// eDRAM disabled in BIOS: no L4 level, no eDRAM static power.
+    Off,
+    /// 128 MB high-throughput, low-latency L4 victim cache.
+    #[default]
+    On,
+}
+
+/// MCDRAM tuning options on KNL (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum McdramMode {
+    /// MCDRAM not used (allocations prefer DDR). Static power still drawn —
+    /// MCDRAM cannot be physically disabled (paper §5.2).
+    Off,
+    /// 16 GB direct-mapped memory-side cache in front of DDR.
+    #[default]
+    Cache,
+    /// Entire 16 GB addressable; `numactl -p` prefers the MCDRAM node and
+    /// spills to DDR (with the straddle penalty of §4.2.1-II) beyond 16 GB.
+    Flat,
+    /// 8 GB last-level cache + 8 GB flat-addressable memory.
+    Hybrid,
+}
+
+/// A single OPM configuration across both machines, used as the sweep axis
+/// by the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpmConfig {
+    /// Broadwell with the given eDRAM mode.
+    Broadwell(EdramMode),
+    /// KNL with the given MCDRAM mode.
+    Knl(McdramMode),
+}
+
+impl OpmConfig {
+    /// The machine this configuration applies to.
+    pub fn machine(&self) -> Machine {
+        match self {
+            OpmConfig::Broadwell(_) => Machine::Broadwell,
+            OpmConfig::Knl(_) => Machine::Knl,
+        }
+    }
+
+    /// Short label used in CSV headers and plots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpmConfig::Broadwell(EdramMode::Off) => "brd-no-edram",
+            OpmConfig::Broadwell(EdramMode::On) => "brd-edram",
+            OpmConfig::Knl(McdramMode::Off) => "knl-ddr",
+            OpmConfig::Knl(McdramMode::Cache) => "knl-cache",
+            OpmConfig::Knl(McdramMode::Flat) => "knl-flat",
+            OpmConfig::Knl(McdramMode::Hybrid) => "knl-hybrid",
+        }
+    }
+
+    /// All four KNL modes in the order the paper plots them.
+    pub fn knl_modes() -> [OpmConfig; 4] {
+        [
+            OpmConfig::Knl(McdramMode::Off),
+            OpmConfig::Knl(McdramMode::Flat),
+            OpmConfig::Knl(McdramMode::Cache),
+            OpmConfig::Knl(McdramMode::Hybrid),
+        ]
+    }
+
+    /// Both Broadwell modes.
+    pub fn broadwell_modes() -> [OpmConfig; 2] {
+        [
+            OpmConfig::Broadwell(EdramMode::Off),
+            OpmConfig::Broadwell(EdramMode::On),
+        ]
+    }
+}
+
+/// What role a memory level plays in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelKind {
+    /// An on-die SRAM cache (L2, L3).
+    Cache,
+    /// An on-package memory acting as cache (eDRAM L4, MCDRAM cache mode).
+    OpmCache,
+    /// Flat-addressable on-package memory (MCDRAM flat partition).
+    OpmFlat,
+    /// Off-package DRAM backing store.
+    Dram,
+}
+
+/// Static description of one level of the memory hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemLevel {
+    /// Human-readable name ("L3", "eDRAM", "MCDRAM", "DDR3"...).
+    pub name: &'static str,
+    /// Capacity in bytes. For the backing DRAM this is the module capacity.
+    pub capacity: f64,
+    /// Peak sustainable bandwidth in GB/s (== bytes/ns).
+    pub bandwidth: f64,
+    /// Loaded access latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Role of the level.
+    pub kind: LevelKind,
+}
+
+/// Compute-side description of a machine (paper Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Which machine.
+    pub machine: Machine,
+    /// Marketing name used in reports.
+    pub name: &'static str,
+    /// Physical core count.
+    pub cores: usize,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Double-precision flops per cycle per core (FMA-counted).
+    pub dp_flops_per_cycle: f64,
+    /// Maximum hardware threads (SMT) available.
+    pub max_threads: usize,
+    /// On-die cache levels, upper (closer to core) first. The access-profile
+    /// reuse model starts at the first of these levels; register/L1 blocking
+    /// is folded into the per-kernel traffic formulas.
+    pub caches: Vec<MemLevel>,
+    /// Off-package DRAM level.
+    pub dram: MemLevel,
+    /// On-package memory level (eDRAM or MCDRAM) at its full capacity.
+    pub opm: MemLevel,
+}
+
+impl PlatformSpec {
+    /// Theoretical double-precision peak in GFlop/s.
+    pub fn dp_peak_gflops(&self) -> f64 {
+        self.cores as f64 * self.freq_ghz * self.dp_flops_per_cycle
+    }
+
+    /// Theoretical single-precision peak in GFlop/s (2x DP on both machines).
+    pub fn sp_peak_gflops(&self) -> f64 {
+        2.0 * self.dp_peak_gflops()
+    }
+
+    /// The Broadwell i7-5775c description (Table 3 row 1).
+    pub fn broadwell() -> Self {
+        PlatformSpec {
+            machine: Machine::Broadwell,
+            name: "Intel Core i7-5775c (Broadwell)",
+            cores: 4,
+            freq_ghz: 3.7,
+            dp_flops_per_cycle: 16.0, // 2x 4-wide FMA
+            max_threads: 8,
+            caches: vec![
+                MemLevel {
+                    name: "L2",
+                    capacity: 4.0 * 256.0 * KIB,
+                    bandwidth: 420.0,
+                    latency_ns: 3.5,
+                    kind: LevelKind::Cache,
+                },
+                MemLevel {
+                    name: "L3",
+                    capacity: 6.0 * MIB,
+                    bandwidth: 210.0,
+                    latency_ns: 12.0,
+                    kind: LevelKind::Cache,
+                },
+            ],
+            dram: MemLevel {
+                name: "DDR3-2133",
+                capacity: 16.0 * GIB,
+                bandwidth: 34.1,
+                latency_ns: 60.0,
+                kind: LevelKind::Dram,
+            },
+            opm: MemLevel {
+                name: "eDRAM",
+                capacity: 128.0 * MIB,
+                bandwidth: 102.4,
+                latency_ns: 42.0, // shorter than DDR (paper §2.3 (b))
+                kind: LevelKind::OpmCache,
+            },
+        }
+    }
+
+    /// The Knights Landing 7210 description (Table 3 row 2).
+    pub fn knl() -> Self {
+        PlatformSpec {
+            machine: Machine::Knl,
+            name: "Intel Xeon Phi 7210 (Knights Landing)",
+            cores: 64,
+            freq_ghz: 1.5,
+            dp_flops_per_cycle: 32.0, // 2x 8-wide FMA (AVX-512)
+            max_threads: 256,
+            caches: vec![MemLevel {
+                name: "L2",
+                capacity: 32.0 * MIB,
+                bandwidth: 1500.0,
+                latency_ns: 15.0,
+                kind: LevelKind::Cache,
+            }],
+            dram: MemLevel {
+                name: "DDR4-2133",
+                capacity: 96.0 * GIB,
+                bandwidth: 102.0,
+                latency_ns: 125.0,
+                kind: LevelKind::Dram,
+            },
+            opm: MemLevel {
+                name: "MCDRAM",
+                capacity: 16.0 * GIB,
+                bandwidth: 490.0,
+                latency_ns: 150.0, // *higher* than DDR (paper §2.2)
+                kind: LevelKind::OpmCache,
+            },
+        }
+    }
+
+    /// Lookup by machine id.
+    pub fn for_machine(machine: Machine) -> Self {
+        match machine {
+            Machine::Broadwell => Self::broadwell(),
+            Machine::Knl => Self::knl(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadwell_peaks_match_table3() {
+        let p = PlatformSpec::broadwell();
+        assert!((p.dp_peak_gflops() - 236.8).abs() < 0.1);
+        assert!((p.sp_peak_gflops() - 473.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn knl_peaks_match_table3() {
+        let p = PlatformSpec::knl();
+        // Table 3 lists 3072/6144 with SP/DP columns swapped; DP peak for
+        // KNL 7210 is 64 * 1.5 GHz * 32 = 3072 GFlop/s.
+        assert!((p.dp_peak_gflops() - 3072.0).abs() < 0.1);
+        assert!((p.sp_peak_gflops() - 6144.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn opm_relationships_from_section2() {
+        let brd = PlatformSpec::broadwell();
+        let knl = PlatformSpec::knl();
+        // (b) eDRAM has a shorter access latency than DDR, MCDRAM does not.
+        assert!(brd.opm.latency_ns < brd.dram.latency_ns);
+        assert!(knl.opm.latency_ns >= knl.dram.latency_ns);
+        // (c) eDRAM is much smaller than MCDRAM (128 MB vs 16 GB).
+        assert!(brd.opm.capacity < knl.opm.capacity / 100.0);
+        // OPM bandwidth is significantly larger than off-package DRAM.
+        assert!(brd.opm.bandwidth > 2.0 * brd.dram.bandwidth);
+        assert!(knl.opm.bandwidth > 4.0 * knl.dram.bandwidth);
+        // MCDRAM offers ~5x the DDR4 bandwidth on the same board (§2.2).
+        assert!((knl.opm.bandwidth / knl.dram.bandwidth - 4.8).abs() < 0.3);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = OpmConfig::knl_modes()
+            .iter()
+            .chain(OpmConfig::broadwell_modes().iter())
+            .map(|c| c.label())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn hierarchy_is_ordered_fast_to_slow() {
+        for p in [PlatformSpec::broadwell(), PlatformSpec::knl()] {
+            let mut prev_cap = 0.0;
+            for c in &p.caches {
+                assert!(c.capacity > prev_cap, "{} capacity ordering", c.name);
+                prev_cap = c.capacity;
+            }
+            assert!(p.opm.capacity > prev_cap);
+            assert!(p.dram.capacity > p.opm.capacity);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Access profiles: the interface between kernel implementations and the
+//! performance model.
+//!
+//! Every kernel in the workspace is *really executed* (and numerically
+//! tested), and additionally describes its memory behaviour as an
+//! [`AccessProfile`]: total flops, total data traffic entering the modeled
+//! hierarchy (i.e. after register/L1 blocking), and a set of **working-set
+//! tiers**. A tier `(W, f)` states that fraction `f` of the traffic re-uses
+//! data within a working set of `W` bytes — if some cache level is at least
+//! `W` large, those bytes are served from that level. Traffic not covered by
+//! any tier is *streaming* (compulsory) and always reaches the backing
+//! memory.
+//!
+//! This is a compact, analyzable encoding of a reuse-distance histogram; the
+//! exact trace-driven simulator in `opm-memsim` is used to cross-validate it
+//! on small problems.
+
+/// One working-set tier of a phase's reuse CDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tier {
+    /// Working-set size in bytes. A cache of at least this capacity serves
+    /// this tier's traffic.
+    pub working_set: f64,
+    /// Fraction of the phase's total traffic belonging to this tier.
+    pub fraction: f64,
+    /// Optional per-tier prefetchability override (0..1). `None` uses the
+    /// phase default. Irregular gathers (SpMV `x`, SpTRSV) set this low.
+    pub prefetch: Option<f64>,
+    /// Optional per-tier memory-level-parallelism override (outstanding
+    /// misses per thread). `None` uses the phase default.
+    pub mlp: Option<f64>,
+}
+
+impl Tier {
+    /// A tier using the phase's default prefetch/MLP settings.
+    pub fn new(working_set: f64, fraction: f64) -> Self {
+        Tier {
+            working_set,
+            fraction,
+            prefetch: None,
+            mlp: None,
+        }
+    }
+
+    /// A tier with an irregular access pattern (low prefetchability).
+    pub fn irregular(working_set: f64, fraction: f64, prefetch: f64, mlp: f64) -> Self {
+        Tier {
+            working_set,
+            fraction,
+            prefetch: Some(prefetch),
+            mlp: Some(mlp),
+        }
+    }
+}
+
+/// One phase of a kernel execution (e.g. "factor panel", "spmv sweep").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Human-readable phase name.
+    pub name: String,
+    /// Floating-point operations performed in this phase.
+    pub flops: f64,
+    /// Bytes of traffic entering the modeled hierarchy (post register/L1
+    /// blocking).
+    pub bytes: f64,
+    /// Working-set tiers, any order; fractions must sum to <= 1. The
+    /// remainder `1 - sum` is streaming traffic.
+    pub tiers: Vec<Tier>,
+    /// Default prefetchability (0..1) for tiers without an override.
+    pub prefetch: f64,
+    /// Prefetchability of the streaming remainder (usually high: sequential).
+    pub stream_prefetch: f64,
+    /// Default outstanding misses per thread.
+    pub mlp: f64,
+    /// Compute efficiency relative to the platform's DP peak (0..1), folding
+    /// in vectorization quality, tiling overhead and load imbalance.
+    pub compute_eff: f64,
+    /// Threads used by this phase (paper Table 2 per-kernel optima).
+    pub threads: usize,
+}
+
+impl Phase {
+    /// Construct a phase with sane defaults (full prefetch, MLP 8).
+    pub fn new(name: impl Into<String>, flops: f64, bytes: f64) -> Self {
+        Phase {
+            name: name.into(),
+            flops,
+            bytes,
+            tiers: Vec::new(),
+            prefetch: 0.9,
+            stream_prefetch: 0.95,
+            mlp: 8.0,
+            compute_eff: 0.8,
+            threads: 1,
+        }
+    }
+
+    /// Fraction of traffic not covered by any tier (streaming/compulsory).
+    pub fn streaming_fraction(&self) -> f64 {
+        (1.0 - self.tiers.iter().map(|t| t.fraction).sum::<f64>()).max(0.0)
+    }
+
+    /// Check internal consistency; returns a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.flops.is_finite() || self.flops < 0.0 {
+            return Err(format!("{}: flops must be finite and >= 0", self.name));
+        }
+        if !self.bytes.is_finite() || self.bytes <= 0.0 {
+            return Err(format!("{}: bytes must be finite and > 0", self.name));
+        }
+        let mut frac = 0.0;
+        for t in &self.tiers {
+            if t.working_set <= 0.0 {
+                return Err(format!("{}: tier working set must be > 0", self.name));
+            }
+            if !(0.0..=1.0).contains(&t.fraction) {
+                return Err(format!("{}: tier fraction out of [0,1]", self.name));
+            }
+            frac += t.fraction;
+        }
+        if frac > 1.0 + 1e-9 {
+            return Err(format!(
+                "{}: tier fractions sum to {frac} > 1",
+                self.name
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.prefetch)
+            || !(0.0..=1.0).contains(&self.stream_prefetch)
+        {
+            return Err(format!("{}: prefetch out of [0,1]", self.name));
+        }
+        if self.mlp < 1.0 {
+            return Err(format!("{}: mlp must be >= 1", self.name));
+        }
+        if !(0.0 < self.compute_eff && self.compute_eff <= 1.0) {
+            return Err(format!("{}: compute_eff out of (0,1]", self.name));
+        }
+        if self.threads == 0 {
+            return Err(format!("{}: threads must be > 0", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// Full memory/compute characterization of one kernel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessProfile {
+    /// Kernel name (e.g. "gemm").
+    pub kernel: String,
+    /// Execution phases, run back to back.
+    pub phases: Vec<Phase>,
+    /// Total allocated memory in bytes (drives flat/hybrid placement and is
+    /// the x-axis of the paper's sparse/stream/stencil/FFT figures).
+    pub footprint: f64,
+}
+
+impl AccessProfile {
+    /// A single-phase profile.
+    pub fn single(kernel: impl Into<String>, phase: Phase, footprint: f64) -> Self {
+        AccessProfile {
+            kernel: kernel.into(),
+            phases: vec![phase],
+            footprint,
+        }
+    }
+
+    /// Total flops across phases.
+    pub fn total_flops(&self) -> f64 {
+        self.phases.iter().map(|p| p.flops).sum()
+    }
+
+    /// Total hierarchy traffic across phases.
+    pub fn total_bytes(&self) -> f64 {
+        self.phases.iter().map(|p| p.bytes).sum()
+    }
+
+    /// Flops-per-byte over the modeled traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.total_flops() / self.total_bytes()
+    }
+
+    /// Validate all phases and the footprint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("profile has no phases".into());
+        }
+        if !self.footprint.is_finite() || self.footprint <= 0.0 {
+            return Err("footprint must be finite and > 0".into());
+        }
+        for p in &self.phases {
+            p.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase() -> Phase {
+        let mut p = Phase::new("p", 100.0, 50.0);
+        p.tiers = vec![Tier::new(1024.0, 0.5), Tier::new(1_000_000.0, 0.3)];
+        p
+    }
+
+    #[test]
+    fn streaming_fraction_is_remainder() {
+        assert!((phase().streaming_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_fraction_clamps_to_zero() {
+        let mut p = phase();
+        p.tiers = vec![Tier::new(10.0, 1.0)];
+        assert_eq!(p.streaming_fraction(), 0.0);
+    }
+
+    #[test]
+    fn validate_accepts_good_phase() {
+        phase().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_overfull_tiers() {
+        let mut p = phase();
+        p.tiers.push(Tier::new(10.0, 0.5));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let mut p = phase();
+        p.bytes = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = phase();
+        p.compute_eff = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = phase();
+        p.mlp = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = phase();
+        p.threads = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn profile_aggregates() {
+        let prof = AccessProfile {
+            kernel: "k".into(),
+            phases: vec![phase(), phase()],
+            footprint: 4096.0,
+        };
+        assert_eq!(prof.total_flops(), 200.0);
+        assert_eq!(prof.total_bytes(), 100.0);
+        assert!((prof.arithmetic_intensity() - 2.0).abs() < 1e-12);
+        prof.validate().unwrap();
+    }
+
+    #[test]
+    fn profile_validation_failures() {
+        let prof = AccessProfile {
+            kernel: "k".into(),
+            phases: vec![],
+            footprint: 1.0,
+        };
+        assert!(prof.validate().is_err());
+        let prof = AccessProfile::single("k", phase(), -1.0);
+        assert!(prof.validate().is_err());
+    }
+}

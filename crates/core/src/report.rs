@@ -1,0 +1,201 @@
+//! Result reporting: CSV series files and aligned text tables, written under
+//! `results/` by the figure/table harness binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A rectangular data series with named columns, writable as CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows; each must have `columns.len()` entries.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Series {
+    /// New empty series with the given columns.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        Series {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the width does not match.
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Render as CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format_num(*v)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write CSV to `dir/name.csv`, creating `dir` if needed.
+    pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// Column index by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e7 || v.abs() < 1e-3 {
+        format!("{v:.6e}")
+    } else {
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+/// An aligned text table (for Table 4/5 style console output).
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a header row.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of pre-rendered cells.
+    pub fn push<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Write the rendered table to `dir/name.txt`.
+    pub fn write(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.txt"));
+        fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_shape() {
+        let mut s = Series::new(vec!["x", "y"]);
+        s.push(vec![1.0, 2.5]);
+        s.push(vec![0.0, 1e9]);
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,y");
+        assert_eq!(lines[1], "1,2.5");
+        assert!(lines[2].starts_with("0,1"));
+        assert_eq!(s.column("y"), Some(1));
+        assert_eq!(s.column("z"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn csv_rejects_ragged_rows() {
+        let mut s = Series::new(vec!["x"]);
+        s.push(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("opm_report_test");
+        let mut s = Series::new(vec!["a"]);
+        s.push(vec![42.0]);
+        let path = s.write_csv(&dir, "t").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("42"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["kernel", "gflops"]);
+        t.push(vec!["gemm", "204.5"]);
+        t.push(vec!["spmv", "9.6"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[0].starts_with("kernel"));
+        assert!(lines[1].starts_with("---"));
+        // All rows padded to the same width.
+        assert_eq!(lines[2].find("204.5"), lines[3].find("9.6").map(|p| p - 1).map(|_| lines[2].find("204.5").unwrap()));
+        assert!(lines[2].contains("gemm"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(1.5), "1.5");
+        assert_eq!(format_num(0.0), "0");
+        assert!(format_num(1e12).contains('e'));
+        assert!(format_num(1e-6).contains('e'));
+    }
+}

@@ -1,0 +1,157 @@
+//! The Roofline model (Williams et al.), used by paper Fig. 5 to show how
+//! each OPM raises the bandwidth ceiling of its machine.
+
+use crate::platform::{Machine, PlatformSpec};
+
+/// One bandwidth ceiling (a slanted roof segment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ceiling {
+    /// Memory level providing the bandwidth ("DDR3", "eDRAM", "MCDRAM"...).
+    pub name: &'static str,
+    /// Bandwidth in GB/s.
+    pub bandwidth: f64,
+}
+
+/// A roofline chart description for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Roofline {
+    /// Machine the chart belongs to.
+    pub machine: Machine,
+    /// Double-precision compute ceiling, GFlop/s.
+    pub dp_peak: f64,
+    /// Single-precision compute ceiling, GFlop/s.
+    pub sp_peak: f64,
+    /// Bandwidth ceilings, fastest first (OPM then DRAM).
+    pub ceilings: Vec<Ceiling>,
+}
+
+impl Roofline {
+    /// Build the roofline for a platform, with and without its OPM ceiling.
+    ///
+    /// ```
+    /// use opm_core::platform::PlatformSpec;
+    /// use opm_core::roofline::Roofline;
+    ///
+    /// let r = Roofline::for_platform(&PlatformSpec::knl());
+    /// // Stream (AI = 1/16) is bandwidth bound: MCDRAM raises its roof ~4.8x.
+    /// let lift = r.attainable(0.0625, "MCDRAM") / r.attainable(0.0625, "DDR4-2133");
+    /// assert!(lift > 4.0 && lift < 5.5);
+    /// // GEMM at n = 1024 (AI = 64) is compute bound: no lift at all.
+    /// assert_eq!(r.attainable(64.0, "MCDRAM"), r.attainable(64.0, "DDR4-2133"));
+    /// ```
+    pub fn for_platform(p: &PlatformSpec) -> Self {
+        Roofline {
+            machine: p.machine,
+            dp_peak: p.dp_peak_gflops(),
+            sp_peak: p.sp_peak_gflops(),
+            ceilings: vec![
+                Ceiling {
+                    name: p.opm.name,
+                    bandwidth: p.opm.bandwidth,
+                },
+                Ceiling {
+                    name: p.dram.name,
+                    bandwidth: p.dram.bandwidth,
+                },
+            ],
+        }
+    }
+
+    /// Attainable DP performance at arithmetic intensity `ai` under the
+    /// ceiling named `ceiling`.
+    pub fn attainable(&self, ai: f64, ceiling: &str) -> f64 {
+        let bw = self
+            .ceilings
+            .iter()
+            .find(|c| c.name == ceiling)
+            .unwrap_or_else(|| panic!("unknown ceiling {ceiling}"))
+            .bandwidth;
+        (ai * bw).min(self.dp_peak)
+    }
+
+    /// Arithmetic intensity where a ceiling meets the DP compute roof (the
+    /// machine-balance point).
+    pub fn ridge_point(&self, ceiling: &str) -> f64 {
+        let bw = self
+            .ceilings
+            .iter()
+            .find(|c| c.name == ceiling)
+            .unwrap_or_else(|| panic!("unknown ceiling {ceiling}"))
+            .bandwidth;
+        self.dp_peak / bw
+    }
+
+    /// Sample the roof (min of compute and the given bandwidth ceiling) over
+    /// log-spaced arithmetic intensities, for plotting.
+    pub fn sample(&self, ceiling: &str, ai_lo: f64, ai_hi: f64, n: usize) -> Vec<(f64, f64)> {
+        crate::stats::logspace(ai_lo, ai_hi, n)
+            .into_iter()
+            .map(|ai| (ai, self.attainable(ai, ceiling)))
+            .collect()
+    }
+}
+
+/// A kernel's position on the roofline chart (Fig. 5 markers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Kernel name.
+    pub name: String,
+    /// Arithmetic intensity in flops/byte.
+    pub ai: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadwell_ridge_points() {
+        let r = Roofline::for_platform(&PlatformSpec::broadwell());
+        // 236.8 / 34.1 ~ 6.94 flops/byte to saturate DDR3.
+        assert!((r.ridge_point("DDR3-2133") - 6.94).abs() < 0.05);
+        // eDRAM moves the ridge to ~2.31 flops/byte.
+        assert!((r.ridge_point("eDRAM") - 2.31).abs() < 0.05);
+    }
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let r = Roofline::for_platform(&PlatformSpec::knl());
+        // Stream AI = 0.0625: bandwidth bound under both ceilings.
+        assert!((r.attainable(0.0625, "MCDRAM") - 0.0625 * 490.0).abs() < 1e-9);
+        assert!((r.attainable(0.0625, "DDR4-2133") - 0.0625 * 102.0).abs() < 1e-9);
+        // Huge AI: compute bound.
+        assert_eq!(r.attainable(1e6, "MCDRAM"), r.dp_peak);
+    }
+
+    #[test]
+    fn opm_raises_bandwidth_bound_kernels_only() {
+        let r = Roofline::for_platform(&PlatformSpec::broadwell());
+        let gemm_ai = 1024.0 / 16.0; // Table 2, n = 1024
+        // GEMM is compute bound under both ceilings: eDRAM cannot raise the
+        // raw peak (paper Fig. 1 observation).
+        assert_eq!(
+            r.attainable(gemm_ai, "eDRAM"),
+            r.attainable(gemm_ai, "DDR3-2133")
+        );
+        // SpMV-like AI benefits fully.
+        let spmv_ai = 0.08;
+        assert!(r.attainable(spmv_ai, "eDRAM") > 2.5 * r.attainable(spmv_ai, "DDR3-2133"));
+    }
+
+    #[test]
+    fn sample_is_monotone_nondecreasing() {
+        let r = Roofline::for_platform(&PlatformSpec::knl());
+        let s = r.sample("MCDRAM", 0.01, 100.0, 64);
+        assert_eq!(s.len(), 64);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ceiling")]
+    fn unknown_ceiling_panics() {
+        let r = Roofline::for_platform(&PlatformSpec::knl());
+        r.attainable(1.0, "HBM3");
+    }
+}

@@ -1,0 +1,284 @@
+//! The paper's **Stepping Model** (§4 Fig. 6, §6 Figs. 28–30): throughput as
+//! a function of problem footprint, exhibiting a cache peak per hierarchy
+//! level, optional cache valleys after each peak, and bandwidth plateaus.
+//!
+//! Two forms are provided:
+//!
+//! * [`stepping_curve`] — a *measured* curve: sweeps footprints through the
+//!   full [`crate::perf::PerfModel`] with a synthetic
+//!   whole-footprint-reuse phase (the behaviour Stream exhibits).
+//! * [`schematic`] — the *schematic* curve of Fig. 6/28/29 built from
+//!   capacities and bandwidths alone, used for the optimization-guideline
+//!   figures and the hardware-tuning what-if analysis of Fig. 30
+//!   (capacity scales a peak rightward, bandwidth scales it upward).
+
+use crate::perf::PerfModel;
+use crate::platform::OpmConfig;
+use crate::profile::{AccessProfile, Phase, Tier};
+use crate::stats::logspace;
+
+/// A sampled throughput-vs-footprint curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteppingCurve {
+    /// Configuration label.
+    pub label: String,
+    /// `(footprint_bytes, gflops)` samples, footprint ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl SteppingCurve {
+    /// Highest throughput and the footprint where it occurs.
+    pub fn peak(&self) -> (f64, f64) {
+        self.points
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN gflops"))
+            .expect("empty curve")
+    }
+
+    /// Throughput at the largest sampled footprint (the final plateau).
+    pub fn tail(&self) -> f64 {
+        self.points.last().expect("empty curve").1
+    }
+
+    /// Footprint range over which this curve exceeds `other` by more than
+    /// `threshold` (relative): the paper's *performance-effective region*.
+    pub fn effective_region(&self, other: &SteppingCurve, threshold: f64) -> Option<(f64, f64)> {
+        assert_eq!(self.points.len(), other.points.len(), "curves must align");
+        let mut lo = None;
+        let mut hi = None;
+        for (a, b) in self.points.iter().zip(&other.points) {
+            debug_assert!((a.0 - b.0).abs() < 1e-6 * a.0.max(1.0));
+            if b.1 > 0.0 && a.1 / b.1 > 1.0 + threshold {
+                if lo.is_none() {
+                    lo = Some(a.0);
+                }
+                hi = Some(a.0);
+            }
+        }
+        lo.zip(hi)
+    }
+}
+
+/// Parameters of the synthetic sweep phase used by [`stepping_curve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepKernel {
+    /// Arithmetic intensity, flops per byte.
+    pub ai: f64,
+    /// Prefetchability (0..1).
+    pub prefetch: f64,
+    /// Outstanding misses per thread.
+    pub mlp: f64,
+    /// Threads.
+    pub threads: usize,
+}
+
+impl Default for SweepKernel {
+    fn default() -> Self {
+        SweepKernel {
+            ai: 1.0 / 16.0, // TRIAD
+            prefetch: 0.95,
+            mlp: 10.0,
+            threads: 8,
+        }
+    }
+}
+
+/// Sweep footprints `[lo, hi]` (log-spaced, `n` samples) through the perf
+/// model with a whole-footprint-reuse phase.
+///
+/// ```
+/// use opm_core::platform::{EdramMode, OpmConfig};
+/// use opm_core::stepping::{stepping_curve, SweepKernel};
+///
+/// let curve = stepping_curve(
+///     OpmConfig::Broadwell(EdramMode::On),
+///     SweepKernel::default(),
+///     256.0 * 1024.0,          // 256 KiB
+///     4.0 * 1024.0 * 1024.0 * 1024.0, // 4 GiB
+///     48,
+/// );
+/// let (peak_footprint, peak) = curve.peak();
+/// assert!(peak > curve.tail());           // cache peak above the plateau
+/// assert!(peak_footprint < 8.0 * 1024.0 * 1024.0); // peak is L2/L3-resident
+/// ```
+pub fn stepping_curve(
+    config: OpmConfig,
+    kernel: SweepKernel,
+    lo: f64,
+    hi: f64,
+    n: usize,
+) -> SteppingCurve {
+    let model = PerfModel::for_config(config);
+    let points = logspace(lo, hi, n)
+        .into_iter()
+        .map(|fp| {
+            let bytes = fp * 4.0;
+            let mut ph = Phase::new("sweep", bytes * kernel.ai, bytes);
+            ph.tiers = vec![Tier::new(fp, 1.0)];
+            ph.prefetch = kernel.prefetch;
+            ph.stream_prefetch = kernel.prefetch;
+            ph.mlp = kernel.mlp;
+            ph.threads = kernel.threads;
+            ph.compute_eff = 0.9;
+            let prof = AccessProfile::single("sweep", ph, fp);
+            (fp, model.evaluate(&prof).gflops)
+        })
+        .collect();
+    SteppingCurve {
+        label: config.label().to_string(),
+        points,
+    }
+}
+
+/// One level of the schematic stepping model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchematicLevel {
+    /// Capacity in bytes (footprints up to this run at `bandwidth`).
+    pub capacity: f64,
+    /// Level bandwidth in GB/s.
+    pub bandwidth: f64,
+    /// Depth of the valley following this level's peak, as a fraction of the
+    /// *next* level's plateau (1.0 = no valley, 0.5 = dips to half).
+    pub valley: f64,
+}
+
+/// Schematic curve of Fig. 6: piecewise peaks/valleys/plateaus from level
+/// descriptions. The final entry acts as the backing-memory plateau (its
+/// capacity bounds the sweep).
+pub fn schematic(levels: &[SchematicLevel], ai: f64, samples_per_level: usize) -> Vec<(f64, f64)> {
+    assert!(levels.len() >= 2, "need at least one cache and one memory");
+    let mut pts = Vec::new();
+    let mut prev_cap = levels[0].capacity / 16.0;
+    for (i, lvl) in levels.iter().enumerate() {
+        let xs = logspace(prev_cap, lvl.capacity, samples_per_level);
+        for x in xs {
+            let perf = if i == 0 {
+                ai * lvl.bandwidth
+            } else {
+                // Transition region after the previous peak: dip to the
+                // valley floor then recover to this level's plateau.
+                let prev = levels[i - 1];
+                let t = ((x / prev.capacity).ln() / (4.0f64).ln()).clamp(0.0, 1.0);
+                let plateau = ai * lvl.bandwidth;
+                let floor = plateau * lvl.valley;
+                // V-shape in log space: down to floor at t=0.35, back at t=1.
+                let v = if t < 0.35 {
+                    1.0 - (1.0 - lvl.valley) * (t / 0.35)
+                } else {
+                    lvl.valley + (1.0 - lvl.valley) * ((t - 0.35) / 0.65)
+                };
+                (plateau * v).max(floor)
+            };
+            pts.push((x, perf));
+        }
+        prev_cap = lvl.capacity;
+    }
+    pts
+}
+
+/// Fig. 30 what-if: scale an OPM level's capacity (peak moves right) or
+/// bandwidth (peak moves up) and return the schematic.
+pub fn schematic_hw_tuning(
+    base: &[SchematicLevel],
+    opm_index: usize,
+    capacity_scale: f64,
+    bandwidth_scale: f64,
+    ai: f64,
+    samples_per_level: usize,
+) -> Vec<(f64, f64)> {
+    let mut lv = base.to_vec();
+    lv[opm_index].capacity *= capacity_scale;
+    lv[opm_index].bandwidth *= bandwidth_scale;
+    schematic(&lv, ai, samples_per_level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::EdramMode;
+    use crate::units::{GIB, MIB};
+
+    #[test]
+    fn measured_curve_steps_downward_overall() {
+        let c = stepping_curve(
+            OpmConfig::Broadwell(EdramMode::On),
+            SweepKernel::default(),
+            256.0 * 1024.0,
+            4.0 * GIB,
+            64,
+        );
+        let (peak_fp, peak) = c.peak();
+        assert!(peak > c.tail() * 2.0);
+        assert!(peak_fp < 8.0 * MIB, "peak at {peak_fp}");
+    }
+
+    #[test]
+    fn effective_region_brackets_edram() {
+        let k = SweepKernel::default();
+        let on = stepping_curve(OpmConfig::Broadwell(EdramMode::On), k, 1.0 * MIB, 8.0 * GIB, 96);
+        let off = stepping_curve(OpmConfig::Broadwell(EdramMode::Off), k, 1.0 * MIB, 8.0 * GIB, 96);
+        let (lo, hi) = on.effective_region(&off, 0.10).expect("region exists");
+        // Paper §4.1.2: the effective region falls between the L3 valley and
+        // a bit past the eDRAM capacity (128 MB).
+        assert!(lo > 4.0 * MIB, "lo {lo}");
+        assert!(hi < 1.0 * GIB, "hi {hi}");
+        assert!(hi > 100.0 * MIB, "hi {hi}");
+    }
+
+    #[test]
+    fn schematic_has_declining_peaks() {
+        let levels = [
+            SchematicLevel { capacity: 1e6, bandwidth: 400.0, valley: 0.6 },
+            SchematicLevel { capacity: 1e8, bandwidth: 100.0, valley: 0.7 },
+            SchematicLevel { capacity: 1e10, bandwidth: 30.0, valley: 1.0 },
+        ];
+        let pts = schematic(&levels, 0.1, 24);
+        let first = pts[0].1;
+        let last = pts.last().unwrap().1;
+        assert!((first - 40.0).abs() < 1e-9);
+        assert!((last - 3.0).abs() < 0.5);
+        assert!(first > last);
+    }
+
+    #[test]
+    fn schematic_valley_dips_below_plateau() {
+        let levels = [
+            SchematicLevel { capacity: 1e6, bandwidth: 400.0, valley: 0.6 },
+            SchematicLevel { capacity: 1e9, bandwidth: 30.0, valley: 0.5 },
+        ];
+        let pts = schematic(&levels, 1.0, 64);
+        let plateau = pts.last().unwrap().1;
+        let min_after_peak = pts
+            .iter()
+            .filter(|(x, _)| *x > 1e6)
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_after_peak < plateau * 0.95);
+    }
+
+    #[test]
+    fn hw_tuning_scales_peak_position_and_height() {
+        let levels = [
+            SchematicLevel { capacity: 1e6, bandwidth: 400.0, valley: 1.0 },
+            SchematicLevel { capacity: 1e8, bandwidth: 100.0, valley: 1.0 },
+            SchematicLevel { capacity: 1e10, bandwidth: 30.0, valley: 1.0 },
+        ];
+        // Double the OPM (index 1) bandwidth: its plateau doubles.
+        let up = schematic_hw_tuning(&levels, 1, 1.0, 2.0, 1.0, 16);
+        let base = schematic(&levels, 1.0, 16);
+        let plateau_at = |pts: &[(f64, f64)], x: f64| {
+            pts.iter()
+                .min_by(|a, b| {
+                    (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap()
+                })
+                .unwrap()
+                .1
+        };
+        assert!(plateau_at(&up, 9e7) > 1.8 * plateau_at(&base, 9e7));
+        // Quadruple OPM capacity: high throughput extends to larger
+        // footprints.
+        let wide = schematic_hw_tuning(&levels, 1, 4.0, 1.0, 1.0, 16);
+        assert!(plateau_at(&wide, 3e8) > 1.8 * plateau_at(&base, 3e8));
+    }
+}

@@ -1,0 +1,69 @@
+//! Byte/throughput unit helpers shared across the workspace.
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: f64 = 1024.0;
+/// One mebibyte (2^20 bytes).
+pub const MIB: f64 = 1024.0 * 1024.0;
+/// One gibibyte (2^30 bytes).
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Size of a double-precision floating point value in bytes.
+pub const F64_BYTES: f64 = 8.0;
+/// Cache line size used by both evaluated platforms, in bytes.
+pub const CACHE_LINE: f64 = 64.0;
+
+/// Convert gigabytes-per-second to bytes-per-nanosecond (they are equal,
+/// the function exists to make call sites self-describing).
+#[inline]
+pub fn gbs_to_bytes_per_ns(gbs: f64) -> f64 {
+    gbs
+}
+
+/// Render a byte count using binary units, e.g. `1.5 MiB`.
+pub fn fmt_bytes(bytes: f64) -> String {
+    if bytes >= GIB {
+        format!("{:.2} GiB", bytes / GIB)
+    } else if bytes >= MIB {
+        format!("{:.2} MiB", bytes / MIB)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", bytes / KIB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Render a GFlop/s throughput.
+pub fn fmt_gflops(gflops: f64) -> String {
+    format!("{gflops:.1} GFlop/s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_units_are_powers_of_two() {
+        assert_eq!(KIB, 1024.0);
+        assert_eq!(MIB, KIB * 1024.0);
+        assert_eq!(GIB, MIB * 1024.0);
+    }
+
+    #[test]
+    fn fmt_bytes_picks_unit() {
+        assert_eq!(fmt_bytes(512.0), "512 B");
+        assert_eq!(fmt_bytes(2048.0), "2.00 KiB");
+        assert_eq!(fmt_bytes(3.0 * MIB), "3.00 MiB");
+        assert_eq!(fmt_bytes(1.5 * GIB), "1.50 GiB");
+    }
+
+    #[test]
+    fn gbs_is_bytes_per_ns() {
+        // 1 GB/s == 1e9 B / 1e9 ns == 1 B/ns.
+        assert_eq!(gbs_to_bytes_per_ns(34.1), 34.1);
+    }
+
+    #[test]
+    fn fmt_gflops_rounds() {
+        assert_eq!(fmt_gflops(236.84), "236.8 GFlop/s");
+    }
+}

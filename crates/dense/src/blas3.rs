@@ -1,0 +1,252 @@
+//! Level-3 BLAS building blocks of the PLASMA-style tiled algorithms
+//! (Buttari et al.; paper Appendix A.2.1/A.2.2): POTRF on a diagonal block,
+//! TRSM against a factored diagonal block, SYRK rank-k updates, and the
+//! tile GEMM update. `cholesky_tiled_parallel` composes them with Rayon
+//! parallelism across the trailing submatrix — the dataflow PLASMA runs as
+//! a DAG of tile tasks.
+
+use crate::cholesky::NotPositiveDefinite;
+use crate::matrix::DenseMatrix;
+use rayon::prelude::*;
+
+/// In-place unblocked Cholesky of the `[k0, k1)` diagonal block (lower).
+pub fn potrf_block(w: &mut DenseMatrix, k0: usize, k1: usize) -> Result<(), NotPositiveDefinite> {
+    assert!(k1 <= w.rows() && k0 <= k1);
+    for j in k0..k1 {
+        let mut d = w[(j, j)];
+        for l in k0..j {
+            d -= w[(j, l)] * w[(j, l)];
+        }
+        if d <= 0.0 {
+            return Err(NotPositiveDefinite { pivot: j });
+        }
+        let d = d.sqrt();
+        w[(j, j)] = d;
+        for i in j + 1..k1 {
+            let mut s = w[(i, j)];
+            for l in k0..j {
+                s -= w[(i, l)] * w[(j, l)];
+            }
+            w[(i, j)] = s / d;
+        }
+    }
+    Ok(())
+}
+
+/// TRSM (right, lower, transposed): solve `X · L₂₂ᵀ = A` in place for the
+/// panel rows `[i0, i1)` against the factored diagonal block `[k0, k1)`.
+pub fn trsm_panel(w: &mut DenseMatrix, k0: usize, k1: usize, i0: usize, i1: usize) {
+    assert!(i0 >= k1 || i1 <= k0, "panel must not overlap the diagonal block");
+    for i in i0..i1 {
+        for j in k0..k1 {
+            let mut s = w[(i, j)];
+            for l in k0..j {
+                s -= w[(i, l)] * w[(j, l)];
+            }
+            w[(i, j)] = s / w[(j, j)];
+        }
+    }
+}
+
+/// SYRK/GEMM trailing update: `A[i0..i1, j0..j1] -= P_i · P_jᵀ`, where
+/// `P_r = w[r, k0..k1]` is the solved panel. Only the lower triangle
+/// (`j <= i`) is updated.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_update(
+    w: &mut DenseMatrix,
+    k0: usize,
+    k1: usize,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+) {
+    for i in i0..i1 {
+        for j in j0..j1.min(i + 1) {
+            let mut s = w[(i, j)];
+            for l in k0..k1 {
+                s -= w[(i, l)] * w[(j, l)];
+            }
+            w[(i, j)] = s;
+        }
+    }
+}
+
+/// Tiled right-looking Cholesky with Rayon parallelism: per tile column,
+/// POTRF, parallel TRSM over panel row-tiles, then the trailing SYRK/GEMM
+/// tile updates in parallel across row bands (disjoint rows ⇒ data-race
+/// free by construction).
+pub fn cholesky_tiled_parallel(
+    a: &DenseMatrix,
+    tile: usize,
+) -> Result<DenseMatrix, NotPositiveDefinite> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    assert!(tile > 0, "tile must be positive");
+    let n = a.rows();
+    let mut w = a.clone();
+    let cols = n;
+    for k0 in (0..n).step_by(tile) {
+        let k1 = (k0 + tile).min(n);
+        potrf_block(&mut w, k0, k1)?;
+        let bw = k1 - k0;
+        // Copy the factored diagonal block so the parallel bands can read
+        // it while mutating their own rows.
+        let mut diag = vec![0.0; bw * bw];
+        for (bi, i) in (k0..k1).enumerate() {
+            for (bj, j) in (k0..k1).enumerate() {
+                diag[bi * bw + bj] = w[(i, j)];
+            }
+        }
+        // Parallel TRSM: bands of `tile` rows below the diagonal block are
+        // disjoint row slices of `w`.
+        {
+            let below = &mut w.as_mut_slice()[k1 * cols..];
+            below.par_chunks_mut(tile * cols).for_each(|band| {
+                let rows_in_band = band.len() / cols;
+                for r in 0..rows_in_band {
+                    for bj in 0..bw {
+                        let j = k0 + bj;
+                        let mut s = band[r * cols + j];
+                        for bl in 0..bj {
+                            s -= band[r * cols + k0 + bl] * diag[bj * bw + bl];
+                        }
+                        band[r * cols + j] = s / diag[bj * bw + bj];
+                    }
+                }
+            });
+        }
+        // Copy the solved panel (columns [k0, k1) of rows [k1, n)): every
+        // band reads other bands' panel rows during the trailing update.
+        let mut panel = vec![0.0; (n - k1) * bw];
+        for i in k1..n {
+            for bj in 0..bw {
+                panel[(i - k1) * bw + bj] = w[(i, k0 + bj)];
+            }
+        }
+        // Parallel trailing SYRK/GEMM update on the lower triangle.
+        {
+            let below = &mut w.as_mut_slice()[k1 * cols..];
+            below
+                .par_chunks_mut(tile * cols)
+                .enumerate()
+                .for_each(|(band_i, band)| {
+                    let r0 = k1 + band_i * tile;
+                    let rows_in_band = band.len() / cols;
+                    for r in 0..rows_in_band {
+                        let i = r0 + r;
+                        let pi = &panel[(i - k1) * bw..(i - k1 + 1) * bw];
+                        for j in k1..=i {
+                            let pj = &panel[(j - k1) * bw..(j - k1 + 1) * bw];
+                            let mut s = band[r * cols + j];
+                            for l in 0..bw {
+                                s -= pi[l] * pj[l];
+                            }
+                            band[r * cols + j] = s;
+                        }
+                    }
+                });
+        }
+    }
+    // Extract L.
+    let mut l = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            l[(i, j)] = w[(i, j)];
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::{cholesky_naive, reconstruct};
+
+    #[test]
+    fn potrf_block_matches_naive_on_full_matrix() {
+        let a = DenseMatrix::random_spd(10, 1);
+        let mut w = a.clone();
+        potrf_block(&mut w, 0, 10).unwrap();
+        let reference = cholesky_naive(&a).unwrap();
+        for i in 0..10 {
+            for j in 0..=i {
+                assert!((w[(i, j)] - reference[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_block_rejects_indefinite() {
+        let mut a = DenseMatrix::identity(4);
+        a[(1, 1)] = -3.0;
+        assert!(potrf_block(&mut a.clone(), 0, 4).is_err());
+    }
+
+    #[test]
+    fn trsm_solves_against_diagonal_block() {
+        // Factor the top-left block, solve the panel, verify P·Lᵀ equals
+        // the original panel.
+        let a = DenseMatrix::random_spd(12, 2);
+        let mut w = a.clone();
+        potrf_block(&mut w, 0, 4).unwrap();
+        trsm_panel(&mut w, 0, 4, 4, 12);
+        for i in 4..12 {
+            for j in 0..4 {
+                let mut s = 0.0;
+                for l in 0..=j {
+                    s += w[(i, l)] * w[(j, l)];
+                }
+                assert!((s - a[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_update_matches_direct_computation() {
+        let a = DenseMatrix::random_spd(10, 3);
+        let mut w = a.clone();
+        potrf_block(&mut w, 0, 3).unwrap();
+        trsm_panel(&mut w, 0, 3, 3, 10);
+        let before = w.clone();
+        syrk_update(&mut w, 0, 3, 3, 10, 3, 10);
+        for i in 3..10 {
+            for j in 3..=i {
+                let mut expect = before[(i, j)];
+                for l in 0..3 {
+                    expect -= before[(i, l)] * before[(j, l)];
+                }
+                assert!((w[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_tiled_cholesky_matches_naive() {
+        for n in [9usize, 16, 33, 64] {
+            let a = DenseMatrix::random_spd(n, n as u64);
+            let reference = cholesky_naive(&a).unwrap();
+            for tile in [3usize, 8, 16, 64] {
+                let l = cholesky_tiled_parallel(&a, tile).unwrap();
+                assert!(
+                    reference.max_abs_diff(&l) < 1e-8,
+                    "n {n} tile {tile}: diff {}",
+                    reference.max_abs_diff(&l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_tiled_cholesky_reconstructs() {
+        let a = DenseMatrix::random_spd(40, 9);
+        let l = cholesky_tiled_parallel(&a, 8).unwrap();
+        assert!(a.max_abs_diff(&reconstruct(&l)) < 1e-8);
+    }
+
+    #[test]
+    fn parallel_tiled_rejects_indefinite() {
+        let mut a = DenseMatrix::identity(8);
+        a[(5, 5)] = -1.0;
+        assert!(cholesky_tiled_parallel(&a, 4).is_err());
+    }
+}

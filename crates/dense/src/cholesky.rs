@@ -1,0 +1,265 @@
+//! Cholesky decomposition `A = L·Lᵀ` of a symmetric positive-definite
+//! matrix, in the tiled right-looking formulation of Buttari et al. /
+//! PLASMA that the paper benchmarks (Appendix A.2.2): per tile column,
+//! factorize the diagonal tile (POTRF), triangular-solve the panel below it
+//! (TRSM), then update the trailing submatrix (SYRK/GEMM).
+
+use crate::matrix::DenseMatrix;
+use opm_core::profile::{AccessProfile, Phase, Tier};
+
+/// Error for a non-SPD input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index of the failing pivot.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite at pivot {}", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Unblocked reference Cholesky. Returns the lower-triangular `L` (upper
+/// part zeroed).
+pub fn cholesky_naive(a: &DenseMatrix) -> Result<DenseMatrix, NotPositiveDefinite> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    let n = a.rows();
+    let mut l = DenseMatrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 {
+            return Err(NotPositiveDefinite { pivot: j });
+        }
+        let d = d.sqrt();
+        l[(j, j)] = d;
+        for i in j + 1..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / d;
+        }
+    }
+    Ok(l)
+}
+
+/// Tiled right-looking Cholesky with tile size `tile`. Returns `L`.
+pub fn cholesky_blocked(
+    a: &DenseMatrix,
+    tile: usize,
+) -> Result<DenseMatrix, NotPositiveDefinite> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    assert!(tile > 0, "tile must be positive");
+    let n = a.rows();
+    // Work in-place on the lower triangle of a copy.
+    let mut w = a.clone();
+    for k0 in (0..n).step_by(tile) {
+        let k1 = (k0 + tile).min(n);
+        // POTRF on the diagonal tile.
+        potrf_inplace(&mut w, k0, k1)?;
+        // TRSM: solve panel rows below against the factored diagonal tile.
+        for i in k1..n {
+            for j in k0..k1 {
+                let mut s = w[(i, j)];
+                for l in k0..j {
+                    s -= w[(i, l)] * w[(j, l)];
+                }
+                w[(i, j)] = s / w[(j, j)];
+            }
+        }
+        // SYRK/GEMM trailing update (lower triangle only), tile by tile.
+        for i0 in (k1..n).step_by(tile) {
+            let i1 = (i0 + tile).min(n);
+            for j0 in (k1..=i0).step_by(tile) {
+                let j1 = (j0 + tile).min(i1);
+                for i in i0..i1 {
+                    for j in j0..j1.min(i + 1) {
+                        let mut s = w[(i, j)];
+                        for l in k0..k1 {
+                            s -= w[(i, l)] * w[(j, l)];
+                        }
+                        w[(i, j)] = s;
+                    }
+                }
+            }
+        }
+    }
+    // Extract L (zero the strict upper part).
+    let mut l = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            l[(i, j)] = w[(i, j)];
+        }
+    }
+    Ok(l)
+}
+
+fn potrf_inplace(
+    w: &mut DenseMatrix,
+    k0: usize,
+    k1: usize,
+) -> Result<(), NotPositiveDefinite> {
+    for j in k0..k1 {
+        let mut d = w[(j, j)];
+        for l in k0..j {
+            d -= w[(j, l)] * w[(j, l)];
+        }
+        if d <= 0.0 {
+            return Err(NotPositiveDefinite { pivot: j });
+        }
+        let d = d.sqrt();
+        w[(j, j)] = d;
+        for i in j + 1..w.rows() {
+            if i < k1 {
+                let mut s = w[(i, j)];
+                for l in k0..j {
+                    s -= w[(i, l)] * w[(j, l)];
+                }
+                w[(i, j)] = s / d;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reconstruct `L·Lᵀ` (for verification).
+pub fn reconstruct(l: &DenseMatrix) -> DenseMatrix {
+    let n = l.rows();
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..=i.min(j) {
+                s += l[(i, k)] * l[(j, k)];
+            }
+            a[(i, j)] = s;
+        }
+    }
+    a
+}
+
+/// Flop count of an `n × n` Cholesky (paper Table 2: `n³/3`).
+pub fn cholesky_flops(n: usize) -> f64 {
+    (n as f64).powi(3) / 3.0
+}
+
+/// Allocation footprint (input + factor).
+pub fn cholesky_footprint(n: usize) -> f64 {
+    2.0 * (n as f64) * (n as f64) * 8.0
+}
+
+/// Access profile for the tiled Cholesky. The tier cascade mirrors GEMM's
+/// (the trailing update dominates and is GEMM-shaped), with a lower compute
+/// efficiency reflecting the panel-factorization critical path.
+pub fn cholesky_profile(n: usize, tile: usize, threads: usize, cores: usize) -> AccessProfile {
+    assert!(n > 0 && tile > 0 && threads > 0 && cores > 0);
+    let nf = n as f64;
+    let b = tile.min(n) as f64;
+    let b_inner = 64.0f64.min(b);
+    let flops = cholesky_flops(n);
+    let reg = 4.0;
+    let panel = 8.0;
+    let bytes = flops * 8.0 / (2.0 * reg);
+    let f_inner = (1.0 - panel / b_inner).max(0.0);
+    let f_tile = (panel / b_inner - panel / b).max(0.0);
+    let f_panel = (panel / b - 6.0 / nf).max(0.0);
+    let mut phase = Phase::new("cholesky", flops, bytes);
+    phase.tiers = vec![
+        Tier::new(24.0 * b_inner * b_inner, f_inner),
+        Tier::new(24.0 * b * b, f_tile),
+        Tier::new(16.0 * nf * b, f_panel),
+    ];
+    phase.prefetch = 0.95;
+    phase.stream_prefetch = 0.98;
+    phase.mlp = 10.0;
+    phase.threads = threads;
+    phase.compute_eff = cholesky_compute_eff(n, tile, threads.min(cores));
+    AccessProfile::single("cholesky", phase, cholesky_footprint(n))
+}
+
+/// Compute efficiency: GEMM-like tile/parallel terms times a critical-path
+/// factor (the k-loop of tile columns serializes panel factorizations).
+pub fn cholesky_compute_eff(n: usize, tile: usize, workers: usize) -> f64 {
+    let base = crate::gemm::gemm_compute_eff(n, tile, workers);
+    let tiles = (n as f64 / tile.min(n) as f64).ceil();
+    let cp = (tiles / (tiles + 2.0)).max(0.3);
+    // The panel critical path bites harder on 64 weak cores (Table 5:
+    // Cholesky peaks at ~1100 of 3072 GFlop/s on KNL).
+    let manycore = if workers >= 32 { 0.75 } else { 1.0 };
+    (0.92 * base * cp * manycore).clamp(0.02, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_factors_spd() {
+        let a = DenseMatrix::random_spd(12, 1);
+        let l = cholesky_naive(&a).unwrap();
+        let r = reconstruct(&l);
+        assert!(a.max_abs_diff(&r) < 1e-9, "diff {}", a.max_abs_diff(&r));
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = DenseMatrix::random_spd(23, 2);
+        let l1 = cholesky_naive(&a).unwrap();
+        let l2 = cholesky_blocked(&a, 5).unwrap();
+        assert!(l1.max_abs_diff(&l2) < 1e-9);
+    }
+
+    #[test]
+    fn blocked_various_tiles() {
+        let a = DenseMatrix::random_spd(16, 3);
+        let reference = cholesky_naive(&a).unwrap();
+        for tile in [1, 2, 3, 4, 7, 16, 64] {
+            let l = cholesky_blocked(&a, tile).unwrap();
+            assert!(
+                reference.max_abs_diff(&l) < 1e-9,
+                "tile {tile} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let a = DenseMatrix::random_spd(9, 4);
+        let l = cholesky_blocked(&a, 4).unwrap();
+        for i in 0..9 {
+            for j in i + 1..9 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+            assert!(l[(i, i)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let mut a = DenseMatrix::identity(4);
+        a[(2, 2)] = -1.0;
+        assert_eq!(cholesky_naive(&a), Err(NotPositiveDefinite { pivot: 2 }));
+        assert!(cholesky_blocked(&a, 2).is_err());
+    }
+
+    #[test]
+    fn profile_matches_table2_flops() {
+        let p = cholesky_profile(1024, 128, 4, 4);
+        assert!((p.total_flops() - 1024f64.powi(3) / 3.0).abs() < 1.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn efficiency_below_gemm() {
+        // Paper Table 4: Cholesky peaks below GEMM on Broadwell.
+        let g = crate::gemm::gemm_compute_eff(8192, 512, 4);
+        let c = cholesky_compute_eff(8192, 512, 4);
+        assert!(c < g);
+    }
+}

@@ -1,0 +1,307 @@
+//! General matrix-matrix multiplication: `C = α·A·B + β·C`.
+//!
+//! Three implementations mirror the PLASMA design evaluated by the paper:
+//! a naive reference, a cache-blocked (tiled) serial version, and a
+//! Rayon-parallel tiled version that distributes C-tiles across threads
+//! (the `--nb` tiling knob of the paper's Appendix A.2.1 is the `tile`
+//! parameter here).
+//!
+//! [`gemm_profile`] builds the access profile the performance model
+//! consumes: a cascade of working-set tiers for register/inner/outer
+//! blocking plus panel streaming, matching Table 2's `2n³` flops.
+
+use crate::matrix::DenseMatrix;
+use opm_core::profile::{AccessProfile, Phase, Tier};
+use rayon::prelude::*;
+
+/// Naive triple-loop reference: `C = α·A·B + β·C`.
+pub fn gemm_naive(alpha: f64, a: &DenseMatrix, b: &DenseMatrix, beta: f64, c: &mut DenseMatrix) {
+    check_dims(a, b, c);
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += a[(i, l)] * b[(l, j)];
+            }
+            c[(i, j)] = alpha * s + beta * c[(i, j)];
+        }
+    }
+}
+
+/// Cache-blocked serial GEMM with square tiles of `tile` (clamped to the
+/// matrix order).
+pub fn gemm_blocked(
+    alpha: f64,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    beta: f64,
+    c: &mut DenseMatrix,
+    tile: usize,
+) {
+    check_dims(a, b, c);
+    assert!(tile > 0, "tile must be positive");
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    // β-scale once up front.
+    if beta != 1.0 {
+        for v in c.as_mut_slice() {
+            *v *= beta;
+        }
+    }
+    for i0 in (0..m).step_by(tile) {
+        let i1 = (i0 + tile).min(m);
+        for l0 in (0..k).step_by(tile) {
+            let l1 = (l0 + tile).min(k);
+            for j0 in (0..n).step_by(tile) {
+                let j1 = (j0 + tile).min(n);
+                tile_kernel(alpha, a, b, c, i0, i1, j0, j1, l0, l1);
+            }
+        }
+    }
+}
+
+/// Rayon-parallel tiled GEMM: C row-tiles are independent tasks.
+pub fn gemm_parallel(
+    alpha: f64,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    beta: f64,
+    c: &mut DenseMatrix,
+    tile: usize,
+) {
+    check_dims(a, b, c);
+    assert!(tile > 0, "tile must be positive");
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    let cols = c.cols();
+    // Split C into bands of `tile` rows; each band is owned by one task.
+    c.as_mut_slice()
+        .par_chunks_mut(tile * cols)
+        .enumerate()
+        .for_each(|(band, cband)| {
+            let i0 = band * tile;
+            let i1 = (i0 + tile).min(m);
+            if beta != 1.0 {
+                for v in cband.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            for l0 in (0..k).step_by(tile) {
+                let l1 = (l0 + tile).min(k);
+                for j0 in (0..n).step_by(tile) {
+                    let j1 = (j0 + tile).min(n);
+                    for i in i0..i1 {
+                        let crow = &mut cband[(i - i0) * cols..(i - i0 + 1) * cols];
+                        for l in l0..l1 {
+                            let av = alpha * a[(i, l)];
+                            let brow = &b.row(l)[j0..j1];
+                            for (cj, bv) in crow[j0..j1].iter_mut().zip(brow) {
+                                *cj += av * bv;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_kernel(
+    alpha: f64,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    c: &mut DenseMatrix,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+    l0: usize,
+    l1: usize,
+) {
+    for i in i0..i1 {
+        for l in l0..l1 {
+            let av = alpha * a[(i, l)];
+            for j in j0..j1 {
+                c[(i, j)] += av * b[(l, j)];
+            }
+        }
+    }
+}
+
+fn check_dims(a: &DenseMatrix, b: &DenseMatrix, c: &DenseMatrix) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(a.rows(), c.rows(), "C rows");
+    assert_eq!(b.cols(), c.cols(), "C cols");
+}
+
+/// Flop count of an `n × n` GEMM (paper Table 2).
+pub fn gemm_flops(n: usize) -> f64 {
+    2.0 * (n as f64).powi(3)
+}
+
+/// Allocation footprint of an `n × n` GEMM (three matrices).
+pub fn gemm_footprint(n: usize) -> f64 {
+    3.0 * (n as f64) * (n as f64) * 8.0
+}
+
+/// Register-level reuse folded out of the modeled traffic.
+const REG_REUSE: f64 = 4.0;
+/// Inner (L1/L2) blocking factor of the micro-kernel.
+const INNER_BLOCK: f64 = 64.0;
+/// Panel re-read factor: traffic escaping a blocking level of size `b` is
+/// `~8/b` of the total (A and B panels stream once per tile-product row).
+const PANEL: f64 = 8.0;
+
+/// Build the access profile for an `n × n` GEMM tiled at `tile`, running on
+/// `threads` threads of a machine with `cores` physical cores.
+///
+/// Tier cascade (working set, traffic share):
+/// * inner blocks `24·b_inner²` absorb all but `PANEL/b_inner`,
+/// * the `tile` working set `24·b²` absorbs down to `PANEL/b`,
+/// * row/column panels `16·n·b` absorb down to the compulsory `6/n`,
+/// * the remainder streams from memory.
+pub fn gemm_profile(n: usize, tile: usize, threads: usize, cores: usize) -> AccessProfile {
+    assert!(n > 0 && tile > 0 && threads > 0 && cores > 0);
+    let nf = n as f64;
+    let b = tile.min(n) as f64;
+    let b_inner = INNER_BLOCK.min(b);
+    let flops = gemm_flops(n);
+    let bytes = flops * 8.0 / (2.0 * REG_REUSE); // = n³·8/REG_REUSE
+
+    let f_inner = (1.0 - PANEL / b_inner).max(0.0);
+    let f_tile = (PANEL / b_inner - PANEL / b).max(0.0);
+    let f_panel = (PANEL / b - 6.0 / nf).max(0.0);
+
+    let mut phase = Phase::new("gemm", flops, bytes);
+    phase.tiers = vec![
+        Tier::new(24.0 * b_inner * b_inner, f_inner),
+        Tier::new(24.0 * b * b, f_tile),
+        Tier::new(16.0 * nf * b, f_panel),
+    ];
+    phase.prefetch = 0.95;
+    phase.stream_prefetch = 0.98;
+    phase.mlp = 10.0;
+    phase.threads = threads;
+    phase.compute_eff = gemm_compute_eff(n, tile, threads.min(cores));
+    AccessProfile::single("gemm", phase, gemm_footprint(n))
+}
+
+/// Compute efficiency of the tiled GEMM: near the PLASMA ceiling for
+/// well-chosen tiles, degraded by per-tile overhead (small tiles) and load
+/// imbalance (too few tiles for the thread count).
+pub fn gemm_compute_eff(n: usize, tile: usize, workers: usize) -> f64 {
+    let b = tile.min(n) as f64;
+    let tiles = (n as f64 / b).ceil();
+    let tile_eff = b / (b + 24.0);
+    let tasks = tiles * tiles;
+    let par_eff = (tasks / (workers as f64)).min(1.0);
+    // Small problems cannot keep the SIMD pipelines busy.
+    let size_eff = (n as f64 / (n as f64 + 256.0)).max(0.2);
+    // Wide-SIMD manycore efficiency: AVX-512 GEMM on KNL peaks near half
+    // the nominal rate (paper Table 5: 1544/3072 ≈ 0.50).
+    let simd_eff = if workers >= 32 { 0.55 } else { 1.0 };
+    (0.93 * tile_eff * par_eff.powf(0.5) * size_eff * simd_eff).clamp(0.02, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &DenseMatrix, b: &DenseMatrix, tol: f64) {
+        assert!(a.max_abs_diff(b) < tol, "diff {}", a.max_abs_diff(b));
+    }
+
+    #[test]
+    fn blocked_matches_naive_square() {
+        let a = DenseMatrix::random(17, 17, 1);
+        let b = DenseMatrix::random(17, 17, 2);
+        let mut c1 = DenseMatrix::random(17, 17, 3);
+        let mut c2 = c1.clone();
+        gemm_naive(1.5, &a, &b, 0.5, &mut c1);
+        gemm_blocked(1.5, &a, &b, 0.5, &mut c2, 5);
+        close(&c1, &c2, 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_naive_rectangular() {
+        let a = DenseMatrix::random(9, 13, 4);
+        let b = DenseMatrix::random(13, 7, 5);
+        let mut c1 = DenseMatrix::zeros(9, 7);
+        let mut c2 = DenseMatrix::zeros(9, 7);
+        gemm_naive(1.0, &a, &b, 0.0, &mut c1);
+        gemm_blocked(1.0, &a, &b, 0.0, &mut c2, 4);
+        close(&c1, &c2, 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        let a = DenseMatrix::random(33, 29, 6);
+        let b = DenseMatrix::random(29, 31, 7);
+        let mut c1 = DenseMatrix::random(33, 31, 8);
+        let mut c2 = c1.clone();
+        gemm_naive(2.0, &a, &b, -1.0, &mut c1);
+        gemm_parallel(2.0, &a, &b, -1.0, &mut c2, 8);
+        close(&c1, &c2, 1e-12);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = DenseMatrix::random(12, 12, 9);
+        let id = DenseMatrix::identity(12);
+        let mut c = DenseMatrix::zeros(12, 12);
+        gemm_blocked(1.0, &a, &id, 0.0, &mut c, 4);
+        close(&a, &c, 1e-13);
+    }
+
+    #[test]
+    fn tile_larger_than_matrix_is_fine() {
+        let a = DenseMatrix::random(6, 6, 10);
+        let b = DenseMatrix::random(6, 6, 11);
+        let mut c1 = DenseMatrix::zeros(6, 6);
+        let mut c2 = DenseMatrix::zeros(6, 6);
+        gemm_naive(1.0, &a, &b, 0.0, &mut c1);
+        gemm_blocked(1.0, &a, &b, 0.0, &mut c2, 100);
+        close(&c1, &c2, 1e-12);
+    }
+
+    #[test]
+    fn profile_matches_table2() {
+        let p = gemm_profile(1024, 256, 4, 4);
+        assert_eq!(p.total_flops(), 2.0 * 1024f64.powi(3));
+        // Table 2: AI = n/16 under full reuse; the modeled hierarchy-level
+        // AI is flops/bytes = REG_REUSE/4 = 1 flop per byte at L2 entry.
+        assert!((p.arithmetic_intensity() - 1.0).abs() < 1e-12);
+        assert_eq!(p.footprint, 3.0 * 1024.0 * 1024.0 * 8.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn profile_tiers_shrink_with_good_tiling() {
+        let good = gemm_profile(8192, 512, 4, 4);
+        let bad = gemm_profile(8192, 32, 4, 4);
+        // Poor tiling leaves more traffic in the panel/stream tiers.
+        let deep = |p: &AccessProfile| {
+            let ph = &p.phases[0];
+            ph.tiers[2].fraction + ph.streaming_fraction()
+        };
+        assert!(deep(&bad) > deep(&good));
+    }
+
+    #[test]
+    fn compute_eff_penalizes_extremes() {
+        let balanced = gemm_compute_eff(8192, 512, 4);
+        let tiny_tiles = gemm_compute_eff(8192, 16, 4);
+        let one_tile = gemm_compute_eff(8192, 8192, 64);
+        assert!(balanced > tiny_tiles);
+        assert!(balanced > one_tile);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = DenseMatrix::zeros(3, 4);
+        let b = DenseMatrix::zeros(5, 3);
+        let mut c = DenseMatrix::zeros(3, 3);
+        gemm_naive(1.0, &a, &b, 0.0, &mut c);
+    }
+}

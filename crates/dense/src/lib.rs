@@ -1,0 +1,21 @@
+//! # opm-dense
+//!
+//! Dense linear-algebra substrate of the OPM reproduction: the row-major
+//! [`DenseMatrix`] type, PLASMA-style tiled GEMM and right-looking blocked
+//! Cholesky (the two dense kernels of the paper's Table 2), and their
+//! access-profile builders for the performance model.
+
+#![warn(missing_docs)]
+
+pub mod blas3;
+pub mod cholesky;
+pub mod gemm;
+pub mod matrix;
+
+pub use blas3::{cholesky_tiled_parallel, potrf_block, syrk_update, trsm_panel};
+pub use cholesky::{
+    cholesky_blocked, cholesky_flops, cholesky_footprint, cholesky_naive, cholesky_profile,
+    NotPositiveDefinite,
+};
+pub use gemm::{gemm_blocked, gemm_flops, gemm_footprint, gemm_naive, gemm_parallel, gemm_profile};
+pub use matrix::DenseMatrix;

@@ -1,0 +1,196 @@
+//! Row-major dense matrix type used by the GEMM and Cholesky kernels.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix with uniform random entries in [-1, 1), seeded.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Self::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.random_range(-1.0..1.0);
+        }
+        m
+    }
+
+    /// Random symmetric positive-definite matrix: `A = B·Bᵀ + n·I`.
+    pub fn random_spd(n: usize, seed: u64) -> Self {
+        let b = Self::random(n, n, seed);
+        let mut a = Self::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[(i, k)] * b[(j, k)];
+                }
+                a[(i, j)] = s;
+                a[(j, i)] = s;
+            }
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying storage (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Largest absolute element-wise difference with `other`.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Allocation footprint in bytes.
+    pub fn footprint_bytes(&self) -> f64 {
+        (self.data.len() * std::mem::size_of::<f64>()) as f64
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let m = DenseMatrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_seeded_and_bounded() {
+        let a = DenseMatrix::random(5, 7, 3);
+        let b = DenseMatrix::random(5, 7, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, DenseMatrix::random(5, 7, 4));
+        for &v in a.as_slice() {
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = DenseMatrix::random(3, 6, 1);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], a[(1, 2)]);
+    }
+
+    #[test]
+    fn spd_is_symmetric_with_dominant_diagonal() {
+        let a = DenseMatrix::random_spd(8, 11);
+        for i in 0..8 {
+            assert!(a[(i, i)] > 0.0);
+            for j in 0..8 {
+                assert!((a[(i, j)] - a[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diff_and_norm() {
+        let a = DenseMatrix::identity(3);
+        let mut b = a.clone();
+        b[(1, 2)] = 0.5;
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-15);
+        assert!((a.frobenius() - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_counts_doubles() {
+        let a = DenseMatrix::zeros(10, 10);
+        assert_eq!(a.footprint_bytes(), 800.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal double-precision complex type for the FFT kernels.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, o: Complex) {
+        *self = *self - o;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, o: Complex) {
+        *self = *self * o;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn multiplication_matches_formula() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(4.0, -1.0);
+        // (2+3i)(4-i) = 8 - 2i + 12i - 3i² = 11 + 10i
+        assert_eq!(a * b, Complex::new(11.0, 10.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!((a * a.conj()).im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn unit_circle() {
+        let w = Complex::from_angle(std::f64::consts::PI / 2.0);
+        assert!((w.re).abs() < 1e-15);
+        assert!((w.im - 1.0).abs() < 1e-15);
+        assert!((Complex::from_angle(0.3).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Complex::new(1.0, 1.0);
+        a += Complex::new(1.0, 0.0);
+        a -= Complex::new(0.0, 1.0);
+        a *= Complex::new(2.0, 0.0);
+        assert_eq!(a, Complex::new(4.0, 0.0));
+    }
+}

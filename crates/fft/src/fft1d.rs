@@ -1,0 +1,237 @@
+//! One-dimensional FFTs: iterative radix-2 Cooley–Tukey for power-of-two
+//! lengths and Bluestein's chirp-z algorithm for arbitrary lengths (the
+//! paper sweeps 3D sizes like 96³ and 592³, which are not powers of two).
+
+use crate::complex::Complex;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `e^{-2πi k n / N}` convention.
+    Forward,
+    /// Inverse transform (scaled by `1/N`).
+    Inverse,
+}
+
+/// Naive O(n²) DFT reference.
+pub fn dft_naive(input: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut s = Complex::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let theta = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            s += x * Complex::from_angle(theta);
+        }
+        *o = if dir == Direction::Inverse {
+            s.scale(1.0 / n as f64)
+        } else {
+            s
+        };
+    }
+    out
+}
+
+/// In-place FFT of any length ≥ 1 (radix-2 fast path, Bluestein fallback).
+pub fn fft_inplace(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2_inplace(data, dir);
+    } else {
+        let out = bluestein(data, dir);
+        data.copy_from_slice(&out);
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey (bit-reversal permutation + butterflies).
+fn radix2_inplace(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if dir == Direction::Inverse {
+        let s = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(s);
+        }
+    }
+}
+
+/// Bluestein chirp-z: express the length-`n` DFT as a convolution evaluated
+/// with power-of-two FFTs of length `m >= 2n - 1`.
+fn bluestein(input: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let m = (2 * n - 1).next_power_of_two();
+    // Chirp: w_k = e^{sign · iπ k² / n}.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let theta = sign * std::f64::consts::PI * ((k as u128 * k as u128) % (2 * n as u128)) as f64
+                / n as f64;
+            Complex::from_angle(theta)
+        })
+        .collect();
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    radix2_inplace(&mut a, Direction::Forward);
+    radix2_inplace(&mut b, Direction::Forward);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x *= *y;
+    }
+    radix2_inplace(&mut a, Direction::Inverse);
+    let mut out: Vec<Complex> = (0..n).map(|k| a[k] * chirp[k]).collect();
+    if dir == Direction::Inverse {
+        let s = 1.0 / n as f64;
+        for x in out.iter_mut() {
+            *x = x.scale(s);
+        }
+    }
+    out
+}
+
+/// Flop count of a length-`n` 1D FFT (Table 2: `5·n·log₂n`).
+pub fn fft_flops(n: usize) -> f64 {
+    let nf = n as f64;
+    5.0 * nf * nf.max(2.0).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let x = signal(n);
+            let mut y = x.clone();
+            fft_inplace(&mut y, Direction::Forward);
+            let r = dft_naive(&x, Direction::Forward);
+            assert!(max_err(&y, &r) < 1e-9 * n as f64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for n in [3usize, 5, 6, 7, 12, 96, 100] {
+            let x = signal(n);
+            let mut y = x.clone();
+            fft_inplace(&mut y, Direction::Forward);
+            let r = dft_naive(&x, Direction::Forward);
+            assert!(max_err(&y, &r) < 1e-8 * n as f64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for n in [8usize, 96, 127, 243] {
+            let x = signal(n);
+            let mut y = x.clone();
+            fft_inplace(&mut y, Direction::Forward);
+            fft_inplace(&mut y, Direction::Inverse);
+            assert!(max_err(&x, &y) < 1e-10 * n as f64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        fft_inplace(&mut x, Direction::Forward);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 96;
+        let x = signal(n);
+        let mut y = x.clone();
+        fft_inplace(&mut y, Direction::Forward);
+        let e_time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let e_freq: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-8 * e_time);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let a = signal(n);
+        let b: Vec<Complex> = signal(n).iter().map(|v| v.scale(2.0)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        fft_inplace(&mut fa, Direction::Forward);
+        fft_inplace(&mut fb, Direction::Forward);
+        fft_inplace(&mut fs, Direction::Forward);
+        let combined: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fs, &combined) < 1e-9);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(fft_flops(1024), 5.0 * 1024.0 * 10.0);
+    }
+}

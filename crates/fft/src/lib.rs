@@ -1,0 +1,21 @@
+//! # opm-fft
+//!
+//! FFT substrate of the OPM reproduction (the paper's FFTW stand-in):
+//! a complex type, radix-2 and Bluestein 1D transforms covering arbitrary
+//! lengths, and the pencil-decomposed parallel 3D FFT the paper sweeps
+//! (Appendix A.2.7), with its access-profile builder.
+
+#![warn(missing_docs)]
+// Numeric kernels co-index several arrays in lockstep; explicit index loops
+// are the clearer idiom there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod complex;
+pub mod fft1d;
+pub mod fft3d;
+pub mod plan;
+
+pub use complex::Complex;
+pub use fft1d::{dft_naive, fft_flops, fft_inplace, Direction};
+pub use fft3d::{fft3d, fft3d_flops, fft3d_footprint, fft3d_profile, Grid3};
+pub use plan::{Fft3Plan, FftPlan};

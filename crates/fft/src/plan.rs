@@ -1,0 +1,379 @@
+//! FFT plans — the FFTW idiom the paper's harness uses (`-opatient`
+//! planning, Appendix A.2.7): precompute the strategy, twiddle factors and
+//! permutation tables once, then execute many transforms of the same
+//! length cheaply.
+
+use crate::complex::Complex;
+use crate::fft1d::Direction;
+use rayon::prelude::*;
+
+/// Execution strategy selected at planning time.
+#[derive(Debug, Clone, PartialEq)]
+enum Strategy {
+    /// Length ≤ 1: identity.
+    Trivial,
+    /// Power-of-two iterative radix-2 with precomputed per-stage twiddles.
+    Radix2 {
+        bitrev: Vec<u32>,
+        /// Twiddle tables per stage: stage s (len = 2^(s+1)) has 2^s roots.
+        stage_twiddles: Vec<Vec<Complex>>,
+    },
+    /// Bluestein chirp-z with precomputed chirp and the FFT of the filter.
+    Bluestein {
+        m: usize,
+        chirp: Vec<Complex>,
+        /// Forward FFT of the chirp filter, premultiplied by 1/m.
+        b_hat: Vec<Complex>,
+        inner: Box<FftPlan>,
+    },
+}
+
+/// A reusable FFT plan for a fixed length and direction-agnostic tables
+/// (direction chosen at execution via conjugation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftPlan {
+    n: usize,
+    strategy: Strategy,
+}
+
+impl FftPlan {
+    /// Plan a transform of length `n`.
+    ///
+    /// ```
+    /// use opm_fft::{Complex, Direction, FftPlan};
+    ///
+    /// let plan = FftPlan::new(96); // non-power-of-two: Bluestein strategy
+    /// let mut x: Vec<Complex> = (0..96)
+    ///     .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+    ///     .collect();
+    /// let original = x.clone();
+    /// plan.execute(&mut x, Direction::Forward);
+    /// plan.execute(&mut x, Direction::Inverse);
+    /// for (a, b) in x.iter().zip(&original) {
+    ///     assert!((*a - *b).abs() < 1e-9);
+    /// }
+    /// ```
+    pub fn new(n: usize) -> Self {
+        let strategy = if n <= 1 {
+            Strategy::Trivial
+        } else if n.is_power_of_two() {
+            Strategy::Radix2 {
+                bitrev: bitrev_table(n),
+                stage_twiddles: twiddle_tables(n),
+            }
+        } else {
+            let m = (2 * n - 1).next_power_of_two();
+            let chirp: Vec<Complex> = (0..n)
+                .map(|k| {
+                    let theta = -std::f64::consts::PI
+                        * ((k as u128 * k as u128) % (2 * n as u128)) as f64
+                        / n as f64;
+                    Complex::from_angle(theta)
+                })
+                .collect();
+            let inner = Box::new(FftPlan::new(m));
+            let mut b = vec![Complex::ZERO; m];
+            b[0] = chirp[0].conj();
+            for k in 1..n {
+                let c = chirp[k].conj();
+                b[k] = c;
+                b[m - k] = c;
+            }
+            inner.execute(&mut b, Direction::Forward);
+            let scale = 1.0 / m as f64;
+            for v in &mut b {
+                *v = v.scale(scale);
+            }
+            Strategy::Bluestein {
+                m,
+                chirp,
+                b_hat: b,
+                inner,
+            }
+        };
+        FftPlan { n, strategy }
+    }
+
+    /// Planned length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the trivial length-≤1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Execute the planned transform in place.
+    pub fn execute(&self, data: &mut [Complex], dir: Direction) {
+        assert_eq!(data.len(), self.n, "plan length mismatch");
+        match &self.strategy {
+            Strategy::Trivial => {}
+            Strategy::Radix2 {
+                bitrev,
+                stage_twiddles,
+            } => {
+                radix2_planned(data, bitrev, stage_twiddles, dir);
+                if dir == Direction::Inverse {
+                    let s = 1.0 / self.n as f64;
+                    for x in data.iter_mut() {
+                        *x = x.scale(s);
+                    }
+                }
+            }
+            Strategy::Bluestein {
+                m,
+                chirp,
+                b_hat,
+                inner,
+            } => {
+                // For the inverse, conjugate-in/conjugate-out reduces to the
+                // forward transform.
+                let inverse = dir == Direction::Inverse;
+                if inverse {
+                    for v in data.iter_mut() {
+                        *v = v.conj();
+                    }
+                }
+                let mut a = vec![Complex::ZERO; *m];
+                for k in 0..self.n {
+                    a[k] = data[k] * chirp[k];
+                }
+                inner.execute(&mut a, Direction::Forward);
+                for (x, y) in a.iter_mut().zip(b_hat) {
+                    *x *= *y;
+                }
+                // Unscaled inverse via conjugation (b_hat already carries
+                // the 1/m).
+                for v in a.iter_mut() {
+                    *v = v.conj();
+                }
+                inner.execute(&mut a, Direction::Forward);
+                for k in 0..self.n {
+                    data[k] = a[k].conj() * chirp[k];
+                }
+                if inverse {
+                    let s = 1.0 / self.n as f64;
+                    for v in data.iter_mut() {
+                        *v = v.conj().scale(s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn bitrev_table(n: usize) -> Vec<u32> {
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| ((i as u64).reverse_bits() >> (64 - bits) as u64) as u32)
+        .collect()
+}
+
+fn twiddle_tables(n: usize) -> Vec<Vec<Complex>> {
+    let stages = n.trailing_zeros() as usize;
+    (0..stages)
+        .map(|s| {
+            let len = 1usize << (s + 1);
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            (0..len / 2).map(|k| Complex::from_angle(ang * k as f64)).collect()
+        })
+        .collect()
+}
+
+fn radix2_planned(
+    data: &mut [Complex],
+    bitrev: &[u32],
+    stage_twiddles: &[Vec<Complex>],
+    dir: Direction,
+) {
+    let n = data.len();
+    for i in 0..n {
+        let j = bitrev[i] as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    for (s, tw) in stage_twiddles.iter().enumerate() {
+        let len = 1usize << (s + 1);
+        let half = len / 2;
+        for chunk in data.chunks_mut(len) {
+            for k in 0..half {
+                let w = if dir == Direction::Forward {
+                    tw[k]
+                } else {
+                    tw[k].conj()
+                };
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+            }
+        }
+    }
+}
+
+/// A 3D FFT plan: one 1D plan per axis, executed over pencils in parallel
+/// (the planned analogue of [`crate::fft3d::fft3d`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fft3Plan {
+    /// Extent along x.
+    pub nx: usize,
+    /// Extent along y.
+    pub ny: usize,
+    /// Extent along z.
+    pub nz: usize,
+    px: FftPlan,
+    py: FftPlan,
+    pz: FftPlan,
+}
+
+impl Fft3Plan {
+    /// Plan for an `nx × ny × nz` grid.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Fft3Plan {
+            nx,
+            ny,
+            nz,
+            px: FftPlan::new(nx),
+            py: FftPlan::new(ny),
+            pz: FftPlan::new(nz),
+        }
+    }
+
+    /// Execute in place on `grid.data` (z fastest).
+    pub fn execute(&self, grid: &mut crate::fft3d::Grid3, dir: Direction) {
+        assert_eq!((grid.nx, grid.ny, grid.nz), (self.nx, self.ny, self.nz));
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        // Z pencils (contiguous).
+        grid.data
+            .par_chunks_mut(nz)
+            .for_each(|p| self.pz.execute(p, dir));
+        // Y pencils.
+        grid.data.par_chunks_mut(ny * nz).for_each(|slab| {
+            let mut pencil = vec![Complex::ZERO; ny];
+            for z in 0..nz {
+                for (y, p) in pencil.iter_mut().enumerate() {
+                    *p = slab[y * nz + z];
+                }
+                self.py.execute(&mut pencil, dir);
+                for (y, p) in pencil.iter().enumerate() {
+                    slab[y * nz + z] = *p;
+                }
+            }
+        });
+        // X pencils.
+        let stride = ny * nz;
+        let gathered: Vec<Vec<Complex>> = (0..stride)
+            .into_par_iter()
+            .map(|off| {
+                let mut pencil: Vec<Complex> =
+                    (0..nx).map(|x| grid.data[x * stride + off]).collect();
+                self.px.execute(&mut pencil, dir);
+                pencil
+            })
+            .collect();
+        for (off, pencil) in gathered.into_iter().enumerate() {
+            for (x, v) in pencil.into_iter().enumerate() {
+                grid.data[x * stride + off] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft1d::{dft_naive, fft_inplace};
+    use crate::fft3d::{fft3d, Grid3};
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn planned_matches_direct_power_of_two() {
+        for n in [1usize, 2, 8, 64, 512] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let mut a = x.clone();
+            let mut b = x.clone();
+            plan.execute(&mut a, Direction::Forward);
+            fft_inplace(&mut b, Direction::Forward);
+            for (u, v) in a.iter().zip(&b) {
+                assert!((*u - *v).abs() < 1e-9, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_matches_naive_arbitrary_lengths() {
+        for n in [3usize, 5, 12, 96, 100, 243] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let mut a = x.clone();
+            plan.execute(&mut a, Direction::Forward);
+            let r = dft_naive(&x, Direction::Forward);
+            let err = a
+                .iter()
+                .zip(&r)
+                .map(|(u, v)| (*u - *v).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-8 * n as f64, "n = {n}: err {err}");
+        }
+    }
+
+    #[test]
+    fn planned_round_trip() {
+        for n in [7usize, 96, 128, 200] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            plan.execute(&mut y, Direction::Inverse);
+            for (u, v) in x.iter().zip(&y) {
+                assert!((*u - *v).abs() < 1e-9, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_reuse_is_consistent() {
+        let plan = FftPlan::new(96);
+        let x = signal(96);
+        let mut first = x.clone();
+        plan.execute(&mut first, Direction::Forward);
+        for _ in 0..3 {
+            let mut again = x.clone();
+            plan.execute(&mut again, Direction::Forward);
+            assert_eq!(first, again);
+        }
+    }
+
+    #[test]
+    fn plan3d_matches_unplanned() {
+        let (nx, ny, nz) = (6, 8, 5);
+        let mut g = Grid3::zeros(nx, ny, nz);
+        for (i, v) in g.data.iter_mut().enumerate() {
+            *v = Complex::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos());
+        }
+        let plan = Fft3Plan::new(nx, ny, nz);
+        let mut a = g.clone();
+        plan.execute(&mut a, Direction::Forward);
+        let mut b = g.clone();
+        fft3d(&mut b, Direction::Forward);
+        assert!(a.max_abs_diff(&b) < 1e-9);
+        plan.execute(&mut a, Direction::Inverse);
+        assert!(a.max_abs_diff(&g) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan length mismatch")]
+    fn wrong_length_panics() {
+        let plan = FftPlan::new(8);
+        let mut x = signal(9);
+        plan.execute(&mut x, Direction::Forward);
+    }
+}

@@ -1,0 +1,21 @@
+//! # opm-kernels
+//!
+//! The kernel registry and experiment drivers of the OPM reproduction:
+//! paper Table 2 as code ([`registry`]), the Appendix A parameter sweeps
+//! evaluated through the performance model ([`sweeps`]), and the Table 4/5
+//! summary machinery ([`summary`]).
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod summary;
+pub mod sweeps;
+pub mod traces;
+
+pub use registry::{IntensityClass, KernelId};
+pub use summary::{cross_kernel, summarize_pair, CrossKernelSummary, SummaryRow};
+pub use sweeps::{
+    cholesky_sweep, fft_curve, gemm_sweep, paper_dense_sizes, paper_dense_tiles,
+    paper_fft_sizes, paper_stencil_grids, paper_stream_footprints, sparse_sweep, stencil_curve,
+    stream_curve, CurvePoint, HeatPoint, SparseKernelId, SparsePoint,
+};

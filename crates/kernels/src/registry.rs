@@ -1,0 +1,188 @@
+//! The kernel registry: Table 2 of the paper as code. Each of the eight
+//! scientific kernels carries its dwarf class, complexity, operation/byte
+//! formulas, arithmetic intensity, and per-machine optimal thread count.
+
+use opm_core::platform::Machine;
+
+/// The eight evaluated kernels (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelId {
+    /// Dense matrix–matrix multiplication (PLASMA).
+    Gemm,
+    /// Dense Cholesky decomposition (PLASMA).
+    Cholesky,
+    /// Sparse matrix–vector multiplication (CSR5).
+    Spmv,
+    /// Sparse transposition (ScanTrans/MergeTrans).
+    Sptrans,
+    /// Sparse triangular solve (SpMP).
+    Sptrsv,
+    /// 3D fast Fourier transform (FFTW).
+    Fft,
+    /// iso3dfd structured-grid stencil (YASK).
+    Stencil,
+    /// STREAM TRIAD (McCalpin).
+    Stream,
+}
+
+/// Intensity class used for grouping (paper §3.1 and Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntensityClass {
+    /// Strongly compute bound (GEMM, Cholesky).
+    Dense,
+    /// Strongly bandwidth bound (SpMV, SpTRANS, SpTRSV, Stream).
+    Sparse,
+    /// In between (FFT, Stencil).
+    Medium,
+}
+
+impl KernelId {
+    /// All kernels in Table 2 order.
+    pub const ALL: [KernelId; 8] = [
+        KernelId::Gemm,
+        KernelId::Cholesky,
+        KernelId::Spmv,
+        KernelId::Sptrans,
+        KernelId::Sptrsv,
+        KernelId::Fft,
+        KernelId::Stencil,
+        KernelId::Stream,
+    ];
+
+    /// Kernel name as used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelId::Gemm => "GEMM",
+            KernelId::Cholesky => "Cholesky",
+            KernelId::Spmv => "SpMV",
+            KernelId::Sptrans => "SpTRANS",
+            KernelId::Sptrsv => "SpTRSV",
+            KernelId::Fft => "FFT",
+            KernelId::Stencil => "Stencil",
+            KernelId::Stream => "Stream",
+        }
+    }
+
+    /// Reference implementation benchmarked by the paper.
+    pub fn implementation(&self) -> &'static str {
+        match self {
+            KernelId::Gemm | KernelId::Cholesky => "PLASMA",
+            KernelId::Spmv => "CSR5",
+            KernelId::Sptrans => "Scan/MergeTrans",
+            KernelId::Sptrsv => "SpMP (P2P-SpTRSV)",
+            KernelId::Fft => "FFTW",
+            KernelId::Stencil => "YASK iso3dfd",
+            KernelId::Stream => "STREAM",
+        }
+    }
+
+    /// Berkeley dwarf class (Table 2).
+    pub fn dwarf(&self) -> &'static str {
+        match self {
+            KernelId::Gemm | KernelId::Cholesky => "Dense Linear Algebra",
+            KernelId::Spmv | KernelId::Sptrans | KernelId::Sptrsv => "Sparse Linear Algebra",
+            KernelId::Fft => "Spectral Methods",
+            KernelId::Stencil => "Structured Grid",
+            KernelId::Stream => "N/A",
+        }
+    }
+
+    /// Intensity class (paper groups: dense / sparse / medium).
+    pub fn class(&self) -> IntensityClass {
+        match self {
+            KernelId::Gemm | KernelId::Cholesky => IntensityClass::Dense,
+            KernelId::Spmv | KernelId::Sptrans | KernelId::Sptrsv | KernelId::Stream => {
+                IntensityClass::Sparse
+            }
+            KernelId::Fft | KernelId::Stencil => IntensityClass::Medium,
+        }
+    }
+
+    /// Optimal thread count per machine (Table 2, "Thds": BRD/KNL).
+    pub fn threads(&self, machine: Machine) -> usize {
+        let (brd, knl) = match self {
+            KernelId::Gemm | KernelId::Cholesky | KernelId::Sptrans => (4, 64),
+            KernelId::Spmv
+            | KernelId::Sptrsv
+            | KernelId::Fft
+            | KernelId::Stencil
+            | KernelId::Stream => (8, 256),
+        };
+        match machine {
+            Machine::Broadwell => brd,
+            Machine::Knl => knl,
+        }
+    }
+
+    /// Table 2 arithmetic intensity at the reference point used by Fig. 5
+    /// (`n = 1024`, `nnz = 1024·1024`, `M = 1024` — square kernels with one
+    /// nonzero per 1024² entries per row scale; the figure only needs the
+    /// order of magnitude).
+    pub fn reference_ai(&self) -> f64 {
+        let n = 1024.0f64;
+        let nnz = 1024.0 * 1024.0;
+        let m = 1024.0;
+        match self {
+            KernelId::Gemm => n / 16.0,
+            KernelId::Cholesky => n / 24.0,
+            KernelId::Spmv | KernelId::Sptrsv => (nnz + 2.0 * m) / (12.0 * nnz + 20.0 * m),
+            KernelId::Sptrans => (nnz * nnz.log2()) / (24.0 * nnz + 8.0 * m) / 16.0,
+            KernelId::Fft => 5.0 * n.log2() / 48.0,
+            KernelId::Stencil => 7.625,
+            KernelId::Stream => 0.0625,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_kernels_with_unique_names() {
+        let mut names: Vec<&str> = KernelId::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn thread_counts_match_table2() {
+        use Machine::*;
+        assert_eq!(KernelId::Gemm.threads(Broadwell), 4);
+        assert_eq!(KernelId::Gemm.threads(Knl), 64);
+        assert_eq!(KernelId::Spmv.threads(Broadwell), 8);
+        assert_eq!(KernelId::Spmv.threads(Knl), 256);
+        assert_eq!(KernelId::Sptrans.threads(Knl), 64);
+        assert_eq!(KernelId::Stream.threads(Knl), 256);
+    }
+
+    #[test]
+    fn intensity_spectrum_ordering() {
+        // Fig. 4: Stream < SpMV/SpTRSV < SpTRANS < FFT < Stencil < Cholesky
+        // < GEMM.
+        let ai = |k: KernelId| k.reference_ai();
+        assert!(ai(KernelId::Stream) < ai(KernelId::Spmv));
+        assert!(ai(KernelId::Spmv) < ai(KernelId::Fft));
+        assert!(ai(KernelId::Fft) < ai(KernelId::Stencil));
+        assert!(ai(KernelId::Stencil) < ai(KernelId::Cholesky));
+        assert!(ai(KernelId::Cholesky) < ai(KernelId::Gemm));
+    }
+
+    #[test]
+    fn classes_partition_kernels() {
+        let dense = KernelId::ALL.iter().filter(|k| k.class() == IntensityClass::Dense).count();
+        let sparse = KernelId::ALL.iter().filter(|k| k.class() == IntensityClass::Sparse).count();
+        let medium = KernelId::ALL.iter().filter(|k| k.class() == IntensityClass::Medium).count();
+        assert_eq!((dense, sparse, medium), (2, 4, 2));
+    }
+
+    #[test]
+    fn known_ai_values() {
+        assert!((KernelId::Gemm.reference_ai() - 64.0).abs() < 1e-12);
+        assert!((KernelId::Stream.reference_ai() - 0.0625).abs() < 1e-12);
+        assert!((KernelId::Stencil.reference_ai() - 7.625).abs() < 1e-12);
+        // SpMV AI ~ 1/12 for nnz >> M.
+        assert!((KernelId::Spmv.reference_ai() - 1.0 / 12.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,136 @@
+//! Summary statistics across aligned sweeps — the machinery behind the
+//! paper's Tables 4 and 5 (best throughput, average/max performance gap,
+//! average/max speedup of an OPM configuration against a baseline).
+
+/// One row of a Table 4/5-style summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Best baseline throughput, GFlop/s.
+    pub base_best: f64,
+    /// Best OPM-configuration throughput, GFlop/s.
+    pub opm_best: f64,
+    /// Mean pointwise gap `opm − base`, GFlop/s.
+    pub avg_gap: f64,
+    /// Max pointwise gap, GFlop/s.
+    pub max_gap: f64,
+    /// Mean pointwise speedup `opm / base`.
+    pub avg_speedup: f64,
+    /// Max pointwise speedup.
+    pub max_speedup: f64,
+}
+
+/// Summarize two aligned sweeps (same parameter order). Panics on length
+/// mismatch or empty input.
+pub fn summarize_pair(kernel: &str, base: &[f64], opm: &[f64]) -> SummaryRow {
+    assert_eq!(base.len(), opm.len(), "sweeps must align");
+    assert!(!base.is_empty(), "empty sweep");
+    let n = base.len() as f64;
+    let mut base_best = f64::NEG_INFINITY;
+    let mut opm_best = f64::NEG_INFINITY;
+    let mut gap_sum = 0.0;
+    let mut max_gap = f64::NEG_INFINITY;
+    let mut sp_sum = 0.0;
+    let mut max_sp = f64::NEG_INFINITY;
+    for (&b, &o) in base.iter().zip(opm) {
+        assert!(b > 0.0 && o.is_finite(), "throughputs must be positive");
+        base_best = base_best.max(b);
+        opm_best = opm_best.max(o);
+        let gap = o - b;
+        gap_sum += gap;
+        max_gap = max_gap.max(gap);
+        let sp = o / b;
+        sp_sum += sp;
+        max_sp = max_sp.max(sp);
+    }
+    SummaryRow {
+        kernel: kernel.to_string(),
+        base_best,
+        opm_best,
+        avg_gap: gap_sum / n,
+        max_gap,
+        avg_speedup: sp_sum / n,
+        max_speedup: max_sp,
+    }
+}
+
+impl SummaryRow {
+    /// Fractional improvement of the best achievable throughput.
+    pub fn peak_improvement(&self) -> f64 {
+        self.opm_best / self.base_best - 1.0
+    }
+}
+
+/// Cross-kernel averages reported in the paper's §5.1 prose ("across all
+/// the kernels and inputs...").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossKernelSummary {
+    /// Mean of per-kernel average gaps, GFlop/s.
+    pub avg_gap: f64,
+    /// Largest per-kernel max gap, GFlop/s.
+    pub max_gap: f64,
+    /// Mean of per-kernel average speedups.
+    pub avg_speedup: f64,
+    /// Largest per-kernel max speedup.
+    pub max_speedup: f64,
+}
+
+/// Aggregate summary rows.
+pub fn cross_kernel(rows: &[SummaryRow]) -> CrossKernelSummary {
+    assert!(!rows.is_empty());
+    let n = rows.len() as f64;
+    CrossKernelSummary {
+        avg_gap: rows.iter().map(|r| r.avg_gap).sum::<f64>() / n,
+        max_gap: rows.iter().map(|r| r.max_gap).fold(f64::NEG_INFINITY, f64::max),
+        avg_speedup: rows.iter().map(|r| r.avg_speedup).sum::<f64>() / n,
+        max_speedup: rows
+            .iter()
+            .map(|r| r.max_speedup)
+            .fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let base = [10.0, 20.0];
+        let opm = [15.0, 20.0];
+        let s = summarize_pair("k", &base, &opm);
+        assert_eq!(s.base_best, 20.0);
+        assert_eq!(s.opm_best, 20.0);
+        assert_eq!(s.avg_gap, 2.5);
+        assert_eq!(s.max_gap, 5.0);
+        assert_eq!(s.avg_speedup, 1.25);
+        assert_eq!(s.max_speedup, 1.5);
+        assert_eq!(s.peak_improvement(), 0.0);
+    }
+
+    #[test]
+    fn cross_kernel_aggregates() {
+        let rows = vec![
+            summarize_pair("a", &[10.0], &[12.0]),
+            summarize_pair("b", &[10.0], &[30.0]),
+        ];
+        let c = cross_kernel(&rows);
+        assert_eq!(c.avg_gap, 11.0);
+        assert_eq!(c.max_gap, 20.0);
+        assert_eq!(c.avg_speedup, 2.1);
+        assert_eq!(c.max_speedup, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweeps must align")]
+    fn misaligned_sweeps_panic() {
+        summarize_pair("k", &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep")]
+    fn empty_sweep_panics() {
+        summarize_pair("k", &[], &[]);
+    }
+}

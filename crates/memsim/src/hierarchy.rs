@@ -1,0 +1,383 @@
+//! Multi-level hierarchy simulation with OPM configurations: inclusive-ish
+//! L2/L3 chain, an optional eDRAM **victim** L4 (filled by L3 evictions,
+//! checked on L3 misses — the Broadwell arrangement, §2.1), an optional
+//! direct-mapped MCDRAM cache level (§2.2), and flat/hybrid placement.
+//!
+//! The simulator is exact but slow, so the experiment harness uses it on
+//! scaled-down hierarchies to validate the analytic model in `opm-core`;
+//! the scaling preserves capacity *ratios*.
+
+use crate::cache::{CacheStats, Lookup, SetAssocCache};
+use crate::trace::{Trace, LINE_BYTES};
+use opm_core::platform::{EdramMode, McdramMode, OpmConfig, PlatformSpec};
+
+/// Where an access was finally served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Hit in the cache chain at the given level index.
+    Cache(usize),
+    /// Hit in the victim OPM cache.
+    Victim,
+    /// Served by flat OPM memory.
+    OpmFlat,
+    /// Served by off-package DRAM.
+    Dram,
+}
+
+/// Per-run traffic accounting (bytes at line granularity).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimResult {
+    /// Total line-touches simulated.
+    pub accesses: u64,
+    /// Hits per cache-chain level (same order as configured).
+    pub level_hits: Vec<u64>,
+    /// Victim-cache (eDRAM) hits.
+    pub victim_hits: u64,
+    /// Lines served by flat OPM.
+    pub opm_flat: u64,
+    /// Lines served by DRAM.
+    pub dram: u64,
+    /// Dirty lines written back to the backing store (evicted from the
+    /// last cache level, not absorbed by a victim cache).
+    pub dram_writebacks: u64,
+}
+
+impl SimResult {
+    /// Bytes served by DRAM (demand fetches).
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram * LINE_BYTES
+    }
+
+    /// Bytes written back to the backing store (dirty evictions).
+    pub fn writeback_bytes(&self) -> u64 {
+        self.dram_writebacks * LINE_BYTES
+    }
+
+    /// Fraction of accesses served at or above the victim cache.
+    pub fn on_package_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        1.0 - (self.dram as f64 / self.accesses as f64)
+    }
+
+    /// Hit ratio of cache-chain level `i`.
+    pub fn level_hit_ratio(&self, i: usize) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.level_hits[i] as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A simulated memory hierarchy under one OPM configuration.
+#[derive(Debug, Clone)]
+pub struct HierarchySim {
+    chain: Vec<SetAssocCache>,
+    /// eDRAM modeled as a victim cache behind the last chain level.
+    victim: Option<SetAssocCache>,
+    /// MCDRAM flat partition: line addresses below this byte boundary are
+    /// OPM-resident (preferred allocation packs the low addresses first).
+    flat_boundary: Option<u64>,
+    result: SimResult,
+}
+
+impl HierarchySim {
+    /// Build from explicit parts.
+    pub fn new(
+        chain: Vec<SetAssocCache>,
+        victim: Option<SetAssocCache>,
+        flat_boundary: Option<u64>,
+    ) -> Self {
+        assert!(!chain.is_empty() || victim.is_some(), "empty hierarchy");
+        let levels = chain.len();
+        HierarchySim {
+            chain,
+            victim,
+            flat_boundary,
+            result: SimResult {
+                level_hits: vec![0; levels],
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Build a scaled-down replica of a platform + OPM configuration.
+    ///
+    /// `scale` divides every capacity (1 = full size; 1024 = milli-machine
+    /// for fast exact simulation). Associativities: L2/L3 are 8/16-way,
+    /// eDRAM 16-way victim, MCDRAM direct-mapped.
+    pub fn for_config(config: OpmConfig, scale: u64) -> Self {
+        assert!(scale >= 1, "scale must be >= 1");
+        let p = PlatformSpec::for_machine(config.machine());
+        let mut chain = Vec::new();
+        for (i, c) in p.caches.iter().enumerate() {
+            let ways = if i == 0 { 8 } else { 16 };
+            let cap = ((c.capacity as u64) / scale).max(64 * ways as u64);
+            chain.push(SetAssocCache::new(c.name, cap, ways));
+        }
+        let opm_cap = ((p.opm.capacity as u64) / scale).max(64 * 16);
+        let (victim, flat_boundary) = match config {
+            OpmConfig::Broadwell(EdramMode::On) => {
+                (Some(SetAssocCache::new("eDRAM", opm_cap, 16)), None)
+            }
+            OpmConfig::Broadwell(EdramMode::Off) | OpmConfig::Knl(McdramMode::Off) => (None, None),
+            OpmConfig::Knl(McdramMode::Cache) => {
+                chain.push(SetAssocCache::direct_mapped("MCDRAM", opm_cap));
+                (None, None)
+            }
+            OpmConfig::Knl(McdramMode::Flat) => (None, Some(opm_cap)),
+            OpmConfig::Knl(McdramMode::Hybrid) => {
+                chain.push(SetAssocCache::direct_mapped("MCDRAM/2", opm_cap / 2));
+                (None, Some(opm_cap / 2))
+            }
+        };
+        Self::new(chain, victim, flat_boundary)
+    }
+
+    /// Run a trace through the hierarchy.
+    pub fn run(&mut self, trace: &Trace) -> &SimResult {
+        for acc in &trace.accesses {
+            let write = acc.kind == crate::trace::AccessKind::Write;
+            for line in acc.lines() {
+                self.touch(line, write);
+            }
+        }
+        &self.result
+    }
+
+    /// Simulate one line touch.
+    pub fn touch(&mut self, line: u64, write: bool) -> ServedBy {
+        self.result.accesses += 1;
+        for i in 0..self.chain.len() {
+            match self.chain[i].access(line, write) {
+                Lookup::Hit => {
+                    self.result.level_hits[i] += 1;
+                    return ServedBy::Cache(i);
+                }
+                Lookup::Miss { evicted, dirty } => {
+                    // Victim cache is filled by evictions from the *last*
+                    // chain level only (the L3 on Broadwell); without one,
+                    // dirty evictions write back to the backing store.
+                    if i == self.chain.len() - 1 {
+                        match (self.victim.as_mut(), evicted) {
+                            (Some(v), Some(tag)) => {
+                                if let Some((_, victim_dirty)) = v.fill(tag, dirty) {
+                                    if victim_dirty {
+                                        self.result.dram_writebacks += 1;
+                                    }
+                                }
+                            }
+                            (None, Some(_)) if dirty => {
+                                self.result.dram_writebacks += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    // continue to next level for the requested line
+                }
+            }
+        }
+        // Past the cache chain: check the victim cache.
+        if let Some(v) = self.victim.as_mut() {
+            if v.contains(line) {
+                // Promote back up (victim semantics: line moves to L3-side).
+                v.invalidate(line);
+                self.result.victim_hits += 1;
+                return ServedBy::Victim;
+            }
+        }
+        // Backing store.
+        match self.flat_boundary {
+            Some(b) if line * LINE_BYTES < b => {
+                self.result.opm_flat += 1;
+                ServedBy::OpmFlat
+            }
+            _ => {
+                self.result.dram += 1;
+                ServedBy::Dram
+            }
+        }
+    }
+
+    /// Result so far.
+    pub fn result(&self) -> &SimResult {
+        &self.result
+    }
+
+    /// Per-level cache stats for inspection.
+    pub fn chain_stats(&self) -> Vec<(String, CacheStats)> {
+        self.chain
+            .iter()
+            .map(|c| (c.name().to_string(), c.stats()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opm_core::platform::{EdramMode, McdramMode, OpmConfig};
+
+    const SCALE: u64 = 1024; // milli-machine: L2 1 KiB, L3 6 KiB, eDRAM 128 KiB
+
+    /// Line-granularity cyclic sweep (one touch per 64-byte line), so hit
+    /// ratios reflect the hierarchy rather than intra-line spatial reuse.
+    fn line_sweep(bytes: u64, passes: usize) -> Trace {
+        let mut t = Trace::new();
+        for _ in 0..passes {
+            let mut a = 0;
+            while a < bytes {
+                t.read(a, 8);
+                a += 64;
+            }
+        }
+        t
+    }
+
+    fn stream_result(config: OpmConfig, bytes: u64) -> SimResult {
+        let mut sim = HierarchySim::for_config(config, SCALE);
+        // Warm-up pass, then measured passes.
+        sim.run(&line_sweep(bytes, 1));
+        let mut sim2 = sim.clone();
+        sim2.result = SimResult {
+            level_hits: vec![0; sim.chain.len()],
+            ..Default::default()
+        };
+        sim2.run(&line_sweep(bytes, 3));
+        sim2.result().clone()
+    }
+
+    #[test]
+    fn fits_in_l3_hits_l3() {
+        // 4 KiB working set on the milli-Broadwell (L3 = 6 KiB).
+        let r = stream_result(OpmConfig::Broadwell(EdramMode::Off), 4 * 1024);
+        assert!(r.on_package_ratio() > 0.95, "{r:?}");
+    }
+
+    #[test]
+    fn exceeds_l3_without_edram_goes_to_dram() {
+        // 32 KiB working set: beyond milli-L3 (6 KiB), cyclic LRU thrash.
+        let r = stream_result(OpmConfig::Broadwell(EdramMode::Off), 32 * 1024);
+        assert!(
+            r.dram as f64 / r.accesses as f64 > 0.8,
+            "dram ratio {}",
+            r.dram as f64 / r.accesses as f64
+        );
+    }
+
+    #[test]
+    fn edram_victim_absorbs_l3_overflow() {
+        // Same 32 KiB working set fits the milli-eDRAM (128 KiB).
+        let r = stream_result(OpmConfig::Broadwell(EdramMode::On), 32 * 1024);
+        assert!(r.victim_hits > 0);
+        assert!(r.on_package_ratio() > 0.9, "{r:?}");
+    }
+
+    #[test]
+    fn edram_overflow_returns_to_dram() {
+        let r = stream_result(OpmConfig::Broadwell(EdramMode::On), 512 * 1024);
+        assert!(
+            r.dram as f64 / r.accesses as f64 > 0.5,
+            "dram ratio {}",
+            r.dram as f64 / r.accesses as f64
+        );
+    }
+
+    #[test]
+    fn mcdram_cache_mode_caches_everything_within_capacity() {
+        // milli-KNL: L2 32 KiB, MCDRAM 16 MiB.
+        let r = stream_result(OpmConfig::Knl(McdramMode::Cache), 1024 * 1024);
+        assert!(r.on_package_ratio() > 0.95, "{r:?}");
+    }
+
+    #[test]
+    fn mcdram_flat_serves_low_addresses() {
+        let mut sim = HierarchySim::for_config(OpmConfig::Knl(McdramMode::Flat), SCALE);
+        //
+
+        // Beyond milli-MCDRAM boundary (16 MiB): DRAM. Use strided accesses
+        // that miss L2.
+        let t = Trace::strided(0, 8 * 1024 * 1024, 4096);
+        sim.run(&t);
+        assert!(sim.result().opm_flat > 0);
+        assert_eq!(sim.result().dram, 0);
+        let t2 = Trace::strided(32 * 1024 * 1024, 8 * 1024 * 1024, 4096);
+        sim.run(&t2);
+        assert!(sim.result().dram > 0);
+    }
+
+    #[test]
+    fn hybrid_has_both_cache_and_flat_partitions() {
+        let mut sim = HierarchySim::for_config(OpmConfig::Knl(McdramMode::Hybrid), SCALE);
+        // Low addresses: flat partition (8 MiB milli).
+        let t = Trace::strided(0, 4 * 1024 * 1024, 4096);
+        sim.run(&t);
+        assert!(sim.result().opm_flat > 0);
+        // High addresses: should be absorbed by the cache partition after a
+        // warm-up (working set 1 MiB << 8 MiB cache partition).
+        let hi = 64 * 1024 * 1024;
+        let warm = Trace::sequential(hi, 1024 * 1024, 1);
+        sim.run(&warm);
+        let before = sim.result().dram;
+        let t2 = Trace::sequential(hi, 1024 * 1024, 2);
+        sim.run(&t2);
+        let after = sim.result().dram;
+        let new_dram = after - before;
+        assert!(
+            (new_dram as f64) < 0.1 * (2.0 * 1024.0 * 1024.0 / 64.0),
+            "cache partition should absorb re-reads, got {new_dram} misses"
+        );
+    }
+
+    #[test]
+    fn victim_promotion_moves_line_out_of_victim() {
+        let mut sim = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::On), SCALE);
+        let t = Trace::sequential(0, 32 * 1024, 2);
+        sim.run(&t);
+        let v1 = sim.result().victim_hits;
+        assert!(v1 > 0);
+        // A victim hit must not be double-counted as a DRAM access.
+        assert_eq!(
+            sim.result().accesses,
+            sim.result().level_hits.iter().sum::<u64>()
+                + sim.result().victim_hits
+                + sim.result().dram
+                + sim.result().opm_flat
+        );
+    }
+
+    #[test]
+    fn dirty_evictions_count_as_writebacks() {
+        // Write-sweep twice the milli-L3 with no eDRAM: evictions of dirty
+        // lines must reach DRAM as write-backs.
+        let mut sim = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::Off), SCALE);
+        let bytes = 32 * 1024u64;
+        let mut t = Trace::new();
+        for pass in 0..3 {
+            let mut a = 0;
+            while a < bytes {
+                t.write(a, 8);
+                a += 64;
+            }
+            let _ = pass;
+        }
+        sim.run(&t);
+        let wb = sim.result().dram_writebacks;
+        let lines = bytes / 64;
+        assert!(wb > lines, "expected >= one writeback sweep, got {wb}");
+        assert!(sim.result().writeback_bytes() == wb * 64);
+        // With the eDRAM victim absorbing evictions, write-backs shrink.
+        let mut sim2 = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::On), SCALE);
+        sim2.run(&t);
+        assert!(sim2.result().dram_writebacks < wb / 2);
+    }
+
+    #[test]
+    fn served_by_classification() {
+        let mut sim = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::Off), SCALE);
+        assert_eq!(sim.touch(0, false), ServedBy::Dram);
+        assert_eq!(sim.touch(0, false), ServedBy::Cache(0));
+    }
+}

@@ -1,0 +1,250 @@
+//! Reuse-distance (LRU stack distance) analysis.
+//!
+//! The reuse distance of an access is the number of *distinct* cache lines
+//! touched since the previous access to the same line (infinite for first
+//! touches). A fully-associative LRU cache of `C` lines hits exactly the
+//! accesses with reuse distance `< C` — this classical result is what lets
+//! the analytic tier model in `opm-core` stand in for exact simulation, and
+//! this module provides the cross-check.
+//!
+//! Implementation: Bennett–Kruskal style, a Fenwick tree over access
+//! timestamps counting "most recent access positions", O(N log N).
+
+use std::collections::HashMap;
+
+use crate::trace::{Trace, LINE_BYTES};
+
+/// Fenwick tree (binary indexed tree) over prefix counts.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of values at indices `[0, i]`.
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i + 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Histogram of reuse distances, in lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseHistogram {
+    /// `(distance_in_lines, count)` pairs, distance ascending.
+    pub finite: Vec<(u64, u64)>,
+    /// First-touch (infinite-distance) accesses.
+    pub cold: u64,
+    /// Total accesses analyzed.
+    pub total: u64,
+}
+
+impl ReuseHistogram {
+    /// Fraction of accesses with reuse distance strictly below `lines` —
+    /// the hit ratio of a fully-associative LRU cache with `lines` lines.
+    pub fn hit_ratio(&self, lines: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .finite
+            .iter()
+            .filter(|(d, _)| *d < lines)
+            .map(|(_, c)| *c)
+            .sum();
+        hits as f64 / self.total as f64
+    }
+
+    /// Hit ratio for a cache of `bytes` capacity.
+    pub fn hit_ratio_bytes(&self, bytes: u64) -> f64 {
+        self.hit_ratio(bytes / LINE_BYTES)
+    }
+
+    /// Convert to perf-model tiers: a working-set tier per histogram bucket,
+    /// merged into at most `max_tiers` tiers by log-spaced distance bands.
+    pub fn to_tiers(&self, max_tiers: usize) -> Vec<opm_core::profile::Tier> {
+        assert!(max_tiers >= 1);
+        if self.total == 0 || self.finite.is_empty() {
+            return Vec::new();
+        }
+        let max_d = self.finite.last().map(|(d, _)| *d).unwrap_or(1).max(1);
+        let mut tiers: Vec<(f64, f64)> = Vec::new(); // (ws_bytes, count)
+        for &(d, c) in &self.finite {
+            let band = if max_tiers == 1 {
+                0
+            } else {
+                // log-spaced band index in [0, max_tiers)
+                let x = ((d.max(1)) as f64).ln() / (max_d as f64).max(2.0).ln();
+                ((x * max_tiers as f64) as usize).min(max_tiers - 1)
+            };
+            let ws = ((d + 1) * LINE_BYTES) as f64;
+            if tiers.len() <= band {
+                tiers.resize(band + 1, (0.0, 0.0));
+            }
+            let e = &mut tiers[band];
+            e.0 = e.0.max(ws);
+            e.1 += c as f64;
+        }
+        tiers
+            .into_iter()
+            .filter(|(_, c)| *c > 0.0)
+            .map(|(ws, c)| opm_core::profile::Tier::new(ws, c / self.total as f64))
+            .collect()
+    }
+}
+
+/// Compute the reuse-distance histogram of a trace (line granularity).
+pub fn reuse_histogram(trace: &Trace) -> ReuseHistogram {
+    // Expand into line touches first.
+    let lines: Vec<u64> = trace
+        .accesses
+        .iter()
+        .flat_map(|a| a.lines().collect::<Vec<_>>())
+        .collect();
+    let n = lines.len();
+    let mut fen = Fenwick::new(n);
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut hist: HashMap<u64, u64> = HashMap::new();
+    let mut cold = 0u64;
+    for (t, &line) in lines.iter().enumerate() {
+        match last.get(&line) {
+            Some(&prev) => {
+                // Distinct lines since prev = marks in (prev, t).
+                let total_marks = fen.prefix(n - 1);
+                let upto_prev = fen.prefix(prev);
+                let d = total_marks - upto_prev;
+                *hist.entry(d).or_insert(0) += 1;
+                fen.add(prev, -1);
+            }
+            None => cold += 1,
+        }
+        fen.add(t, 1);
+        last.insert(line, t);
+    }
+    let mut finite: Vec<(u64, u64)> = hist.into_iter().collect();
+    finite.sort_unstable();
+    ReuseHistogram {
+        finite,
+        cold,
+        total: n as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::SetAssocCache;
+
+    #[test]
+    fn simple_sequence_distances() {
+        // Lines: A B A  -> A's second access has distance 1 (B).
+        let mut t = Trace::new();
+        t.read(0, 8); // line 0
+        t.read(64, 8); // line 1
+        t.read(0, 8); // line 0 again
+        let h = reuse_histogram(&t);
+        assert_eq!(h.cold, 2);
+        assert_eq!(h.finite, vec![(1, 1)]);
+        assert_eq!(h.total, 3);
+    }
+
+    #[test]
+    fn immediate_reuse_is_distance_zero() {
+        let mut t = Trace::new();
+        t.read(0, 8);
+        t.read(8, 8); // same line 0
+        let h = reuse_histogram(&t);
+        assert_eq!(h.finite, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn cyclic_sweep_distance_equals_working_set() {
+        // Sweep W lines twice: second pass distances all = W - 1.
+        let w = 32u64;
+        let t = Trace::sequential(0, w * 64, 2);
+        // 8 touches per line per pass; within-line touches have distance 0.
+        let h = reuse_histogram(&t);
+        let max_d = h.finite.last().unwrap().0;
+        assert_eq!(max_d, w - 1);
+        assert_eq!(h.cold, w);
+    }
+
+    #[test]
+    fn hit_ratio_matches_fully_assoc_lru_sim() {
+        // The fundamental stack-distance theorem, verified against the
+        // simulator with very high associativity (= fully associative).
+        let t = Trace::random(0, 64 * 1024, 5000, 42);
+        let h = reuse_histogram(&t);
+        for cap_lines in [16u64, 64, 256] {
+            let mut c = SetAssocCache::new("fa", cap_lines * 64, cap_lines as usize);
+            for a in &t.accesses {
+                for l in a.lines() {
+                    c.access(l, false);
+                }
+            }
+            let sim = c.stats().hit_ratio();
+            let pred = h.hit_ratio(cap_lines);
+            assert!(
+                (sim - pred).abs() < 0.01,
+                "cap {cap_lines}: sim {sim} vs stack-distance {pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn hit_ratio_monotone_in_capacity() {
+        let t = Trace::random(0, 1 << 16, 2000, 1);
+        let h = reuse_histogram(&t);
+        let mut prev = -1.0;
+        for c in [1u64, 2, 8, 32, 128, 512, 2048] {
+            let r = h.hit_ratio(c);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert!(h.hit_ratio(1 << 20) <= 1.0);
+    }
+
+    #[test]
+    fn tiers_capture_mass_and_working_sets() {
+        let w = 64u64;
+        let t = Trace::sequential(0, w * 64, 4);
+        let h = reuse_histogram(&t);
+        let tiers = h.to_tiers(4);
+        assert!(!tiers.is_empty());
+        let mass: f64 = tiers.iter().map(|t| t.fraction).sum();
+        // All finite reuse mass is represented; cold misses are the
+        // streaming remainder.
+        let finite_mass = 1.0 - h.cold as f64 / h.total as f64;
+        assert!((mass - finite_mass).abs() < 1e-9);
+        // The largest tier's working set covers the sweep size.
+        let max_ws = tiers.iter().map(|t| t.working_set).fold(0.0, f64::max);
+        assert!(max_ws >= (w * 64) as f64 * 0.9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let h = reuse_histogram(&Trace::new());
+        assert_eq!(h.total, 0);
+        assert_eq!(h.hit_ratio(100), 0.0);
+        assert!(h.to_tiers(4).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Synthetic trace generation from tier descriptions — the inverse of
+//! reuse-distance analysis. Given the working-set tiers of an
+//! [`AccessProfile`](opm_core::profile::AccessProfile) phase, produce an
+//! address trace whose reuse behaviour realizes those tiers (each tier
+//! cycles a disjoint region of its working-set size; the streaming
+//! remainder walks fresh addresses). Running the synthesized trace through
+//! the exact simulator cross-validates the analytic absorption model for
+//! arbitrary multi-tier phases.
+
+use crate::trace::{Trace, LINE_BYTES};
+use opm_core::profile::Phase;
+
+/// A deterministic SplitMix64 for tier selection.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Generate `accesses` line-granularity touches realizing the tier mix of
+/// `(working_set_bytes, fraction)` entries plus a streaming remainder.
+/// Tier regions are disjoint; the streaming region starts above them.
+pub fn trace_from_tiers(tiers: &[(f64, f64)], accesses: usize, seed: u64) -> Trace {
+    let total_frac: f64 = tiers.iter().map(|t| t.1).sum();
+    assert!(
+        total_frac <= 1.0 + 1e-9,
+        "tier fractions must sum to <= 1 (got {total_frac})"
+    );
+    // Region layout: each tier gets its working set, line-aligned.
+    let mut bases = Vec::with_capacity(tiers.len());
+    let mut next_base = 0u64;
+    for &(ws, _) in tiers {
+        assert!(ws > 0.0, "tier working set must be positive");
+        bases.push(next_base);
+        let lines = ((ws / LINE_BYTES as f64).ceil() as u64).max(1);
+        next_base += lines * LINE_BYTES;
+    }
+    let stream_base = next_base;
+    // Cumulative tier weights for selection.
+    let mut cum: Vec<f64> = Vec::with_capacity(tiers.len());
+    let mut acc = 0.0;
+    for &(_, f) in tiers {
+        acc += f;
+        cum.push(acc);
+    }
+    let mut cursors = vec![0u64; tiers.len()];
+    let mut stream_cursor = 0u64;
+    let mut state = seed ^ 0xd1b5_4a32_d192_ed03;
+    let mut t = Trace::new();
+    for _ in 0..accesses {
+        let u = (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        match cum.iter().position(|&c| u < c) {
+            Some(i) => {
+                // Cycle tier i's region (cyclic reuse distance = its size).
+                let lines = ((tiers[i].0 / LINE_BYTES as f64).ceil() as u64).max(1);
+                let addr = bases[i] + (cursors[i] % lines) * LINE_BYTES;
+                cursors[i] += 1;
+                t.read(addr, 8);
+            }
+            None => {
+                // Streaming: every touch is a fresh line.
+                t.read(stream_base + stream_cursor * LINE_BYTES, 8);
+                stream_cursor += 1;
+            }
+        }
+    }
+    t
+}
+
+/// Synthesize a trace for a profile phase (line-granularity; byte volumes
+/// are scaled down to `accesses` touches while preserving tier ratios).
+pub fn trace_from_phase(phase: &Phase, accesses: usize, seed: u64) -> Trace {
+    let tiers: Vec<(f64, f64)> = phase
+        .tiers
+        .iter()
+        .map(|t| (t.working_set, t.fraction))
+        .collect();
+    trace_from_tiers(&tiers, accesses, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::reuse_histogram;
+
+    #[test]
+    fn single_tier_realizes_its_working_set() {
+        let ws = 64.0 * 1024.0;
+        let t = trace_from_tiers(&[(ws, 1.0)], 20_000, 1);
+        let h = reuse_histogram(&t);
+        let lines = (ws / 64.0) as u64;
+        // A cache >= the working set captures (almost) everything...
+        assert!(h.hit_ratio(lines + 2) > 0.9, "{}", h.hit_ratio(lines + 2));
+        // ...a cache below it captures (almost) nothing (cyclic LRU).
+        assert!(h.hit_ratio(lines / 2) < 0.05);
+    }
+
+    #[test]
+    fn two_tiers_split_hits_at_their_boundaries() {
+        let small = 8.0 * 1024.0;
+        let big = 512.0 * 1024.0;
+        // Enough touches that each tier cycles several times (cold misses
+        // amortize away).
+        let t = trace_from_tiers(&[(small, 0.6), (big, 0.4)], 240_000, 2);
+        let h = reuse_histogram(&t);
+        let small_lines = (small / 64.0) as u64;
+        let big_lines = (big / 64.0) as u64;
+        // Between the tiers: only the small tier hits (~0.6).
+        let mid = h.hit_ratio(small_lines * 4);
+        assert!((mid - 0.6).abs() < 0.08, "mid {mid}");
+        // Above both (plus the small region the big tier shares the cache
+        // with): both hit (~1.0 minus cold misses).
+        let all = h.hit_ratio(big_lines + small_lines + 8);
+        assert!(all > 0.9, "all {all}");
+    }
+
+    #[test]
+    fn streaming_remainder_never_hits() {
+        let t = trace_from_tiers(&[(4096.0, 0.5)], 40_000, 3);
+        let h = reuse_histogram(&t);
+        // Half the accesses stream: even an enormous cache caps near 0.5
+        // plus the tier hits.
+        let huge = h.hit_ratio(1 << 24);
+        assert!((huge - 0.5).abs() < 0.05, "huge {huge}");
+    }
+
+    #[test]
+    fn synthesized_phase_matches_analytic_absorption() {
+        use crate::hierarchy::HierarchySim;
+        use opm_core::perf::PerfModel;
+        use opm_core::platform::{EdramMode, OpmConfig};
+        use opm_core::profile::{AccessProfile, Phase, Tier};
+
+        // A two-tier phase at milli-machine scale: 3 KiB tier (fits
+        // milli-L3 = 6 KiB) and a 48 KiB tier (fits milli-eDRAM = 128 KiB),
+        // plus 10 % streaming.
+        const SCALE: f64 = 1024.0;
+        let mut ph = Phase::new("p", 1.0, 1024.0 * 1024.0);
+        ph.tiers = vec![
+            Tier::new(3.0 * 1024.0 * SCALE, 0.5),
+            Tier::new(48.0 * 1024.0 * SCALE, 0.4),
+        ];
+        ph.threads = 8;
+        // Exact simulation at milli scale.
+        let milli_tiers: Vec<(f64, f64)> = ph
+            .tiers
+            .iter()
+            .map(|t| (t.working_set / SCALE, t.fraction))
+            .collect();
+        let trace = trace_from_tiers(&milli_tiers, 120_000, 7);
+        let mut sim = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::On), SCALE as u64);
+        sim.run(&trace);
+        let sim_on_package = sim.result().on_package_ratio();
+        // Analytic model at full scale.
+        let prof = AccessProfile::single("p", ph, 64.0 * 1024.0 * 1024.0 * SCALE.sqrt());
+        let est = PerfModel::for_config(OpmConfig::Broadwell(EdramMode::On)).evaluate(&prof);
+        let model_on_package = 1.0 - est.dram_bytes / prof.total_bytes();
+        assert!(
+            (sim_on_package - model_on_package).abs() < 0.15,
+            "sim {sim_on_package} vs model {model_on_package}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = trace_from_tiers(&[(4096.0, 0.7)], 1000, 9);
+        let b = trace_from_tiers(&[(4096.0, 0.7)], 1000, 9);
+        assert_eq!(a, b);
+        let c = trace_from_tiers(&[(4096.0, 0.7)], 1000, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to <= 1")]
+    fn overfull_fractions_panic() {
+        trace_from_tiers(&[(1024.0, 0.7), (2048.0, 0.6)], 100, 1);
+    }
+}

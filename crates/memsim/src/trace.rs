@@ -1,0 +1,179 @@
+//! Memory access traces and synthetic trace generators.
+//!
+//! Traces are sequences of byte-addressed reads/writes. The simulator works
+//! at cache-line granularity; helpers here split multi-byte accesses into
+//! line touches.
+
+/// Cache line size in bytes (both platforms use 64-byte lines).
+pub const LINE_BYTES: u64 = 64;
+
+/// Access direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// One memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub len: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A read of `len` bytes at `addr`.
+    pub fn read(addr: u64, len: u32) -> Self {
+        Access {
+            addr,
+            len,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write of `len` bytes at `addr`.
+    pub fn write(addr: u64, len: u32) -> Self {
+        Access {
+            addr,
+            len,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// Cache lines touched by this access.
+    pub fn lines(&self) -> impl Iterator<Item = u64> {
+        let first = self.addr / LINE_BYTES;
+        let last = (self.addr + self.len.max(1) as u64 - 1) / LINE_BYTES;
+        first..=last
+    }
+}
+
+/// A recorded access sequence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Accesses in program order.
+    pub accesses: Vec<Access>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read.
+    pub fn read(&mut self, addr: u64, len: u32) {
+        self.accesses.push(Access::read(addr, len));
+    }
+
+    /// Record a write.
+    pub fn write(&mut self, addr: u64, len: u32) {
+        self.accesses.push(Access::write(addr, len));
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True when no accesses are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Total bytes requested.
+    pub fn bytes(&self) -> u64 {
+        self.accesses.iter().map(|a| a.len as u64).sum()
+    }
+
+    /// Sequential sweep over `[base, base + bytes)` reading 8-byte words,
+    /// repeated `passes` times — the access pattern of STREAM-like kernels.
+    pub fn sequential(base: u64, bytes: u64, passes: usize) -> Self {
+        let mut t = Trace::new();
+        for _ in 0..passes {
+            let mut a = base;
+            while a < base + bytes {
+                t.read(a, 8);
+                a += 8;
+            }
+        }
+        t
+    }
+
+    /// Strided read sweep (stride in bytes), one pass.
+    pub fn strided(base: u64, bytes: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let mut t = Trace::new();
+        let mut a = base;
+        while a < base + bytes {
+            t.read(a, 8);
+            a += stride;
+        }
+        t
+    }
+
+    /// Pseudo-random 8-byte reads inside `[base, base + bytes)` using a
+    /// deterministic LCG (reproducible without pulling in `rand`).
+    pub fn random(base: u64, bytes: u64, count: usize, seed: u64) -> Self {
+        assert!(bytes >= 8, "region too small");
+        let mut t = Trace::new();
+        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for _ in 0..count {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let off = (s >> 11) % (bytes / 8) * 8;
+            t.read(base + off, 8);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_line_split() {
+        let a = Access::read(60, 8); // crosses the 64-byte boundary
+        let lines: Vec<u64> = a.lines().collect();
+        assert_eq!(lines, vec![0, 1]);
+        let b = Access::read(64, 8);
+        assert_eq!(b.lines().collect::<Vec<_>>(), vec![1]);
+        let z = Access::read(0, 0);
+        assert_eq!(z.lines().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn sequential_covers_region_each_pass() {
+        let t = Trace::sequential(0, 1024, 2);
+        assert_eq!(t.len(), 2 * 128);
+        assert_eq!(t.bytes(), 2048);
+    }
+
+    #[test]
+    fn strided_steps() {
+        let t = Trace::strided(0, 1024, 256);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.accesses[1].addr, 256);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let a = Trace::random(1 << 20, 4096, 100, 7);
+        let b = Trace::random(1 << 20, 4096, 100, 7);
+        assert_eq!(a, b);
+        for acc in &a.accesses {
+            assert!(acc.addr >= 1 << 20);
+            assert!(acc.addr + 8 <= (1 << 20) + 4096);
+        }
+        let c = Trace::random(1 << 20, 4096, 100, 8);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,80 @@
+//! Coordinate (triplet) sparse format — the assembly/interchange format.
+
+/// A sparse matrix as `(row, col, value)` triplets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Triplets in arbitrary order; duplicates are summed on conversion.
+    pub entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooMatrix {
+    /// Empty matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Add one entry.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.rows && col < self.cols, "entry out of bounds");
+        self.entries.push((row as u32, col as u32, val));
+    }
+
+    /// Number of stored triplets (before deduplication).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sort by (row, col) and sum duplicates in place.
+    pub fn compact(&mut self) {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut out: Vec<(u32, u32, f64)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => out.push((r, c, v)),
+            }
+        }
+        self.entries = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 0, 1.0);
+        m.push(2, 1, -2.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn compact_sorts_and_sums() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(1, 1, 2.0);
+        m.push(0, 0, 1.0);
+        m.push(1, 1, 3.0);
+        m.compact();
+        assert_eq!(m.entries, vec![(0, 0, 1.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(2, 0, 1.0);
+    }
+}

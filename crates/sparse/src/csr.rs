@@ -1,0 +1,261 @@
+//! Compressed Sparse Row format — the workhorse format of the three sparse
+//! kernels (paper §3.1.2). Column indices are 32-bit, matching the
+//! `12·nnz + 20·M` byte accounting of Table 2 (8 B value + 4 B index per
+//! nonzero).
+
+use crate::coo::CooMatrix;
+
+/// A CSR sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row pointer array, length `rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    pub col_idx: Vec<u32>,
+    /// Nonzero values, aligned with `col_idx`.
+    pub vals: Vec<f64>,
+}
+
+/// Structure statistics driving the sparse access profiles (paper Figs.
+/// 9–11 / 20–22 relate throughput to rows, nnz and structure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseStats {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// Mean nonzeros per row.
+    pub avg_row_len: f64,
+    /// Mean per-row column span (max − min + 1), in columns — the working
+    /// set of the `x`-vector gather in SpMV.
+    pub avg_col_span: f64,
+    /// Maximum row length.
+    pub max_row_len: usize,
+}
+
+impl CsrMatrix {
+    /// Build from COO (compacts first).
+    pub fn from_coo(mut coo: CooMatrix) -> Self {
+        coo.compact();
+        let mut row_ptr = vec![0usize; coo.rows + 1];
+        for &(r, _, _) in &coo.entries {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..coo.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = Vec::with_capacity(coo.entries.len());
+        let mut vals = Vec::with_capacity(coo.entries.len());
+        for (_, c, v) in coo.entries {
+            col_idx.push(c);
+            vals.push(v);
+        }
+        CsrMatrix {
+            rows: coo.rows,
+            cols: coo.cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Entries of row `i` as `(cols, vals)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Check the structural invariants; returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.rows + 1 {
+            return Err("row_ptr length must be rows + 1".into());
+        }
+        if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() != self.nnz() {
+            return Err("row_ptr must span [0, nnz]".into());
+        }
+        if self.col_idx.len() != self.vals.len() {
+            return Err("col_idx / vals length mismatch".into());
+        }
+        for i in 0..self.rows {
+            if self.row_ptr[i] > self.row_ptr[i + 1] {
+                return Err(format!("row_ptr not monotone at row {i}"));
+            }
+            let (cols, _) = self.row(i);
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {i} columns not strictly sorted"));
+                }
+            }
+            if let Some(&c) = cols.last() {
+                if c as usize >= self.cols {
+                    return Err(format!("row {i} column out of bounds"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dense rendition (small matrices / tests only).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.cols]; self.rows];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                d[i][c as usize] = v;
+            }
+        }
+        d
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> SparseStats {
+        let mut span_sum = 0.0;
+        let mut max_row = 0usize;
+        for i in 0..self.rows {
+            let (cols, _) = self.row(i);
+            max_row = max_row.max(cols.len());
+            if let (Some(&first), Some(&last)) = (cols.first(), cols.last()) {
+                span_sum += (last - first + 1) as f64;
+            }
+        }
+        SparseStats {
+            rows: self.rows,
+            cols: self.cols,
+            nnz: self.nnz(),
+            avg_row_len: self.nnz() as f64 / self.rows as f64,
+            avg_col_span: span_sum / self.rows as f64,
+            max_row_len: max_row,
+        }
+    }
+
+    /// Lower-triangular system for SpTRSV: strict lower part of `self` plus
+    /// a positive diagonal (the paper adds a diagonal to singular matrices,
+    /// Appendix A.2.5).
+    pub fn to_lower_triangular(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.rows, self.rows);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let mut diag = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                let c = c as usize;
+                if c < i && c < self.rows {
+                    coo.push(i, c, v * 0.1);
+                } else if c == i {
+                    diag = v;
+                }
+            }
+            // Strong diagonal keeps forward substitution well conditioned.
+            let d = if diag.abs() > 1e-12 { diag.abs() } else { 1.0 };
+            coo.push(i, i, d + self.stats_row_len(i) as f64);
+        }
+        CsrMatrix::from_coo(coo)
+    }
+
+    fn stats_row_len(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Bytes occupied by the CSR arrays (vals + idx + ptr).
+    pub fn footprint_bytes(&self) -> f64 {
+        (self.vals.len() * 8 + self.col_idx.len() * 4 + self.row_ptr.len() * 8) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn small() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 0, 4.0);
+        coo.push(2, 2, 5.0);
+        CsrMatrix::from_coo(coo)
+    }
+
+    #[test]
+    fn from_coo_layout() {
+        let m = small();
+        assert_eq!(m.row_ptr, vec![0, 2, 3, 5]);
+        assert_eq!(m.col_idx, vec![0, 2, 1, 0, 2]);
+        assert_eq!(m.vals, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.0);
+        let m = CsrMatrix::from_coo(coo);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.vals, vec![3.0]);
+    }
+
+    #[test]
+    fn to_dense_matches() {
+        let d = small().to_dense();
+        assert_eq!(d[0], vec![1.0, 0.0, 2.0]);
+        assert_eq!(d[1], vec![0.0, 3.0, 0.0]);
+        assert_eq!(d[2], vec![4.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn stats_are_sane() {
+        let s = small().stats();
+        assert_eq!(s.nnz, 5);
+        assert_eq!(s.max_row_len, 2);
+        assert!((s.avg_row_len - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.avg_col_span - (3.0 + 1.0 + 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_triangular_has_full_diagonal() {
+        let l = small().to_lower_triangular();
+        l.validate().unwrap();
+        let d = l.to_dense();
+        for i in 0..3 {
+            assert!(d[i][i] > 0.0, "diagonal missing at {i}");
+            for j in i + 1..3 {
+                assert_eq!(d[i][j], 0.0, "upper entry at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut m = small();
+        m.col_idx[1] = 0; // duplicates column 0 in row 0 -> unsorted
+        assert!(m.validate().is_err());
+        let mut m = small();
+        m.col_idx[1] = 9; // out of bounds
+        assert!(m.validate().is_err());
+        let mut m = small();
+        m.row_ptr[1] = 4;
+        m.row_ptr[2] = 3;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let m = small();
+        assert_eq!(m.footprint_bytes(), (5 * 8 + 5 * 4 + 4 * 8) as f64);
+    }
+}

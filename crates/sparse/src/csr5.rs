@@ -1,0 +1,426 @@
+//! The CSR5 storage format (Liu & Vinter, ICS'15) — the SpMV implementation
+//! the paper benchmarks (§3.1.2, Appendix A.2.3).
+//!
+//! CSR5 partitions the nonzeros (not the rows) into 2D tiles of `ω` lanes ×
+//! `σ` elements; values and column indices are permuted tile-column-major
+//! so that SIMD lanes read consecutive addresses, and a per-tile descriptor
+//! (bit flags marking row starts, per-lane output offsets) lets each tile
+//! compute its partial results independently via segmented sums. Partial
+//! sums for a tile's *first* row — which may continue from the previous
+//! tile — are set aside in a **calibrator** and added in a cheap serial
+//! pass, so tiles parallelize with no atomics. This nonzero-balanced
+//! decomposition is what makes CSR5 robust to skewed row lengths.
+//!
+//! Our implementation keeps the tile/permutation/bit-flag/calibrator
+//! machinery faithfully; the `empty_offset` compression of the original is
+//! replaced by an explicit per-tile segment→row table (same semantics,
+//! simpler indexing).
+
+use crate::csr::CsrMatrix;
+use rayon::prelude::*;
+
+/// Default lane count (ω): 4 doubles = one AVX2 vector.
+pub const DEFAULT_OMEGA: usize = 4;
+/// Default elements per lane (σ).
+pub const DEFAULT_SIGMA: usize = 16;
+
+/// A sparse matrix in CSR5 layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr5Matrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Tile width in lanes (ω).
+    pub omega: usize,
+    /// Elements per lane (σ).
+    pub sigma: usize,
+    /// Number of full tiles.
+    pub num_tiles: usize,
+    /// Values, tile-column-major within each tile
+    /// (`perm[t·ωσ + k·ω + ℓ] = csr[t·ωσ + ℓ·σ + k]`), tail in CSR order.
+    pub vals: Vec<f64>,
+    /// Column indices, same permutation as `vals`.
+    pub col_idx: Vec<u32>,
+    /// Per-tile bit flags, lane-major (`bit ℓ·σ + k` set iff the nonzero at
+    /// tile position (ℓ, k) starts a row). One `u64` chunk stream per tile.
+    pub bit_flag: Vec<u64>,
+    /// `u64` words per tile in `bit_flag`.
+    pub flag_words: usize,
+    /// Row containing the first nonzero of each tile.
+    pub tile_first_row: Vec<u32>,
+    /// Row ids of the row-starts inside each tile, concatenated
+    /// (CSR5's `y_offset`/`empty_offset` in explicit form).
+    pub seg_rows: Vec<u32>,
+    /// Offsets into `seg_rows`, length `num_tiles + 1`.
+    pub seg_rows_ptr: Vec<usize>,
+    /// Row pointer of the original matrix (needed for the tail and for
+    /// conversion back).
+    pub row_ptr: Vec<usize>,
+    /// First nonzero index of the CSR-ordered tail.
+    pub tail_start: usize,
+}
+
+impl Csr5Matrix {
+    /// Convert from CSR with the default ω × σ tile shape.
+    ///
+    /// ```
+    /// use opm_sparse::gen::{MatrixKind, MatrixSpec};
+    /// use opm_sparse::{spmv_csr5, spmv_serial, Csr5Matrix};
+    ///
+    /// let a = MatrixSpec::new(MatrixKind::PowerLaw, 200, 2000, 1).build();
+    /// let c5 = Csr5Matrix::from_csr(&a);
+    /// assert_eq!(c5.to_csr(), a); // lossless
+    /// let x = vec![1.0; 200];
+    /// let (mut y1, mut y2) = (vec![0.0; 200], vec![0.0; 200]);
+    /// spmv_serial(&a, &x, &mut y1);
+    /// spmv_csr5(&c5, &x, &mut y2);
+    /// for (u, v) in y1.iter().zip(&y2) {
+    ///     assert!((u - v).abs() < 1e-10);
+    /// }
+    /// ```
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        Self::from_csr_with(a, DEFAULT_OMEGA, DEFAULT_SIGMA)
+    }
+
+    /// Convert from CSR with an explicit tile shape.
+    pub fn from_csr_with(a: &CsrMatrix, omega: usize, sigma: usize) -> Self {
+        assert!(omega >= 1 && sigma >= 1, "tile shape must be positive");
+        let nnz = a.nnz();
+        let per_tile = omega * sigma;
+        let num_tiles = nnz / per_tile;
+        let tail_start = num_tiles * per_tile;
+        let flag_words = per_tile.div_ceil(64);
+
+        // Row of each nonzero (for tiles only), via a linear walk.
+        let mut vals = vec![0.0; nnz];
+        let mut col_idx = vec![0u32; nnz];
+        let mut bit_flag = vec![0u64; num_tiles * flag_words];
+        let mut tile_first_row = vec![0u32; num_tiles];
+        let mut seg_rows = Vec::new();
+        let mut seg_rows_ptr = vec![0usize; num_tiles + 1];
+
+        // row_of[i] for i < tail_start, plus row-start marks.
+        let mut row_of = vec![0u32; tail_start];
+        let mut is_row_start = vec![false; tail_start.max(1)];
+        {
+            for r in 0..a.rows {
+                let (lo, hi) = (a.row_ptr[r], a.row_ptr[r + 1]);
+                if lo < tail_start && lo < hi {
+                    is_row_start[lo] = true;
+                }
+                for i in lo..hi.min(tail_start) {
+                    row_of[i] = r as u32;
+                }
+            }
+        }
+
+        for t in 0..num_tiles {
+            let base = t * per_tile;
+            tile_first_row[t] = row_of[base];
+            for lane in 0..omega {
+                for k in 0..sigma {
+                    let src = base + lane * sigma + k;
+                    let dst = base + k * omega + lane;
+                    vals[dst] = a.vals[src];
+                    col_idx[dst] = a.col_idx[src];
+                    if is_row_start[src] {
+                        let bit = lane * sigma + k;
+                        bit_flag[t * flag_words + bit / 64] |= 1u64 << (bit % 64);
+                        seg_rows.push(row_of[src]);
+                    }
+                }
+            }
+            seg_rows_ptr[t + 1] = seg_rows.len();
+        }
+        // Tail kept in CSR order.
+        vals[tail_start..].copy_from_slice(&a.vals[tail_start..]);
+        col_idx[tail_start..].copy_from_slice(&a.col_idx[tail_start..]);
+
+        Csr5Matrix {
+            rows: a.rows,
+            cols: a.cols,
+            omega,
+            sigma,
+            num_tiles,
+            vals,
+            col_idx,
+            bit_flag,
+            flag_words,
+            tile_first_row,
+            seg_rows,
+            seg_rows_ptr,
+            row_ptr: a.row_ptr.clone(),
+            tail_start,
+        }
+    }
+
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Is the bit for tile-local position `(lane, k)` of tile `t` set?
+    #[inline]
+    fn flag(&self, t: usize, lane: usize, k: usize) -> bool {
+        let bit = lane * self.sigma + k;
+        self.bit_flag[t * self.flag_words + bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// Convert back to CSR (inverse permutation), for validation.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let per_tile = self.omega * self.sigma;
+        let mut vals = vec![0.0; self.nnz()];
+        let mut col_idx = vec![0u32; self.nnz()];
+        for t in 0..self.num_tiles {
+            let base = t * per_tile;
+            for lane in 0..self.omega {
+                for k in 0..self.sigma {
+                    let src = base + k * self.omega + lane;
+                    let dst = base + lane * self.sigma + k;
+                    vals[dst] = self.vals[src];
+                    col_idx[dst] = self.col_idx[src];
+                }
+            }
+        }
+        vals[self.tail_start..].copy_from_slice(&self.vals[self.tail_start..]);
+        col_idx[self.tail_start..].copy_from_slice(&self.col_idx[self.tail_start..]);
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Per-tile partial results: segment sums routed to rows, with the
+    /// tile's first-row sum separated out as the calibrator value.
+    fn tile_partials(&self, t: usize, x: &[f64]) -> (Vec<(u32, f64)>, f64) {
+        let per_tile = self.omega * self.sigma;
+        let base = t * per_tile;
+        let first_row = self.tile_first_row[t];
+        let segs = &self.seg_rows[self.seg_rows_ptr[t]..self.seg_rows_ptr[t + 1]];
+        let mut direct: Vec<(u32, f64)> = Vec::with_capacity(segs.len());
+        let mut calibrator = 0.0;
+        let mut seg_idx = 0usize; // next row-start (in lane-major order)
+        let mut cur_row: Option<u32> = None; // None = continuation of prev tile
+        let mut acc = 0.0;
+        for lane in 0..self.omega {
+            for k in 0..self.sigma {
+                if self.flag(t, lane, k) {
+                    // Close the running segment.
+                    match cur_row {
+                        None => calibrator = acc,
+                        Some(r) => direct.push((r, acc)),
+                    }
+                    acc = 0.0;
+                    cur_row = Some(segs[seg_idx]);
+                    seg_idx += 1;
+                }
+                let idx = base + k * self.omega + lane;
+                acc += self.vals[idx] * x[self.col_idx[idx] as usize];
+            }
+        }
+        match cur_row {
+            None => calibrator = acc,
+            Some(r) => direct.push((r, acc)),
+        }
+        debug_assert_eq!(seg_idx, segs.len());
+        let _ = first_row;
+        (direct, calibrator)
+    }
+}
+
+/// CSR5 SpMV `y = A·x`: tiles in parallel, calibrator pass, CSR tail.
+pub fn spmv_csr5(a: &Csr5Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.cols, "x length");
+    assert_eq!(y.len(), a.rows, "y length");
+    y.fill(0.0);
+    // Phase 1: tiles in parallel.
+    let partials: Vec<(Vec<(u32, f64)>, f64)> = (0..a.num_tiles)
+        .into_par_iter()
+        .map(|t| a.tile_partials(t, x))
+        .collect();
+    // Phase 2: serial accumulation (direct rows are exclusive per tile; the
+    // calibrator folds cross-tile continuations into each tile's first row).
+    for (t, (direct, calibrator)) in partials.into_iter().enumerate() {
+        y[a.tile_first_row[t] as usize] += calibrator;
+        for (r, s) in direct {
+            y[r as usize] += s;
+        }
+    }
+    // Phase 3: CSR-ordered tail (may start mid-row).
+    if a.tail_start < a.nnz() {
+        // Find the row containing tail_start.
+        let mut r = match a.row_ptr.binary_search(&a.tail_start) {
+            Ok(mut i) => {
+                // Skip empty rows that share the pointer.
+                while i + 1 < a.row_ptr.len() && a.row_ptr[i + 1] == a.tail_start {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        let mut acc = 0.0;
+        for i in a.tail_start..a.nnz() {
+            while a.row_ptr[r + 1] <= i {
+                y[r] += acc;
+                acc = 0.0;
+                r += 1;
+            }
+            acc += a.vals[i] * x[a.col_idx[i] as usize];
+        }
+        y[r] += acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::gen::{MatrixKind, MatrixSpec};
+    use crate::spmv::spmv_serial;
+
+    fn check_matches_csr(m: &CsrMatrix, omega: usize, sigma: usize) {
+        let c5 = Csr5Matrix::from_csr_with(m, omega, sigma);
+        assert_eq!(c5.to_csr(), *m, "round trip failed");
+        let x: Vec<f64> = (0..m.cols).map(|i| 1.0 + (i % 13) as f64 * 0.5).collect();
+        let mut y_ref = vec![0.0; m.rows];
+        let mut y = vec![0.0; m.rows];
+        spmv_serial(m, &x, &mut y_ref);
+        spmv_csr5(&c5, &x, &mut y);
+        for (i, (a, b)) in y.iter().zip(&y_ref).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10,
+                "row {i}: csr5 {a} vs csr {b} (omega {omega} sigma {sigma})"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_and_spmv_across_structures() {
+        for kind in MatrixKind::all(300) {
+            let m = MatrixSpec::new(kind, 300, 4000, 5).build();
+            check_matches_csr(&m, DEFAULT_OMEGA, DEFAULT_SIGMA);
+        }
+    }
+
+    #[test]
+    fn various_tile_shapes() {
+        let m = MatrixSpec::new(MatrixKind::PowerLaw, 200, 2600, 7).build();
+        for (omega, sigma) in [(1, 1), (2, 3), (4, 4), (4, 16), (8, 32)] {
+            check_matches_csr(&m, omega, sigma);
+        }
+    }
+
+    #[test]
+    fn long_rows_spanning_many_tiles() {
+        // One row holds almost all nonzeros: exercises multi-tile
+        // continuations and the calibrator.
+        let mut coo = CooMatrix::new(10, 600);
+        for c in 0..600 {
+            coo.push(3, c, 1.0 + c as f64 * 0.01);
+        }
+        coo.push(0, 0, 5.0);
+        coo.push(9, 1, -2.0);
+        let m = CsrMatrix::from_coo(coo);
+        check_matches_csr(&m, 4, 16);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut coo = CooMatrix::new(12, 12);
+        // Rows 0, 5, 11 populated; the rest empty.
+        for c in 0..12 {
+            coo.push(0, c, 1.0);
+            coo.push(5, c, 2.0);
+            coo.push(11, c, 3.0);
+        }
+        let m = CsrMatrix::from_coo(coo);
+        check_matches_csr(&m, 4, 4);
+        // Empty rows yield zero.
+        let c5 = Csr5Matrix::from_csr_with(&m, 4, 4);
+        let x = vec![1.0; 12];
+        let mut y = vec![9.0; 12];
+        spmv_csr5(&c5, &x, &mut y);
+        assert_eq!(y[1], 0.0);
+        assert_eq!(y[0], 12.0);
+        assert_eq!(y[5], 24.0);
+        assert_eq!(y[11], 36.0);
+    }
+
+    #[test]
+    fn tail_only_matrix() {
+        // Fewer nonzeros than one tile: everything in the tail path.
+        let mut coo = CooMatrix::new(5, 5);
+        coo.push(0, 1, 2.0);
+        coo.push(2, 2, 3.0);
+        coo.push(4, 0, 4.0);
+        let m = CsrMatrix::from_coo(coo);
+        let c5 = Csr5Matrix::from_csr_with(&m, 4, 16);
+        assert_eq!(c5.num_tiles, 0);
+        check_matches_csr(&m, 4, 16);
+    }
+
+    #[test]
+    fn tail_starting_mid_row() {
+        // Tile boundary falls inside a row.
+        let mut coo = CooMatrix::new(4, 50);
+        for c in 0..10 {
+            coo.push(0, c, 1.0);
+        }
+        for c in 0..13 {
+            coo.push(2, c, 2.0);
+        }
+        let m = CsrMatrix::from_coo(coo); // 23 nnz; tile of 4x4 = 16 -> tail 7
+        let c5 = Csr5Matrix::from_csr_with(&m, 4, 4);
+        assert_eq!(c5.num_tiles, 1);
+        assert_eq!(c5.tail_start, 16);
+        check_matches_csr(&m, 4, 4);
+    }
+
+    #[test]
+    fn permutation_is_tile_column_major() {
+        // 1 tile of 2x2 from a 1-row matrix with values 1,2,3,4:
+        // CSR order [1,2,3,4]; lanes get [1,2] and [3,4]; column-major
+        // storage interleaves: [1,3,2,4].
+        let mut coo = CooMatrix::new(1, 4);
+        for c in 0..4 {
+            coo.push(0, c, (c + 1) as f64);
+        }
+        let m = CsrMatrix::from_coo(coo);
+        let c5 = Csr5Matrix::from_csr_with(&m, 2, 2);
+        assert_eq!(c5.vals, vec![1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(c5.to_csr().vals, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn bit_flags_mark_row_starts() {
+        // Two rows of 4 each, tile 2x4 (8 nnz = 1 tile).
+        let mut coo = CooMatrix::new(2, 4);
+        for c in 0..4 {
+            coo.push(0, c, 1.0);
+            coo.push(1, c, 2.0);
+        }
+        let m = CsrMatrix::from_coo(coo);
+        let c5 = Csr5Matrix::from_csr_with(&m, 2, 4);
+        // Lane 0 holds row 0 (start at k=0); lane 1 holds row 1 (start at
+        // k=0 of lane 1).
+        assert!(c5.flag(0, 0, 0));
+        assert!(c5.flag(0, 1, 0));
+        assert!(!c5.flag(0, 0, 1));
+        assert_eq!(&c5.seg_rows[..], &[0, 1]);
+    }
+
+    #[test]
+    fn nnz_balance_property() {
+        // Every full tile holds exactly omega*sigma nonzeros regardless of
+        // row skew — the CSR5 load-balance guarantee.
+        let m = MatrixSpec::new(MatrixKind::PowerLaw, 500, 8000, 3).build();
+        let c5 = Csr5Matrix::from_csr(&m);
+        assert_eq!(c5.num_tiles, m.nnz() / (DEFAULT_OMEGA * DEFAULT_SIGMA));
+        assert!(c5.num_tiles > 50);
+    }
+}

@@ -1,0 +1,513 @@
+//! Synthetic sparse-matrix corpus — the stand-in for the 968 University of
+//! Florida collection matrices the paper evaluates (§3.3: all square UF
+//! matrices with more than 200 000 nonzeros).
+//!
+//! Without network access to the UF collection, we generate a deterministic
+//! corpus that spans the same (rows × nnz) plane with six structure
+//! families whose locality properties bracket the real collection: banded
+//! and stencil matrices (strong `x`-vector locality, long dependency
+//! chains), uniform-random and power-law matrices (poor gather locality,
+//! shallow dependency DAGs), block-diagonal matrices (block-local reuse),
+//! and RMAT/Kronecker graphs (skewed, community-structured).
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Structure family of a generated matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatrixKind {
+    /// Uniformly random column positions.
+    RandomUniform,
+    /// Nonzeros within a diagonal band of the given half-width (columns).
+    Banded {
+        /// Half-width of the band in columns.
+        half_band: usize,
+    },
+    /// Zipf-distributed row lengths (exponent ~0.8), random columns.
+    PowerLaw,
+    /// Random columns within the diagonal block containing the row.
+    BlockDiagonal {
+        /// Block edge length.
+        block: usize,
+    },
+    /// Fixed stencil offsets around the diagonal (e.g. 5-point).
+    Stencil {
+        /// Number of off-diagonal points on each side.
+        points: usize,
+    },
+    /// RMAT/Kronecker recursive generator (a=0.57, b=c=0.19).
+    Rmat,
+    /// Arrow matrix: dense last row and column plus the diagonal — the
+    /// pathological case for row partitioning (one giant row) and the
+    /// *best* case for SpTRSV (two dependency levels).
+    Arrow,
+    /// 27-point FEM-style connectivity on a cubic grid (each cell coupled
+    /// to its 3x3x3 neighborhood).
+    Fem27,
+}
+
+impl MatrixKind {
+    /// The six families, in corpus rotation order.
+    pub fn all(rows: usize) -> [MatrixKind; 6] {
+        [
+            MatrixKind::RandomUniform,
+            MatrixKind::Banded {
+                half_band: (rows / 64).max(4),
+            },
+            MatrixKind::PowerLaw,
+            MatrixKind::BlockDiagonal {
+                block: (rows / 32).max(8),
+            },
+            MatrixKind::Stencil { points: 3 },
+            MatrixKind::Rmat,
+        ]
+    }
+
+    /// The extended family list, including the pathological/FEM kinds not
+    /// rotated into the paper-scale corpus.
+    pub fn extended(rows: usize) -> [MatrixKind; 8] {
+        let base = Self::all(rows);
+        [
+            base[0],
+            base[1],
+            base[2],
+            base[3],
+            base[4],
+            base[5],
+            MatrixKind::Arrow,
+            MatrixKind::Fem27,
+        ]
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MatrixKind::RandomUniform => "random",
+            MatrixKind::Banded { .. } => "banded",
+            MatrixKind::PowerLaw => "powerlaw",
+            MatrixKind::BlockDiagonal { .. } => "blockdiag",
+            MatrixKind::Stencil { .. } => "stencil",
+            MatrixKind::Rmat => "rmat",
+            MatrixKind::Arrow => "arrow",
+            MatrixKind::Fem27 => "fem27",
+        }
+    }
+}
+
+/// A reproducible matrix description: build it on demand or query analytic
+/// structure estimates without building (the 968-matrix harness sweeps use
+/// estimates; tests and examples build real matrices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixSpec {
+    /// Structure family.
+    pub kind: MatrixKind,
+    /// Square matrix order.
+    pub rows: usize,
+    /// Target nonzero count (the builder approaches it from below after
+    /// deduplication).
+    pub nnz_target: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Analytic structure estimates for a spec (cheap; no materialization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecEstimate {
+    /// Rows (== cols).
+    pub rows: usize,
+    /// Expected nonzeros.
+    pub nnz: usize,
+    /// Expected mean per-row column span, in columns.
+    pub avg_col_span: f64,
+    /// Expected dependency-level count of the lower-triangular system.
+    pub levels: f64,
+}
+
+impl MatrixSpec {
+    /// New spec (clamps `nnz_target` into `[rows, rows²/2]`).
+    ///
+    /// ```
+    /// use opm_sparse::gen::{MatrixKind, MatrixSpec};
+    ///
+    /// let spec = MatrixSpec::new(MatrixKind::Banded { half_band: 8 }, 1024, 10_000, 42);
+    /// let m = spec.build();             // real CSR matrix
+    /// assert_eq!(m.rows, 1024);
+    /// assert!(m.validate().is_ok());
+    /// let est = spec.estimate();        // analytic structure stats, no build
+    /// assert!(est.avg_col_span <= 17.0);
+    /// ```
+    pub fn new(kind: MatrixKind, rows: usize, nnz_target: usize, seed: u64) -> Self {
+        assert!(rows >= 4, "corpus matrices start at order 4");
+        let max_nnz = rows.saturating_mul(rows) / 2;
+        MatrixSpec {
+            kind,
+            rows,
+            nnz_target: nnz_target.clamp(rows, max_nnz.max(rows)),
+            seed,
+        }
+    }
+
+    /// Expected nonzeros per row.
+    pub fn row_len(&self) -> usize {
+        (self.nnz_target / self.rows).max(1)
+    }
+
+    /// Analytic estimates used by the corpus-scale harness.
+    pub fn estimate(&self) -> SpecEstimate {
+        let n = self.rows as f64;
+        let rl = self.row_len() as f64;
+        let (span, levels) = match self.kind {
+            MatrixKind::RandomUniform => {
+                // Expected span of k uniform draws from n: n(k-1)/(k+1).
+                let span = n * (rl - 1.0).max(0.0) / (rl + 1.0);
+                (span.max(1.0), (rl * (n.log2())).min(n))
+            }
+            MatrixKind::Banded { half_band } => {
+                ((2 * half_band + 1) as f64, n) // chain through the band
+            }
+            MatrixKind::PowerLaw => {
+                let span = n * 0.8;
+                (span, (1.5 * rl * n.log2()).min(n))
+            }
+            MatrixKind::BlockDiagonal { block } => {
+                let b = block as f64;
+                (b, (rl * b.log2()).min(b))
+            }
+            MatrixKind::Stencil { points } => ((2 * points + 1) as f64, n),
+            MatrixKind::Rmat => (n * 0.6, (2.0 * rl * n.log2()).min(n)),
+            // The dense last row spans everything; the solve is two levels.
+            MatrixKind::Arrow => (n, 2.0),
+            MatrixKind::Fem27 => {
+                let side = n.cbrt();
+                // Neighbors sit within ±(side² + side + 1) columns.
+                ((2.0 * (side * side + side + 1.0)).min(n), n.cbrt() * 3.0)
+            }
+        };
+        SpecEstimate {
+            rows: self.rows,
+            nnz: self.nnz_target,
+            avg_col_span: span,
+            levels: levels.max(1.0),
+        }
+    }
+
+    /// Materialize the matrix.
+    pub fn build(&self) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let n = self.rows;
+        let rl = self.row_len();
+        let mut coo = CooMatrix::new(n, n);
+        let val = |rng: &mut StdRng| rng.random_range(0.1..1.1);
+        match self.kind {
+            MatrixKind::RandomUniform => {
+                for i in 0..n {
+                    for _ in 0..rl {
+                        let c = rng.random_range(0..n);
+                        coo.push(i, c, val(&mut rng));
+                    }
+                }
+            }
+            MatrixKind::Banded { half_band } => {
+                for i in 0..n {
+                    let lo = i.saturating_sub(half_band);
+                    let hi = (i + half_band).min(n - 1);
+                    for _ in 0..rl {
+                        let c = rng.random_range(lo..=hi);
+                        coo.push(i, c, val(&mut rng));
+                    }
+                }
+            }
+            MatrixKind::PowerLaw => {
+                // Zipf-ish row lengths normalized to the target nnz.
+                let alpha = 0.8;
+                let norm: f64 = (1..=n).map(|k| (k as f64).powf(-alpha)).sum();
+                for i in 0..n {
+                    let w = ((i + 1) as f64).powf(-alpha) / norm;
+                    let len = ((self.nnz_target as f64 * w).round() as usize).clamp(1, n);
+                    for _ in 0..len {
+                        let c = rng.random_range(0..n);
+                        coo.push(i, c, val(&mut rng));
+                    }
+                }
+            }
+            MatrixKind::BlockDiagonal { block } => {
+                let block = block.max(1);
+                for i in 0..n {
+                    let b0 = (i / block) * block;
+                    let b1 = (b0 + block).min(n);
+                    for _ in 0..rl {
+                        let c = rng.random_range(b0..b1);
+                        coo.push(i, c, val(&mut rng));
+                    }
+                }
+            }
+            MatrixKind::Stencil { points } => {
+                for i in 0..n {
+                    coo.push(i, i, val(&mut rng) + 2.0);
+                    for d in 1..=points {
+                        if i >= d {
+                            coo.push(i, i - d, val(&mut rng));
+                        }
+                        if i + d < n {
+                            coo.push(i, i + d, val(&mut rng));
+                        }
+                    }
+                }
+            }
+            MatrixKind::Arrow => {
+                for i in 0..n {
+                    coo.push(i, i, val(&mut rng) + 2.0);
+                    if i + 1 < n {
+                        coo.push(n - 1, i, val(&mut rng));
+                        coo.push(i, n - 1, val(&mut rng));
+                    }
+                }
+            }
+            MatrixKind::Fem27 => {
+                let side = (n as f64).cbrt().floor().max(1.0) as usize;
+                let cell = |x: usize, y: usize, z: usize| (x * side + y) * side + z;
+                for x in 0..side {
+                    for y in 0..side {
+                        for z in 0..side {
+                            let i = cell(x, y, z);
+                            for dx in -1i64..=1 {
+                                for dy in -1i64..=1 {
+                                    for dz in -1i64..=1 {
+                                        let (xx, yy, zz) = (
+                                            x as i64 + dx,
+                                            y as i64 + dy,
+                                            z as i64 + dz,
+                                        );
+                                        if xx >= 0
+                                            && yy >= 0
+                                            && zz >= 0
+                                            && (xx as usize) < side
+                                            && (yy as usize) < side
+                                            && (zz as usize) < side
+                                        {
+                                            let j =
+                                                cell(xx as usize, yy as usize, zz as usize);
+                                            coo.push(i, j, val(&mut rng));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Anchor any rows beyond the cube with a diagonal.
+                for i in side * side * side..n {
+                    coo.push(i, i, 1.0);
+                }
+            }
+            MatrixKind::Rmat => {
+                let levels = (n as f64).log2().ceil() as usize;
+                for _ in 0..self.nnz_target {
+                    let (mut r, mut c) = (0usize, 0usize);
+                    for _ in 0..levels {
+                        let p: f64 = rng.random_range(0.0..1.0);
+                        let (dr, dc) = if p < 0.57 {
+                            (0, 0)
+                        } else if p < 0.76 {
+                            (0, 1)
+                        } else if p < 0.95 {
+                            (1, 0)
+                        } else {
+                            (1, 1)
+                        };
+                        r = r * 2 + dr;
+                        c = c * 2 + dc;
+                    }
+                    if r < n && c < n {
+                        coo.push(r, c, val(&mut rng));
+                    }
+                }
+                // Guarantee a structurally nonsingular diagonal anchor.
+                for i in 0..n {
+                    coo.push(i, i, 1.0);
+                }
+            }
+        }
+        let m = CsrMatrix::from_coo(coo);
+        debug_assert!(m.validate().is_ok());
+        m
+    }
+}
+
+/// The deterministic 968-spec corpus, spanning rows ∈ [2^10, 2^20] and
+/// nnz ∈ [2·10^5, 10^8] (paper §3.3 requires nnz > 200 000; the UF
+/// collection reaches past 10^8) with all six structure families.
+pub fn corpus(count: usize) -> Vec<MatrixSpec> {
+    (0..count)
+        .map(|i| {
+            // Low-discrepancy placement in the (log rows, log nnz) plane.
+            let u = halton(i as u32 + 1, 2);
+            let v = halton(i as u32 + 1, 3);
+            let rows = (2f64.powf(10.0 + 10.0 * u)).round() as usize;
+            let nnz = (10f64.powf(5.3 + 2.7 * v)).round() as usize;
+            let kind = MatrixKind::all(rows)[i % 6];
+            MatrixSpec::new(kind, rows, nnz, i as u64)
+        })
+        .collect()
+}
+
+/// The paper's corpus size.
+pub const PAPER_CORPUS_SIZE: usize = 968;
+
+fn halton(mut i: u32, base: u32) -> f64 {
+    let mut f = 1.0;
+    let mut r = 0.0;
+    while i > 0 {
+        f /= base as f64;
+        r += f * (i % base) as f64;
+        i /= base;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_are_deterministic() {
+        let s = MatrixSpec::new(MatrixKind::RandomUniform, 64, 512, 7);
+        assert_eq!(s.build(), s.build());
+    }
+
+    #[test]
+    fn all_kinds_build_valid_matrices() {
+        for kind in MatrixKind::all(256) {
+            let s = MatrixSpec::new(kind, 256, 2048, 1);
+            let m = s.build();
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            assert_eq!(m.rows, 256);
+            assert_eq!(m.cols, 256);
+            assert!(m.nnz() > 0);
+            // Deduplication only removes entries.
+            assert!(m.nnz() <= s.nnz_target + 2 * 256 + 1, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn banded_stays_in_band() {
+        let s = MatrixSpec::new(MatrixKind::Banded { half_band: 3 }, 128, 1024, 2);
+        let m = s.build();
+        for i in 0..m.rows {
+            let (cols, _) = m.row(i);
+            for &c in cols {
+                assert!((c as i64 - i as i64).abs() <= 3);
+            }
+        }
+        assert!(m.stats().avg_col_span <= 7.0);
+    }
+
+    #[test]
+    fn block_diagonal_stays_in_block() {
+        let s = MatrixSpec::new(MatrixKind::BlockDiagonal { block: 16 }, 64, 640, 3);
+        let m = s.build();
+        for i in 0..m.rows {
+            let (cols, _) = m.row(i);
+            for &c in cols {
+                assert_eq!(c as usize / 16, i / 16);
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_has_expected_pattern() {
+        let s = MatrixSpec::new(MatrixKind::Stencil { points: 2 }, 32, 32 * 5, 4);
+        let m = s.build();
+        let (cols, _) = m.row(10);
+        assert_eq!(cols, &[8, 9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn powerlaw_is_skewed() {
+        let s = MatrixSpec::new(MatrixKind::PowerLaw, 512, 8192, 5);
+        let m = s.build();
+        let stats = m.stats();
+        assert!(stats.max_row_len as f64 > 4.0 * stats.avg_row_len);
+    }
+
+    #[test]
+    fn estimates_track_structure() {
+        let banded = MatrixSpec::new(MatrixKind::Banded { half_band: 8 }, 4096, 40960, 6);
+        let random = MatrixSpec::new(MatrixKind::RandomUniform, 4096, 40960, 6);
+        let eb = banded.estimate();
+        let er = random.estimate();
+        assert!(eb.avg_col_span < er.avg_col_span / 10.0);
+        assert!(eb.levels > er.levels); // band chains serialize SpTRSV
+    }
+
+    #[test]
+    fn arrow_matrix_shape() {
+        let m = MatrixSpec::new(MatrixKind::Arrow, 64, 200, 1).build();
+        m.validate().unwrap();
+        let stats = m.stats();
+        // The last row is (nearly) dense.
+        assert_eq!(stats.max_row_len, 64);
+        // Two dependency levels once lower-triangularized... the dense last
+        // row depends on everything, everything else only on itself.
+        let l = m.to_lower_triangular();
+        assert_eq!(crate::sptrsv::level_sets(&l).len(), 2);
+    }
+
+    #[test]
+    fn fem27_has_27_point_interior_rows() {
+        let n = 512; // 8^3 cube
+        let m = MatrixSpec::new(MatrixKind::Fem27, n, n * 27, 2).build();
+        m.validate().unwrap();
+        let stats = m.stats();
+        assert_eq!(stats.max_row_len, 27);
+        // Interior cell of the 8-cube: index (4,4,4).
+        let i = (4 * 8 + 4) * 8 + 4;
+        let (cols, _) = m.row(i);
+        assert_eq!(cols.len(), 27);
+    }
+
+    #[test]
+    fn extended_families_build_and_estimate() {
+        for kind in MatrixKind::extended(512) {
+            let spec = MatrixSpec::new(kind, 512, 4096, 3);
+            let m = spec.build();
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            let est = spec.estimate();
+            assert!(est.levels >= 1.0 && est.avg_col_span >= 1.0, "{}", kind.label());
+        }
+        // The extended list adds exactly the two new kinds.
+        assert_eq!(MatrixKind::extended(512).len(), 8);
+    }
+
+    #[test]
+    fn corpus_spans_the_plane() {
+        let c = corpus(PAPER_CORPUS_SIZE);
+        assert_eq!(c.len(), 968);
+        let rows: Vec<usize> = c.iter().map(|s| s.rows).collect();
+        let min_rows = *rows.iter().min().unwrap();
+        let max_rows = *rows.iter().max().unwrap();
+        assert!(min_rows < 3000, "min rows {min_rows}");
+        assert!(max_rows > 500_000, "max rows {max_rows}");
+        // All six kinds present.
+        for kind_idx in 0..6 {
+            assert!(c.iter().skip(kind_idx).step_by(6).count() > 100);
+        }
+        // Deterministic.
+        assert_eq!(corpus(10), corpus(10));
+    }
+
+    #[test]
+    fn banded_estimate_span_matches_built_matrix() {
+        let s = MatrixSpec::new(MatrixKind::Banded { half_band: 16 }, 1024, 16384, 9);
+        let est = s.estimate();
+        let built = s.build().stats();
+        assert!(
+            (est.avg_col_span - built.avg_col_span).abs() / est.avg_col_span < 0.5,
+            "estimate {} vs built {}",
+            est.avg_col_span,
+            built.avg_col_span
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Segmented sort utilities. The paper orders the rows of every test matrix
+//! "by using the segmented sort \[22\] for best performance" (§3.3): within
+//! each segment (row), key/value pairs are sorted by key; across rows, a
+//! permutation groups rows of similar length for load balance.
+
+use rayon::prelude::*;
+
+/// Sort `(key, value)` pairs within each segment. `seg_ptr` delimits the
+/// segments (CSR-style, length = segments + 1). Segments sort in parallel.
+pub fn segmented_sort_pairs(seg_ptr: &[usize], keys: &mut [u32], vals: &mut [f64]) {
+    assert!(!seg_ptr.is_empty(), "need at least the empty segment list");
+    assert_eq!(
+        *seg_ptr.last().unwrap(),
+        keys.len(),
+        "segment pointers must cover the key array"
+    );
+    assert_eq!(keys.len(), vals.len(), "keys/vals length mismatch");
+    // Zip into per-segment buffers to sort pairs together.
+    let segments: Vec<(usize, usize)> = seg_ptr.windows(2).map(|w| (w[0], w[1])).collect();
+    let mut chunks: Vec<(usize, Vec<(u32, f64)>)> = segments
+        .par_iter()
+        .filter(|(lo, hi)| hi > lo)
+        .map(|&(lo, hi)| {
+            let mut pairs: Vec<(u32, f64)> =
+                keys[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()).collect();
+            pairs.sort_unstable_by_key(|&(k, _)| k);
+            (lo, pairs)
+        })
+        .collect();
+    chunks.sort_unstable_by_key(|(lo, _)| *lo);
+    for (lo, pairs) in chunks {
+        for (off, (k, v)) in pairs.into_iter().enumerate() {
+            keys[lo + off] = k;
+            vals[lo + off] = v;
+        }
+    }
+}
+
+/// Permutation of segment indices ordered by descending segment length
+/// (the row ordering used for load balancing).
+pub fn rows_by_length_desc(seg_ptr: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..seg_ptr.len().saturating_sub(1)).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(seg_ptr[i + 1] - seg_ptr[i]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_within_segments_only() {
+        let seg = vec![0, 3, 3, 6];
+        let mut keys = vec![3, 1, 2, 9, 7, 8];
+        let mut vals = vec![30.0, 10.0, 20.0, 90.0, 70.0, 80.0];
+        segmented_sort_pairs(&seg, &mut keys, &mut vals);
+        assert_eq!(keys, vec![1, 2, 3, 7, 8, 9]);
+        assert_eq!(vals, vec![10.0, 20.0, 30.0, 70.0, 80.0, 90.0]);
+    }
+
+    #[test]
+    fn values_follow_keys() {
+        let seg = vec![0, 4];
+        let mut keys = vec![4, 2, 3, 1];
+        let mut vals = vec![40.0, 20.0, 30.0, 10.0];
+        segmented_sort_pairs(&seg, &mut keys, &mut vals);
+        for (k, v) in keys.iter().zip(&vals) {
+            assert_eq!(*v, *k as f64 * 10.0);
+        }
+    }
+
+    #[test]
+    fn empty_segments_are_fine() {
+        let seg = vec![0, 0, 0];
+        segmented_sort_pairs(&seg, &mut [], &mut []);
+    }
+
+    #[test]
+    fn length_ordering() {
+        let seg = vec![0, 1, 5, 7];
+        let order = rows_by_length_desc(&seg);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        segmented_sort_pairs(&[0, 1], &mut [1], &mut []);
+    }
+}

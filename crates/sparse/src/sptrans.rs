@@ -1,0 +1,248 @@
+//! Sparse matrix transposition CSR → CSC (paper §3.1.2). Two
+//! implementations mirror the paper's choices: **ScanTrans** (two scan
+//! passes, used on the Broadwell CPU) and **MergeTrans** (chunked partial
+//! transposes merged per column, used on KNL) from Wang et al., ICS'16.
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use opm_core::profile::{AccessProfile, Phase, Tier};
+use rayon::prelude::*;
+
+/// ScanTrans: histogram of column counts, exclusive scan, ordered scatter.
+/// Row indices within each output column come out sorted because rows are
+/// scanned in order.
+pub fn sptrans_scan(a: &CsrMatrix) -> CscMatrix {
+    let nnz = a.nnz();
+    let mut col_ptr = vec![0usize; a.cols + 1];
+    for &c in &a.col_idx {
+        col_ptr[c as usize + 1] += 1;
+    }
+    for j in 0..a.cols {
+        col_ptr[j + 1] += col_ptr[j];
+    }
+    let mut cursor = col_ptr.clone();
+    let mut row_idx = vec![0u32; nnz];
+    let mut vals = vec![0.0f64; nnz];
+    for i in 0..a.rows {
+        let (cols, v) = a.row(i);
+        for (&c, &x) in cols.iter().zip(v) {
+            let dst = cursor[c as usize];
+            row_idx[dst] = i as u32;
+            vals[dst] = x;
+            cursor[c as usize] += 1;
+        }
+    }
+    CscMatrix {
+        rows: a.rows,
+        cols: a.cols,
+        col_ptr,
+        row_idx,
+        vals,
+    }
+}
+
+/// MergeTrans: split the rows into chunks, transpose each chunk privately
+/// in parallel, then merge the per-chunk column segments. Chunks hold
+/// ascending row ranges, so concatenating their per-column segments keeps
+/// row indices sorted.
+pub fn sptrans_merge(a: &CsrMatrix, chunks: usize) -> CscMatrix {
+    let chunks = chunks.clamp(1, a.rows.max(1));
+    let nnz = a.nnz();
+    let rows_per = a.rows.div_ceil(chunks);
+    // Phase 1: per-chunk column histograms.
+    let ranges: Vec<(usize, usize)> = (0..chunks)
+        .map(|t| (t * rows_per, ((t + 1) * rows_per).min(a.rows)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    let histograms: Vec<Vec<usize>> = ranges
+        .par_iter()
+        .map(|&(lo, hi)| {
+            let mut h = vec![0usize; a.cols];
+            for i in lo..hi {
+                let (cols, _) = a.row(i);
+                for &c in cols {
+                    h[c as usize] += 1;
+                }
+            }
+            h
+        })
+        .collect();
+    // Phase 2: global column pointers and per-(chunk, column) offsets.
+    let mut col_ptr = vec![0usize; a.cols + 1];
+    for h in &histograms {
+        for (j, &c) in h.iter().enumerate() {
+            col_ptr[j + 1] += c;
+        }
+    }
+    for j in 0..a.cols {
+        col_ptr[j + 1] += col_ptr[j];
+    }
+    // offsets[t][j] = start position of chunk t's segment in column j.
+    let mut offsets: Vec<Vec<usize>> = Vec::with_capacity(histograms.len());
+    let mut running = col_ptr[..a.cols].to_vec();
+    for h in &histograms {
+        offsets.push(running.clone());
+        for (j, &c) in h.iter().enumerate() {
+            running[j] += c;
+        }
+    }
+    // Phase 3: parallel scatter into disjoint positions.
+    let mut row_idx = vec![0u32; nnz];
+    let mut vals = vec![0.0f64; nnz];
+    {
+        let row_idx_ptr = SyncSlice(row_idx.as_mut_ptr());
+        let vals_ptr = SyncSlice(vals.as_mut_ptr());
+        ranges
+            .par_iter()
+            .zip(offsets.par_iter())
+            .for_each(|(&(lo, hi), offs)| {
+                let mut cursor = offs.clone();
+                for i in lo..hi {
+                    let (cols, v) = a.row(i);
+                    for (&c, &x) in cols.iter().zip(v) {
+                        let dst = cursor[c as usize];
+                        cursor[c as usize] += 1;
+                        // SAFETY: chunk/column segments are disjoint by
+                        // construction (offsets partition each column).
+                        unsafe {
+                            row_idx_ptr.write(dst, i as u32);
+                            vals_ptr.write(dst, x);
+                        }
+                    }
+                }
+            });
+    }
+    CscMatrix {
+        rows: a.rows,
+        cols: a.cols,
+        col_ptr,
+        row_idx,
+        vals,
+    }
+}
+
+struct SyncSlice<T>(*mut T);
+
+impl<T> SyncSlice<T> {
+    /// # Safety
+    /// Callers must guarantee `idx` is in bounds and written by exactly one
+    /// thread.
+    unsafe fn write(&self, idx: usize, v: T) {
+        unsafe { *self.0.add(idx) = v }
+    }
+}
+
+unsafe impl<T: Send> Sync for SyncSlice<T> {}
+unsafe impl<T: Send> Send for SyncSlice<T> {}
+
+/// Operation count used by the paper for SpTRANS throughput reporting
+/// (Table 2: `nnz·log₂(nnz)`).
+pub fn sptrans_ops(nnz: usize) -> f64 {
+    let nz = nnz as f64;
+    nz * nz.max(2.0).log2()
+}
+
+/// Allocation footprint: input CSR + output CSC.
+pub fn sptrans_footprint(rows: usize, nnz: usize) -> f64 {
+    2.0 * (12.0 * nnz as f64 + 8.0 * (rows as f64 + 1.0))
+}
+
+/// Access profile: reads stream the CSR arrays, writes scatter across the
+/// whole output (working set = footprint, poorly prefetchable), plus
+/// histogram/scan passes over the pointer arrays. SpTRANS has almost no
+/// data reuse, which is why it "behaves better when the whole problem size
+/// is smaller" (paper §4.1.2) and why MCDRAM modes barely help it once the
+/// code is L2-tiled (§4.2.2).
+pub fn sptrans_profile(rows: usize, nnz: usize, threads: usize) -> AccessProfile {
+    assert!(rows > 0 && nnz > 0 && threads > 0);
+    let m = rows as f64;
+    let nz = nnz as f64;
+    let footprint = sptrans_footprint(rows, nnz);
+    let read_bytes = 12.0 * nz + 8.0 * m;
+    let scatter_bytes = 12.0 * nz;
+    let scan_bytes = 24.0 * m;
+    let bytes = read_bytes + scatter_bytes + scan_bytes;
+    let mut ph = Phase::new("sptrans", sptrans_ops(nnz), bytes);
+    ph.tiers = vec![
+        // Scatter writes touch the whole output with little locality.
+        Tier::irregular(footprint, scatter_bytes / bytes, 0.25, 8.0),
+        // Pointer arrays are revisited by the scan passes.
+        Tier::new((16.0 * m).max(64.0), scan_bytes / bytes),
+    ];
+    ph.prefetch = 0.9;
+    ph.stream_prefetch = 0.9;
+    ph.mlp = 8.0;
+    ph.threads = threads;
+    // Index manipulation, no FP: the "operations" retire far from peak, and
+    // the scatter is pathological on the manycore (Table 5: best 5.2
+    // GFlop-equivalents on KNL vs 21.8 on Broadwell, Table 4).
+    ph.compute_eff = if threads >= 64 { 0.0017 } else { 0.09 };
+    AccessProfile::single("sptrans", ph, footprint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{MatrixKind, MatrixSpec};
+
+    #[test]
+    fn scan_preserves_matrix_content() {
+        // CSR -> CSC conversion stores the *same* matrix; its dense view is
+        // unchanged, and the reinterpretation as CSR is the transpose.
+        let m = MatrixSpec::new(MatrixKind::RandomUniform, 30, 200, 1).build();
+        let t = sptrans_scan(&m);
+        t.validate().unwrap();
+        assert_eq!(t.to_dense(), m.to_dense());
+        let tr = t.into_transposed_csr();
+        let td = tr.to_dense();
+        let md = m.to_dense();
+        for i in 0..m.rows {
+            for j in 0..m.cols {
+                assert_eq!(td[j][i], md[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_scan() {
+        for kind in MatrixKind::all(300) {
+            let m = MatrixSpec::new(kind, 300, 3000, 2).build();
+            let a = sptrans_scan(&m);
+            for chunks in [1, 3, 8, 64] {
+                let b = sptrans_merge(&m, chunks);
+                assert_eq!(a, b, "{} chunks {chunks}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let m = MatrixSpec::new(MatrixKind::Rmat, 128, 1500, 3).build();
+        let t = sptrans_scan(&m).into_transposed_csr();
+        t.validate().unwrap();
+        let tt = sptrans_scan(&t).into_transposed_csr();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn output_columns_are_sorted() {
+        let m = MatrixSpec::new(MatrixKind::PowerLaw, 200, 2500, 4).build();
+        let t = sptrans_merge(&m, 7);
+        t.validate().unwrap(); // includes per-column sortedness
+    }
+
+    #[test]
+    fn ops_and_footprint_formulas() {
+        assert_eq!(sptrans_ops(1 << 20), (1u64 << 20) as f64 * 20.0);
+        let fp = sptrans_footprint(1000, 50_000);
+        assert_eq!(fp, 2.0 * (600_000.0 + 8008.0));
+    }
+
+    #[test]
+    fn profile_has_low_reuse() {
+        let p = sptrans_profile(100_000, 2_000_000, 4);
+        p.validate().unwrap();
+        // The scatter tier needs the whole footprint: no mid-size reuse.
+        assert!(p.phases[0].tiers[0].working_set >= p.footprint * 0.99);
+    }
+}

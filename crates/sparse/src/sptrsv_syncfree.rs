@@ -1,0 +1,238 @@
+//! Synchronization-free SpTRSV (Liu, Li, Hogg, Duff, Vinter — Euro-Par'16),
+//! the algorithm family behind the paper's SpMP/P2P-SpTRSV choice: instead
+//! of level-set barriers, each row carries an atomic in-degree; a row whose
+//! dependencies have all resolved is immediately executable, and resolving
+//! a row pushes its value forward along the CSC columns (producers
+//! propagate `v·x[j]` into consumers' partial sums), so threads never wait
+//! at a global barrier.
+//!
+//! Data-flow safety: `x[i]` is written exactly once, by the worker that
+//! resolved row `i`, before that worker touches any consumer; consumers
+//! never read `x` — they receive contributions through the atomic
+//! `left_sum` accumulators.
+
+use crate::csr::CsrMatrix;
+use crate::sptrsv::TrsvError;
+use crossbeam::deque::{Injector, Steal};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Atomic f64 add via compare-exchange on the bit pattern.
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(cur) + v;
+        match cell.compare_exchange_weak(
+            cur,
+            next.to_bits(),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Strict-lower CSC adjacency of `l` (consumers of each column).
+fn lower_csc(l: &CsrMatrix) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+    let n = l.rows;
+    let mut col_ptr = vec![0usize; n + 1];
+    for i in 0..n {
+        let (cols, _) = l.row(i);
+        for &c in cols {
+            if (c as usize) < i {
+                col_ptr[c as usize + 1] += 1;
+            }
+        }
+    }
+    for j in 0..n {
+        col_ptr[j + 1] += col_ptr[j];
+    }
+    let mut cursor = col_ptr.clone();
+    let mut row_idx = vec![0u32; col_ptr[n]];
+    let mut vals = vec![0.0; col_ptr[n]];
+    for i in 0..n {
+        let (cols, vs) = l.row(i);
+        for (&c, &v) in cols.iter().zip(vs) {
+            let c = c as usize;
+            if c < i {
+                row_idx[cursor[c]] = i as u32;
+                vals[cursor[c]] = v;
+                cursor[c] += 1;
+            }
+        }
+    }
+    (col_ptr, row_idx, vals)
+}
+
+/// Synchronization-free parallel forward substitution for `L·x = b`.
+pub fn sptrsv_syncfree(l: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>, TrsvError> {
+    assert_eq!(l.rows, l.cols, "L must be square");
+    assert_eq!(b.len(), l.rows, "b length");
+    check_lower(l)?;
+    let n = l.rows;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Diagonal values and in-degrees.
+    let mut diag = vec![0.0; n];
+    let in_degree: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        let mut deg = 0;
+        for &c in cols {
+            if (c as usize) < i {
+                deg += 1;
+            }
+        }
+        in_degree[i].store(deg, Ordering::Relaxed);
+        diag[i] = *vals.last().unwrap();
+    }
+    let (col_ptr, row_idx, cvals) = lower_csc(l);
+    let left_sum: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let x: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let queue = Injector::new();
+    let remaining = AtomicUsize::new(n);
+    for i in 0..n {
+        if in_degree[i].load(Ordering::Relaxed) == 0 {
+            queue.push(i);
+        }
+    }
+    let workers = rayon::current_num_threads().clamp(1, 16);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                loop {
+                    let i = match queue.steal() {
+                        Steal::Success(i) => i,
+                        Steal::Empty => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                            continue;
+                        }
+                        Steal::Retry => continue,
+                    };
+                    let ls = f64::from_bits(left_sum[i].load(Ordering::Acquire));
+                    let xi = (b[i] - ls) / diag[i];
+                    x[i].store(xi.to_bits(), Ordering::Release);
+                    // Propagate to consumers.
+                    for p in col_ptr[i]..col_ptr[i + 1] {
+                        let r = row_idx[p] as usize;
+                        atomic_f64_add(&left_sum[r], cvals[p] * xi);
+                        if in_degree[r].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            queue.push(r);
+                        }
+                    }
+                    remaining.fetch_sub(1, Ordering::AcqRel);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    Ok(x.into_iter()
+        .map(|a| f64::from_bits(a.into_inner()))
+        .collect())
+}
+
+fn check_lower(l: &CsrMatrix) -> Result<(), TrsvError> {
+    for i in 0..l.rows {
+        let (cols, vals) = l.row(i);
+        match cols.last() {
+            Some(&c) if c as usize == i => {
+                if vals.last().unwrap().abs() < 1e-300 {
+                    return Err(TrsvError::ZeroDiagonal(i));
+                }
+            }
+            Some(&c) if (c as usize) > i => return Err(TrsvError::UpperEntry(i)),
+            _ => return Err(TrsvError::MissingDiagonal(i)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{MatrixKind, MatrixSpec};
+    use crate::sptrsv::{sptrsv_serial, TrsvError};
+
+    fn lower(kind: MatrixKind, n: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        MatrixSpec::new(kind, n, nnz, seed).build().to_lower_triangular()
+    }
+
+    #[test]
+    fn matches_serial_across_structures() {
+        for kind in MatrixKind::all(500) {
+            let l = lower(kind, 500, 5000, 3);
+            let b: Vec<f64> = (0..500).map(|i| (i as f64 * 0.2).sin() + 1.0).collect();
+            let xs = sptrsv_serial(&l, &b).unwrap();
+            let xf = sptrsv_syncfree(&l, &b).unwrap();
+            for (i, (a, c)) in xs.iter().zip(&xf).enumerate() {
+                assert!(
+                    (a - c).abs() < 1e-9,
+                    "{} row {i}: serial {a} vs syncfree {c}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_chain_resolves() {
+        // Worst case: a pure dependency chain (levels = n).
+        let mut coo = crate::coo::CooMatrix::new(200, 200);
+        for i in 0..200 {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, 1.0);
+            }
+        }
+        let l = CsrMatrix::from_coo(coo);
+        let b = vec![1.0; 200];
+        let xs = sptrsv_serial(&l, &b).unwrap();
+        let xf = sptrsv_syncfree(&l, &b).unwrap();
+        for (a, c) in xs.iter().zip(&xf) {
+            assert!((a - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_system_is_embarrassingly_parallel() {
+        let mut coo = crate::coo::CooMatrix::new(64, 64);
+        for i in 0..64 {
+            coo.push(i, i, (i + 1) as f64);
+        }
+        let l = CsrMatrix::from_coo(coo);
+        let b: Vec<f64> = (0..64).map(|i| (i + 1) as f64 * 3.0).collect();
+        let x = sptrsv_syncfree(&l, &b).unwrap();
+        assert!(x.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rejects_structural_errors() {
+        let mut coo = crate::coo::CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(2, 0, 1.0); // missing diagonal in row 2
+        let l = CsrMatrix::from_coo(coo);
+        assert_eq!(
+            sptrsv_syncfree(&l, &[1.0; 3]),
+            Err(TrsvError::MissingDiagonal(2))
+        );
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let l = lower(MatrixKind::Rmat, 400, 4000, 9);
+        let b: Vec<f64> = (0..400).map(|i| i as f64 * 0.01).collect();
+        let a = sptrsv_syncfree(&l, &b).unwrap();
+        for _ in 0..5 {
+            let c = sptrsv_syncfree(&l, &b).unwrap();
+            for (x, y) in a.iter().zip(&c) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+}

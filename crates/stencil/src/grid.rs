@@ -1,0 +1,122 @@
+//! Dense 3D scalar grid for the finite-difference stencil, z fastest.
+
+/// A 3D grid of `f64`, laid out `x → y → z` with z contiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Extent along x.
+    pub nx: usize,
+    /// Extent along y.
+    pub ny: usize,
+    /// Extent along z.
+    pub nz: usize,
+    /// Data, `len == nx · ny · nz`.
+    pub data: Vec<f64>,
+}
+
+impl Grid {
+    /// Zero grid.
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0);
+        Grid {
+            nx,
+            ny,
+            nz,
+            data: vec![0.0; nx * ny * nz],
+        }
+    }
+
+    /// Constant-valued grid.
+    pub fn constant(nx: usize, ny: usize, nz: usize, v: f64) -> Self {
+        let mut g = Self::zeros(nx, ny, nz);
+        g.data.fill(v);
+        g
+    }
+
+    /// Deterministic smooth test field.
+    pub fn smooth(nx: usize, ny: usize, nz: usize) -> Self {
+        let mut g = Self::zeros(nx, ny, nz);
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let i = g.idx(x, y, z);
+                    g.data[i] = (x as f64 * 0.3).sin() + (y as f64 * 0.2).cos()
+                        + (z as f64 * 0.1).sin();
+                }
+            }
+        }
+        g
+    }
+
+    /// Linear index of `(x, y, z)`.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.data[self.idx(x, y, z)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, x: usize, y: usize, z: usize) -> &mut f64 {
+        let i = self.idx(x, y, z);
+        &mut self.data[i]
+    }
+
+    /// Cells in the grid.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Footprint in bytes.
+    pub fn footprint_bytes(&self) -> f64 {
+        (self.data.len() * 8) as f64
+    }
+
+    /// Largest absolute element difference.
+    pub fn max_abs_diff(&self, other: &Grid) -> f64 {
+        assert_eq!(self.data.len(), other.data.len());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_z_fastest() {
+        let g = Grid::zeros(2, 3, 4);
+        assert_eq!(g.idx(0, 0, 1), 1);
+        assert_eq!(g.idx(0, 1, 0), 4);
+        assert_eq!(g.idx(1, 0, 0), 12);
+        assert_eq!(g.cells(), 24);
+        assert_eq!(g.footprint_bytes(), 192.0);
+    }
+
+    #[test]
+    fn constant_fill() {
+        let g = Grid::constant(2, 2, 2, 7.5);
+        assert!(g.data.iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn smooth_is_deterministic() {
+        assert_eq!(Grid::smooth(3, 3, 3), Grid::smooth(3, 3, 3));
+    }
+
+    #[test]
+    fn diff_detects_change() {
+        let a = Grid::zeros(2, 2, 2);
+        let mut b = a.clone();
+        *b.at_mut(1, 1, 1) = 3.0;
+        assert_eq!(a.max_abs_diff(&b), 3.0);
+    }
+}

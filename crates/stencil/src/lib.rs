@@ -1,0 +1,27 @@
+//! # opm-stencil
+//!
+//! Structured-grid substrate of the OPM reproduction: the YASK "iso3dfd"
+//! kernel (16th-order-in-space, 2nd-order-in-time isotropic finite
+//! difference with cache blocking) and the STREAM bandwidth kernels —
+//! the two ends of the paper's "other algorithms" group (§3.1.3).
+
+#![warn(missing_docs)]
+// Numeric kernels co-index several arrays in lockstep; explicit index loops
+// are the clearer idiom there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod folding;
+pub mod grid;
+pub mod iso3dfd;
+pub mod stream;
+pub mod temporal;
+
+pub use folding::{step_folded, FoldedGrid};
+pub use grid::Grid;
+pub use iso3dfd::{
+    second_derivative_weights, stencil_flops, stencil_footprint, stencil_interior_flops,
+    stencil_profile, step_blocked,
+    step_naive, HALF,
+};
+pub use stream::{stream_footprint, stream_profile, triad, triad_bytes, triad_flops};
+pub use temporal::{stencil_temporal_profile, step2_fused};

@@ -1,0 +1,130 @@
+//! The STREAM synthetic bandwidth benchmark (McCalpin; paper §3.1.3 uses
+//! the TRIAD kernel `a = b + α·c`). Serial and Rayon-parallel versions of
+//! all four kernels, plus the TRIAD access profile.
+
+use opm_core::profile::{AccessProfile, Phase, Tier};
+use rayon::prelude::*;
+
+/// `a[i] = b[i]` — COPY.
+pub fn copy(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x = y);
+}
+
+/// `a[i] = α·b[i]` — SCALE.
+pub fn scale(a: &mut [f64], b: &[f64], alpha: f64) {
+    assert_eq!(a.len(), b.len());
+    a.par_iter_mut()
+        .zip(b.par_iter())
+        .for_each(|(x, &y)| *x = alpha * y);
+}
+
+/// `a[i] = b[i] + c[i]` — ADD.
+pub fn add(a: &mut [f64], b: &[f64], c: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    a.par_iter_mut()
+        .zip(b.par_iter().zip(c.par_iter()))
+        .for_each(|(x, (&y, &z))| *x = y + z);
+}
+
+/// `a[i] = b[i] + α·c[i]` — TRIAD (the paper's measured kernel).
+pub fn triad(a: &mut [f64], b: &[f64], c: &[f64], alpha: f64) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    a.par_iter_mut()
+        .zip(b.par_iter().zip(c.par_iter()))
+        .for_each(|(x, (&y, &z))| *x = y + alpha * z);
+}
+
+/// Serial TRIAD reference.
+pub fn triad_serial(a: &mut [f64], b: &[f64], c: &[f64], alpha: f64) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    for i in 0..a.len() {
+        a[i] = b[i] + alpha * c[i];
+    }
+}
+
+/// TRIAD flop count per sweep (Table 2: `2n`).
+pub fn triad_flops(n: usize) -> f64 {
+    2.0 * n as f64
+}
+
+/// TRIAD bytes per sweep including the write-allocate of `a`
+/// (Table 2: `32n`).
+pub fn triad_bytes(n: usize) -> f64 {
+    32.0 * n as f64
+}
+
+/// Allocation footprint of the three arrays.
+pub fn stream_footprint(n: usize) -> f64 {
+    24.0 * n as f64
+}
+
+/// Access profile for `reps` TRIAD sweeps over arrays of `n` doubles: pure
+/// streaming, but the arrays themselves are re-swept every repetition, so
+/// the reuse working set is the whole footprint — the canonical Stepping
+/// Model curve (Figs. 12 and 23).
+pub fn stream_profile(n: usize, reps: usize, threads: usize) -> AccessProfile {
+    assert!(n > 0 && reps > 0 && threads > 0);
+    let footprint = stream_footprint(n);
+    let bytes = triad_bytes(n) * reps as f64;
+    let mut ph = Phase::new("triad", triad_flops(n) * reps as f64, bytes);
+    ph.tiers = vec![Tier::new(footprint, 1.0)];
+    ph.prefetch = 0.98;
+    ph.stream_prefetch = 0.98;
+    ph.mlp = 10.0;
+    ph.threads = threads;
+    ph.compute_eff = 0.3;
+    AccessProfile::single("stream", ph, footprint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrays(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let c: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5).collect();
+        (vec![0.0; n], b, c)
+    }
+
+    #[test]
+    fn copy_scale_add() {
+        let (mut a, b, c) = arrays(100);
+        copy(&mut a, &b);
+        assert_eq!(a, b);
+        scale(&mut a, &b, 3.0);
+        assert!(a.iter().zip(&b).all(|(x, y)| *x == 3.0 * y));
+        add(&mut a, &b, &c);
+        assert!(a.iter().enumerate().all(|(i, &x)| x == b[i] + c[i]));
+    }
+
+    #[test]
+    fn triad_matches_serial() {
+        let (mut a1, b, c) = arrays(1000);
+        let mut a2 = a1.clone();
+        triad(&mut a1, &b, &c, 2.5);
+        triad_serial(&mut a2, &b, &c, 2.5);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn table2_accounting() {
+        assert_eq!(triad_flops(1000), 2000.0);
+        assert_eq!(triad_bytes(1000), 32_000.0);
+        let p = stream_profile(1000, 4, 8);
+        p.validate().unwrap();
+        // AI = 2/32 = 0.0625 (Fig. 4's leftmost kernel).
+        assert!((p.arithmetic_intensity() - 0.0625).abs() < 1e-12);
+        assert_eq!(p.footprint, 24_000.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut a = vec![0.0; 3];
+        triad(&mut a, &[1.0; 4], &[1.0; 3], 1.0);
+    }
+}

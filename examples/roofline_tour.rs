@@ -1,0 +1,75 @@
+//! Roofline tour: place all eight kernels on both machines' rooflines
+//! (paper Fig. 5) and walk the Stepping Model across the memory hierarchy
+//! (paper Figs. 6/28/29), printing ASCII renditions.
+//!
+//! ```sh
+//! cargo run --release --example roofline_tour
+//! ```
+
+use opm_repro::core::platform::{EdramMode, Machine, OpmConfig, PlatformSpec};
+use opm_repro::core::stepping::{stepping_curve, SweepKernel};
+use opm_repro::core::units::{fmt_bytes, GIB, MIB};
+use opm_repro::core::Roofline;
+use opm_repro::kernels::KernelId;
+
+fn main() {
+    for machine in [Machine::Broadwell, Machine::Knl] {
+        let p = PlatformSpec::for_machine(machine);
+        let r = Roofline::for_platform(&p);
+        println!("== {} ==", p.name);
+        println!(
+            "DP peak {:.1} GFlop/s | {} ridge at {:.2} flops/B | {} ridge at {:.2} flops/B",
+            r.dp_peak,
+            p.opm.name,
+            r.ridge_point(p.opm.name),
+            p.dram.name,
+            r.ridge_point(p.dram.name),
+        );
+        for k in KernelId::ALL {
+            let ai = k.reference_ai();
+            let with = r.attainable(ai, p.opm.name);
+            let without = r.attainable(ai, p.dram.name);
+            let verdict = if (with - without).abs() < 1e-9 {
+                "compute bound: OPM cannot raise the roof"
+            } else {
+                "bandwidth bound: OPM raises the roof"
+            };
+            println!(
+                "  {:8} AI {:7.3} -> {:7.1} GFlop/s ({}), {:7.1} without OPM  [{}]",
+                k.name(),
+                ai,
+                with,
+                p.opm.name,
+                without,
+                verdict
+            );
+        }
+        println!();
+    }
+
+    // ASCII Stepping Model walk on Broadwell.
+    println!("Stepping Model (Broadwell, STREAM-like kernel, GB/s equivalent):");
+    let k = SweepKernel::default();
+    let on = stepping_curve(OpmConfig::Broadwell(EdramMode::On), k, 256.0 * 1024.0, 4.0 * GIB, 40);
+    let off = stepping_curve(OpmConfig::Broadwell(EdramMode::Off), k, 256.0 * 1024.0, 4.0 * GIB, 40);
+    let max = on.points.iter().map(|p| p.1).fold(0.0, f64::max);
+    for ((fp, a), (_, b)) in on.points.iter().zip(&off.points) {
+        let bar = |v: f64| "#".repeat(((v / max) * 50.0).round() as usize);
+        println!(
+            "{:>10}  on  |{:<50}| {:6.2}",
+            fmt_bytes(*fp),
+            bar(*a),
+            a * 16.0
+        );
+        println!("{:>10}  off |{:<50}| {:6.2}", "", bar(*b), b * 16.0);
+    }
+    let (lo, hi) = on
+        .effective_region(&off, 0.10)
+        .expect("eDRAM has an effective region");
+    println!(
+        "\neDRAM performance-effective region: {:.1} MB .. {:.1} MB (between the L3\n\
+         valley and a little past the 128 MB eDRAM capacity — paper §4.1.2)",
+        lo / MIB,
+        hi / MIB
+    );
+}

@@ -1,0 +1,102 @@
+//! Sparse survey: build real matrices from every structure family of the
+//! UF-substitute corpus, execute SpMV / SpTRANS / SpTRSV on them, and show
+//! how structure drives both the real execution and the modeled
+//! OPM sensitivity (the mechanism behind paper Figs. 9–11 and 20–22).
+//!
+//! ```sh
+//! cargo run --release --example sparse_survey
+//! ```
+
+use opm_repro::core::platform::{EdramMode, OpmConfig};
+use opm_repro::core::report::TextTable;
+use opm_repro::core::PerfModel;
+use opm_repro::sparse::{
+    level_sets, spmv_csr5, spmv_parallel, spmv_profile, sptrans_merge, sptrsv_levelset,
+    sptrsv_syncfree, Csr5Matrix, MatrixKind, MatrixSpec,
+};
+use std::time::Instant;
+
+fn main() {
+    // Sized so the footprint (~50 MB) lands in the eDRAM-effective region
+    // between the 6 MB L3 and the 128 MB eDRAM (paper §4.1.2).
+    let n = 150_000;
+    let nnz = 4_000_000;
+    let mut table = TextTable::new(vec![
+        "structure",
+        "nnz",
+        "span",
+        "levels",
+        "SpMV ms",
+        "CSR5 ms",
+        "SpTRANS ms",
+        "SpTRSV ms",
+        "sync-free ms",
+        "eDRAM speedup (SpMV)",
+    ]);
+    for kind in MatrixKind::all(n) {
+        let spec = MatrixSpec::new(kind, n, nnz, 42);
+        let m = spec.build();
+        let stats = m.stats();
+
+        // Real SpMV (row-parallel CSR and tile-parallel CSR5).
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut y = vec![0.0; n];
+        let t = Instant::now();
+        spmv_parallel(&m, &x, &mut y);
+        let spmv_ms = t.elapsed().as_secs_f64() * 1e3;
+        let c5 = Csr5Matrix::from_csr(&m);
+        let mut y5 = vec![0.0; n];
+        let t = Instant::now();
+        spmv_csr5(&c5, &x, &mut y5);
+        let csr5_ms = t.elapsed().as_secs_f64() * 1e3;
+        for (a, b) in y.iter().zip(&y5) {
+            assert!((a - b).abs() < 1e-8);
+        }
+
+        // Real SpTRANS (MergeTrans).
+        let t = Instant::now();
+        let tr = sptrans_merge(&m, 8);
+        let sptrans_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(tr.nnz(), m.nnz());
+
+        // Real SpTRSV on the lower-triangular system.
+        let l = m.to_lower_triangular();
+        let levels = level_sets(&l).len();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let t = Instant::now();
+        let xs = sptrsv_levelset(&l, &b).expect("solvable");
+        let sptrsv_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(xs.len(), n);
+        let t = Instant::now();
+        let xf = sptrsv_syncfree(&l, &b).expect("solvable");
+        let syncfree_ms = t.elapsed().as_secs_f64() * 1e3;
+        for (a, b) in xs.iter().zip(&xf) {
+            assert!((a - b).abs() < 1e-8);
+        }
+
+        // Modeled eDRAM sensitivity of SpMV for this structure.
+        let prof = spmv_profile(stats.rows, stats.nnz, stats.avg_col_span, 8);
+        let on = PerfModel::for_config(OpmConfig::Broadwell(EdramMode::On)).evaluate(&prof);
+        let off = PerfModel::for_config(OpmConfig::Broadwell(EdramMode::Off)).evaluate(&prof);
+
+        table.push(vec![
+            kind.label().to_string(),
+            format!("{}", stats.nnz),
+            format!("{:.0}", stats.avg_col_span),
+            format!("{levels}"),
+            format!("{spmv_ms:.2}"),
+            format!("{csr5_ms:.2}"),
+            format!("{sptrans_ms:.2}"),
+            format!("{sptrsv_ms:.2}"),
+            format!("{syncfree_ms:.2}"),
+            format!("{:.2}x", on.gflops / off.gflops),
+        ]);
+    }
+    println!("order {n}, ~{nnz} nonzeros per matrix; real execution on this host:");
+    print!("{}", table.render());
+    println!(
+        "\nbanded/stencil structures keep the x-vector cached (small span) but\n\
+         serialize SpTRSV (levels ~ rows); random/RMAT structures gather poorly\n\
+         but solve in few levels — exactly the trade-off of the paper's heat maps."
+    );
+}

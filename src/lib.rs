@@ -1,0 +1,12 @@
+//! Umbrella crate for the OPM-reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so examples and
+//! integration tests can use a single dependency.
+
+pub use opm_core as core;
+pub use opm_dense as dense;
+pub use opm_fft as fft;
+pub use opm_kernels as kernels;
+pub use opm_memsim as memsim;
+pub use opm_sparse as sparse;
+pub use opm_stencil as stencil;

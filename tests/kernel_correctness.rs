@@ -1,0 +1,190 @@
+//! Cross-crate numeric correctness: compositions that exercise several
+//! kernels against one another.
+
+#![allow(clippy::needless_range_loop)]
+
+use opm_repro::dense::{
+    cholesky_blocked, gemm_blocked, gemm_naive, gemm_parallel, DenseMatrix,
+};
+use opm_repro::fft::{fft3d, Direction, Grid3};
+use opm_repro::sparse::{
+    parse_matrix_market, spmv_parallel, spmv_serial, sptrans_merge, sptrans_scan,
+    sptrsv_levelset, to_matrix_market, MatrixKind, MatrixSpec,
+};
+use opm_repro::stencil::{step_blocked, step_naive, Grid, HALF};
+
+/// Cholesky factor recombines through GEMM: `L · Lᵀ == A`.
+#[test]
+fn cholesky_recombines_via_gemm() {
+    let n = 32;
+    let a = DenseMatrix::random_spd(n, 7);
+    let l = cholesky_blocked(&a, 8).unwrap();
+    let lt = l.transpose();
+    let mut r = DenseMatrix::zeros(n, n);
+    gemm_blocked(1.0, &l, &lt, 0.0, &mut r, 8);
+    assert!(a.max_abs_diff(&r) < 1e-8, "diff {}", a.max_abs_diff(&r));
+}
+
+/// Triangular solve inverts the factor: solving `L·x = L·e` returns `e`.
+#[test]
+fn sptrsv_inverts_lower_triangular_product() {
+    let spec = MatrixSpec::new(MatrixKind::Rmat, 300, 3000, 5);
+    let l = spec.build().to_lower_triangular();
+    let e: Vec<f64> = (0..300).map(|i| 1.0 + (i % 5) as f64 * 0.25).collect();
+    // b = L·e via SpMV.
+    let mut b = vec![0.0; 300];
+    spmv_serial(&l, &e, &mut b);
+    let x = sptrsv_levelset(&l, &b).unwrap();
+    for (xi, ei) in x.iter().zip(&e) {
+        assert!((xi - ei).abs() < 1e-9, "{xi} vs {ei}");
+    }
+}
+
+/// SpMV against the transpose agrees with transposed SpMV:
+/// `Aᵀ·x == (CSR of Aᵀ)·x`.
+#[test]
+fn sptrans_consistent_with_spmv() {
+    let spec = MatrixSpec::new(MatrixKind::PowerLaw, 200, 2500, 9);
+    let a = spec.build();
+    let at = sptrans_scan(&a).into_transposed_csr();
+    let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+    // y1 = Aᵀ·x via the transposed matrix.
+    let mut y1 = vec![0.0; 200];
+    spmv_parallel(&at, &x, &mut y1);
+    // y2 = Aᵀ·x computed column-wise from A.
+    let mut y2 = vec![0.0; 200];
+    for i in 0..200 {
+        let (cols, vals) = a.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            y2[c as usize] += v * x[i];
+        }
+    }
+    for (a, b) in y1.iter().zip(&y2) {
+        assert!((a - b).abs() < 1e-10);
+    }
+}
+
+/// Matrix-market round trip preserves SpMV semantics.
+#[test]
+fn matrix_market_round_trip_preserves_spmv() {
+    let spec = MatrixSpec::new(MatrixKind::Banded { half_band: 5 }, 120, 1400, 3);
+    let a = spec.build();
+    let b = parse_matrix_market(&to_matrix_market(&a)).unwrap();
+    let x: Vec<f64> = (0..120).map(|i| i as f64).collect();
+    let mut ya = vec![0.0; 120];
+    let mut yb = vec![0.0; 120];
+    spmv_serial(&a, &x, &mut ya);
+    spmv_serial(&b, &x, &mut yb);
+    assert_eq!(ya, yb);
+}
+
+/// MergeTrans at any chunking equals ScanTrans equals double-transpose
+/// identity.
+#[test]
+fn transpose_implementations_agree_end_to_end() {
+    let spec = MatrixSpec::new(MatrixKind::BlockDiagonal { block: 25 }, 250, 3000, 11);
+    let a = spec.build();
+    let scan = sptrans_scan(&a);
+    for chunks in [2, 5, 17] {
+        assert_eq!(sptrans_merge(&a, chunks), scan);
+    }
+    let back = sptrans_scan(&scan.clone().into_transposed_csr()).into_transposed_csr();
+    assert_eq!(back, a);
+}
+
+/// A separable plane wave is an eigenfunction of the 3D FFT: energy
+/// concentrates in one bin.
+#[test]
+fn fft3d_plane_wave_concentrates() {
+    let n = 8;
+    let mut g = Grid3::zeros(n, n, n);
+    let (kx, ky, kz) = (2, 3, 1);
+    for x in 0..n {
+        for y in 0..n {
+            for z in 0..n {
+                let theta = 2.0 * std::f64::consts::PI
+                    * ((kx * x + ky * y + kz * z) as f64)
+                    / n as f64;
+                *g.at_mut(x, y, z) = opm_repro::fft::Complex::from_angle(theta);
+            }
+        }
+    }
+    fft3d(&mut g, Direction::Forward);
+    let total: f64 = g.data.iter().map(|c| c.norm_sqr()).sum();
+    let peak = g.at(kx, ky, kz).norm_sqr();
+    assert!(peak / total > 0.999, "ratio {}", peak / total);
+}
+
+/// The blocked stencil propagates a disturbance at most HALF cells per
+/// step (finite speed of the discrete wave).
+#[test]
+fn stencil_finite_propagation_speed() {
+    let n = 4 * HALF + 5;
+    let mut cur = Grid::zeros(n, n, n);
+    let c = n / 2;
+    *cur.at_mut(c, c, c) = 1.0;
+    let prev = cur.clone();
+    let mut next = Grid::zeros(n, n, n);
+    step_blocked(&prev, &cur, &mut next, 0.1, (8, 8, 8));
+    for x in 0..n {
+        for y in 0..n {
+            for z in 0..n {
+                let d = (x as i64 - c as i64)
+                    .abs()
+                    .max((y as i64 - c as i64).abs())
+                    .max((z as i64 - c as i64).abs()) as usize;
+                if d > HALF && next.at(x, y, z) != 0.0 {
+                    panic!("disturbance travelled {d} > {HALF} cells in one step");
+                }
+            }
+        }
+    }
+    // And it does reach distance HALF along an axis.
+    assert!(next.at(c + HALF, c, c).abs() > 0.0);
+}
+
+/// Naive, serial-blocked and parallel GEMM all agree on an awkward shape.
+#[test]
+fn gemm_three_ways() {
+    let a = DenseMatrix::random(41, 23, 1);
+    let b = DenseMatrix::random(23, 37, 2);
+    let mut c1 = DenseMatrix::random(41, 37, 3);
+    let mut c2 = c1.clone();
+    let mut c3 = c1.clone();
+    gemm_naive(0.5, &a, &b, 2.0, &mut c1);
+    gemm_blocked(0.5, &a, &b, 2.0, &mut c2, 7);
+    gemm_parallel(0.5, &a, &b, 2.0, &mut c3, 7);
+    assert!(c1.max_abs_diff(&c2) < 1e-12);
+    assert!(c1.max_abs_diff(&c3) < 1e-12);
+}
+
+/// The stencil's naive and blocked versions stay in lockstep over several
+/// time steps on an asymmetric grid.
+#[test]
+fn stencil_multistep_lockstep() {
+    let (nx, ny, nz) = (2 * HALF + 6, 2 * HALF + 9, 2 * HALF + 4);
+    let mut cur_a = Grid::smooth(nx, ny, nz);
+    let mut prev_a = Grid::smooth(nx, ny, nz);
+    let mut cur_b = cur_a.clone();
+    let mut prev_b = prev_a.clone();
+    for _ in 0..3 {
+        let mut next_a = cur_a.clone();
+        step_naive(&prev_a, &cur_a, &mut next_a, 0.05);
+        prev_a = std::mem::replace(&mut cur_a, next_a);
+        let mut next_b = cur_b.clone();
+        step_blocked(&prev_b, &cur_b, &mut next_b, 0.05, (4, 5, 6));
+        prev_b = std::mem::replace(&mut cur_b, next_b);
+    }
+    // Compare interiors deep enough to be unaffected by halo handling
+    // differences over 3 steps.
+    let m = 3 * HALF;
+    let mut max: f64 = 0.0;
+    for x in m..nx - m.min(nx - 1) {
+        for y in m..ny - m.min(ny - 1) {
+            for z in m..nz - m.min(nz - 1) {
+                max = max.max((cur_a.at(x, y, z) - cur_b.at(x, y, z)).abs());
+            }
+        }
+    }
+    assert!(max < 1e-10, "diff {max}");
+}

@@ -1,0 +1,194 @@
+//! End-to-end reproduction checks of the paper's headline findings, driven
+//! through the public sweep API exactly as the figure harness uses it.
+
+use opm_repro::core::platform::{EdramMode, Machine, McdramMode, OpmConfig};
+use opm_repro::core::power::{breakeven_gain, opm_saves_energy};
+use opm_repro::core::units::{GIB, MIB};
+use opm_repro::kernels::sweeps::{
+    fft_curve, gemm_sweep, paper_fft_sizes, paper_stream_footprints, sparse_sweep, stream_curve,
+    SparseKernelId,
+};
+use opm_repro::kernels::{summarize_pair, KernelId};
+use opm_repro::sparse::corpus;
+
+fn corpus_specs() -> Vec<opm_repro::sparse::MatrixSpec> {
+    corpus(120)
+}
+
+/// §5.1: "we have not observed worse performance using eDRAM than without
+/// eDRAM" — across every kernel family we sweep.
+#[test]
+fn edram_never_hurts_across_kernels() {
+    let on = OpmConfig::Broadwell(EdramMode::On);
+    let off = OpmConfig::Broadwell(EdramMode::Off);
+    // Dense.
+    let sizes: Vec<usize> = vec![2304, 8448];
+    let tiles: Vec<usize> = (128..=4096).step_by(256).collect();
+    let g_on = gemm_sweep(on, &sizes, &tiles);
+    let g_off = gemm_sweep(off, &sizes, &tiles);
+    for (a, b) in g_on.iter().zip(&g_off) {
+        assert!(a.gflops >= b.gflops * 0.999, "GEMM hurt at n={} tile={}", a.n, a.tile);
+    }
+    // Sparse.
+    for kernel in [SparseKernelId::Spmv, SparseKernelId::Sptrans, SparseKernelId::Sptrsv] {
+        let s_on = sparse_sweep(on, kernel, &corpus_specs());
+        let s_off = sparse_sweep(off, kernel, &corpus_specs());
+        for (a, b) in s_on.iter().zip(&s_off) {
+            assert!(
+                a.gflops >= b.gflops * 0.999,
+                "{kernel:?} hurt on {:?}",
+                a.spec
+            );
+        }
+    }
+    // Curves.
+    let f_on = fft_curve(on, &paper_fft_sizes(Machine::Broadwell));
+    let f_off = fft_curve(off, &paper_fft_sizes(Machine::Broadwell));
+    for (a, b) in f_on.iter().zip(&f_off) {
+        assert!(a.gflops >= b.gflops * 0.999);
+    }
+}
+
+/// Fig. 1 / §4.1.1: eDRAM expands the near-peak region of GEMM without
+/// raising the raw peak much.
+#[test]
+fn edram_gemm_peak_vs_region() {
+    let sizes: Vec<usize> = vec![4352, 10496, 16128];
+    let tiles: Vec<usize> = (128..=4096).step_by(128).collect();
+    let off = gemm_sweep(OpmConfig::Broadwell(EdramMode::Off), &sizes, &tiles);
+    let on = gemm_sweep(OpmConfig::Broadwell(EdramMode::On), &sizes, &tiles);
+    let peak_off = off.iter().map(|p| p.gflops).fold(0.0, f64::max);
+    let peak_on = on.iter().map(|p| p.gflops).fold(0.0, f64::max);
+    assert!((peak_on - peak_off) / peak_off < 0.05, "peak moved too much");
+    // Fig. 1's wording: "more samples can reach near-peak (e.g., 90%)".
+    let near = |v: &[opm_repro::kernels::HeatPoint]| {
+        v.iter().filter(|p| p.gflops > 0.9 * peak_off).count()
+    };
+    assert!(near(&on) as f64 > 2.0 * near(&off) as f64);
+}
+
+/// §4.2.1-II: a flat-mode allocation straddling MCDRAM and DDR is worse
+/// than not using MCDRAM at all.
+#[test]
+fn flat_straddle_is_worse_than_ddr() {
+    let fps = [20.0 * GIB, 32.0 * GIB];
+    let flat = stream_curve(OpmConfig::Knl(McdramMode::Flat), &fps);
+    let ddr = stream_curve(OpmConfig::Knl(McdramMode::Off), &fps);
+    for (f, d) in flat.iter().zip(&ddr) {
+        assert!(f.gflops < d.gflops, "straddle {} vs ddr {}", f.gflops, d.gflops);
+    }
+}
+
+/// §4.2.1-III: hybrid mode can beat pure cache mode when the hot footprint
+/// fits the 8 GB cache partition (GEMM's tiles do).
+#[test]
+fn hybrid_beats_cache_for_gemm() {
+    let sizes: Vec<usize> = vec![16640, 24832];
+    let tiles: Vec<usize> = vec![512, 1024];
+    let hybrid = gemm_sweep(OpmConfig::Knl(McdramMode::Hybrid), &sizes, &tiles);
+    let cache = gemm_sweep(OpmConfig::Knl(McdramMode::Cache), &sizes, &tiles);
+    let avg = |v: &[opm_repro::kernels::HeatPoint]| {
+        v.iter().map(|p| p.gflops).sum::<f64>() / v.len() as f64
+    };
+    assert!(avg(&hybrid) >= avg(&cache), "{} vs {}", avg(&hybrid), avg(&cache));
+}
+
+/// §4.2.3 / Fig. 23: cache mode performs worse than flat for Stream (no
+/// locality, pure tag overhead), but degrades more gracefully past the
+/// MCDRAM capacity.
+#[test]
+fn stream_mode_ordering_on_knl() {
+    let mid = [4.0 * GIB];
+    let flat = stream_curve(OpmConfig::Knl(McdramMode::Flat), &mid)[0].gflops;
+    let cache = stream_curve(OpmConfig::Knl(McdramMode::Cache), &mid)[0].gflops;
+    let ddr = stream_curve(OpmConfig::Knl(McdramMode::Off), &mid)[0].gflops;
+    assert!(flat > cache && cache > ddr);
+    let big = [40.0 * GIB];
+    let flat_big = stream_curve(OpmConfig::Knl(McdramMode::Flat), &big)[0].gflops;
+    let cache_big = stream_curve(OpmConfig::Knl(McdramMode::Cache), &big)[0].gflops;
+    assert!(cache_big > flat_big);
+}
+
+/// §4.2.2 / Fig. 19: SpTRSV's low memory-level parallelism makes MCDRAM's
+/// higher latency visible — some matrices run *slower* with MCDRAM than
+/// with DDR (speedup below 1).
+#[test]
+fn sptrsv_mcdram_can_lose_to_ddr() {
+    let specs = corpus_specs();
+    let flat = sparse_sweep(OpmConfig::Knl(McdramMode::Flat), SparseKernelId::Sptrsv, &specs);
+    let ddr = sparse_sweep(OpmConfig::Knl(McdramMode::Off), SparseKernelId::Sptrsv, &specs);
+    let losses = flat
+        .iter()
+        .zip(&ddr)
+        .filter(|(f, d)| f.gflops < d.gflops * 0.999)
+        .count();
+    assert!(losses > 0, "expected some latency-bound losses");
+}
+
+/// §5.1 prose: eDRAM brings a positive average speedup well above the
+/// ~8.6 % Eq. 1 energy break-even.
+#[test]
+fn edram_average_gain_beats_energy_breakeven() {
+    let specs = corpus_specs();
+    let on = sparse_sweep(OpmConfig::Broadwell(EdramMode::On), SparseKernelId::Spmv, &specs);
+    let off = sparse_sweep(OpmConfig::Broadwell(EdramMode::Off), SparseKernelId::Spmv, &specs);
+    let row = summarize_pair(
+        "SpMV",
+        &off.iter().map(|p| p.gflops).collect::<Vec<_>>(),
+        &on.iter().map(|p| p.gflops).collect::<Vec<_>>(),
+    );
+    let gain = row.avg_speedup - 1.0;
+    assert!(gain > breakeven_gain(0.086), "gain {gain}");
+    assert!(opm_saves_energy(gain, 0.086));
+}
+
+/// Fig. 12 / §4.1.3: the eDRAM stream curve shows an L3 peak, an eDRAM
+/// peak, and convergence to the DDR plateau — the Stepping Model.
+#[test]
+fn stream_broadwell_stepping_shape() {
+    let fps = paper_stream_footprints(Machine::Broadwell, 64);
+    let on = stream_curve(OpmConfig::Broadwell(EdramMode::On), &fps);
+    let at = |target: f64| {
+        on.iter()
+            .min_by(|a, b| {
+                (a.footprint - target)
+                    .abs()
+                    .partial_cmp(&(b.footprint - target).abs())
+                    .unwrap()
+            })
+            .unwrap()
+            .gflops
+    };
+    let l3_peak = at(3.0 * MIB);
+    let edram_peak = at(64.0 * MIB);
+    let plateau = at(4.0 * GIB);
+    assert!(l3_peak > edram_peak && edram_peak > plateau);
+    // eDRAM plateau tracks its bandwidth: ~102.4/16 GFlop/s for TRIAD.
+    assert!((edram_peak * 16.0 - 102.4).abs() < 25.0, "{edram_peak}");
+    assert!((plateau * 16.0 - 34.1).abs() < 10.0, "{plateau}");
+}
+
+/// Table 2 cross-check: every kernel's profile reports the paper's
+/// operation counts.
+#[test]
+fn table2_operation_counts() {
+    assert_eq!(opm_repro::dense::gemm_flops(1024), 2.0 * 1024f64.powi(3));
+    assert!((opm_repro::dense::cholesky_flops(1024) - 1024f64.powi(3) / 3.0).abs() < 1.0);
+    assert_eq!(opm_repro::sparse::spmv::spmv_flops(5000), 10_000.0);
+    let nnz = 1 << 20;
+    assert_eq!(
+        opm_repro::sparse::sptrans::sptrans_ops(nnz),
+        nnz as f64 * 20.0
+    );
+    assert_eq!(opm_repro::fft::fft_flops(4096), 5.0 * 4096.0 * 12.0);
+    assert_eq!(opm_repro::stencil::stencil_flops(10, 10, 10), 61.0 * 1000.0);
+    assert_eq!(opm_repro::stencil::triad_flops(100), 200.0);
+    assert_eq!(opm_repro::stencil::triad_bytes(100), 3200.0);
+}
+
+/// Table 2 thread optima are wired through the sweeps.
+#[test]
+fn thread_optima() {
+    assert_eq!(KernelId::Gemm.threads(Machine::Broadwell), 4);
+    assert_eq!(KernelId::Stream.threads(Machine::Knl), 256);
+}
