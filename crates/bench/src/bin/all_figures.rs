@@ -1,30 +1,59 @@
-//! Regenerates every figure and table in one run.
+//! Regenerates every figure and table in one run on the sweep engine,
+//! writing `results/run_manifest.csv` alongside the figure CSVs.
+//!
+//! ```text
+//! all_figures [--threads N] [--no-cache] [--reduced] [--only a,b,...] [--list]
+//! ```
+//!
+//! `--threads`, `--no-cache` and `--reduced` set `OPM_THREADS`,
+//! `OPM_PROFILE_CACHE` and `OPM_REDUCED` before the engine starts (the
+//! environment variables work too, for the per-figure binaries).
+
 fn main() {
-    opm_bench::figures::fig01_gemm_pdf();
-    opm_bench::figures::fig04_ai_spectrum();
-    opm_bench::figures::fig05_roofline();
-    opm_bench::figures::fig06_stepping_model();
-    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Gemm, opm_core::Machine::Broadwell, "fig07_gemm_broadwell");
-    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Cholesky, opm_core::Machine::Broadwell, "fig08_cholesky_broadwell");
-    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Spmv, opm_core::Machine::Broadwell, "fig09_spmv_broadwell");
-    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrans, opm_core::Machine::Broadwell, "fig10_sptrans_broadwell");
-    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrsv, opm_core::Machine::Broadwell, "fig11_sptrsv_broadwell");
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stream, opm_core::Machine::Broadwell, "fig12_stream_broadwell");
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stencil, opm_core::Machine::Broadwell, "fig13_stencil_broadwell");
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Fft, opm_core::Machine::Broadwell, "fig14_fft_broadwell");
-    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Gemm, opm_core::Machine::Knl, "fig15_gemm_knl");
-    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Cholesky, opm_core::Machine::Knl, "fig16_cholesky_knl");
-    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Spmv, opm_core::Machine::Knl, "fig17_spmv_knl");
-    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrans, opm_core::Machine::Knl, "fig18_sptrans_knl");
-    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrsv, opm_core::Machine::Knl, "fig19_sptrsv_knl");
-    opm_bench::figures::fig20_22_knl_structure();
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stream, opm_core::Machine::Knl, "fig23_stream_knl");
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stencil, opm_core::Machine::Knl, "fig24_stencil_knl");
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Fft, opm_core::Machine::Knl, "fig25_fft_knl");
-    opm_bench::figures::power_figure(opm_core::Machine::Broadwell, "fig26_power_broadwell");
-    opm_bench::figures::power_figure(opm_core::Machine::Knl, "fig27_power_knl");
-    opm_bench::figures::fig28_29_guidelines();
-    opm_bench::figures::fig30_hw_tuning();
-    opm_bench::figures::table4_edram_summary();
-    opm_bench::figures::table5_mcdram_summary();
+    let mut names: Option<Vec<String>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = args.next().unwrap_or_default();
+                if n.parse::<usize>().is_err() {
+                    eprintln!("--threads needs a non-negative integer, got {n:?}");
+                    std::process::exit(2);
+                }
+                std::env::set_var("OPM_THREADS", n);
+            }
+            "--no-cache" => std::env::set_var("OPM_PROFILE_CACHE", "off"),
+            "--reduced" => std::env::set_var("OPM_REDUCED", "1"),
+            "--only" => {
+                let list = args.next().unwrap_or_default();
+                if list.is_empty() {
+                    eprintln!("--only needs a comma-separated list of figure names");
+                    std::process::exit(2);
+                }
+                let listed: Vec<String> = list.split(',').map(str::to_string).collect();
+                for name in &listed {
+                    if opm_bench::manifest::find(name).is_none() {
+                        eprintln!("unknown figure {name:?}; --list prints the registry");
+                        std::process::exit(2);
+                    }
+                }
+                names = Some(listed);
+            }
+            "--list" => {
+                for f in opm_bench::manifest::ALL_FIGURES {
+                    println!("{}", f.name);
+                }
+                return;
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}\n\
+                     usage: all_figures [--threads N] [--no-cache] [--reduced] \
+                     [--only a,b,...] [--list]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opm_bench::manifest::run_and_write(names.as_deref());
 }

@@ -23,20 +23,32 @@ fn main() {
     let scenarios: Vec<(&str, Vec<AccessProfile>)> = vec![
         (
             "two-streams",
-            vec![app("stream-a", 6.0 * GIB, 1.0 / 16.0, 0.95), app("stream-b", 6.0 * GIB, 1.0 / 16.0, 0.95)],
+            vec![
+                app("stream-a", 6.0 * GIB, 1.0 / 16.0, 0.95),
+                app("stream-b", 6.0 * GIB, 1.0 / 16.0, 0.95),
+            ],
         ),
         (
             "stream+compute",
-            vec![app("stream", 6.0 * GIB, 1.0 / 16.0, 0.95), app("gemm-ish", 2.0 * GIB, 16.0, 0.95)],
+            vec![
+                app("stream", 6.0 * GIB, 1.0 / 16.0, 0.95),
+                app("gemm-ish", 2.0 * GIB, 16.0, 0.95),
+            ],
         ),
         (
             "big+small",
-            vec![app("big", 14.0 * GIB, 0.1, 0.9), app("small", 1.0 * GIB, 0.1, 0.9)],
+            vec![
+                app("big", 14.0 * GIB, 0.1, 0.9),
+                app("small", 1.0 * GIB, 0.1, 0.9),
+            ],
         ),
     ];
     let policies: Vec<(&str, SharingPolicy)> = vec![
         ("equal", SharingPolicy::EqualPartition),
-        ("weighted-3:1", SharingPolicy::WeightedPartition(vec![3.0, 1.0])),
+        (
+            "weighted-3:1",
+            SharingPolicy::WeightedPartition(vec![3.0, 1.0]),
+        ),
         ("shared", SharingPolicy::Shared),
         ("priority-0", SharingPolicy::Priority(0)),
     ];

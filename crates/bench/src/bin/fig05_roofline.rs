@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 5: rooflines for Broadwell/eDRAM and KNL/MCDRAM.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::fig05_roofline();
+    opm_bench::manifest::run_and_write(Some(&["fig05_roofline".into()]));
 }

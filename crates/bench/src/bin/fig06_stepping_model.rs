@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 6: the Stepping Model schematic.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::fig06_stepping_model();
+    opm_bench::manifest::run_and_write(Some(&["fig06_stepping_model".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 7: GEMM heat map on Broadwell (w/ and w/o eDRAM).
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Gemm, opm_core::Machine::Broadwell, "fig07_gemm_broadwell");
+    opm_bench::manifest::run_and_write(Some(&["fig07_gemm_broadwell".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 8: Cholesky heat map on Broadwell.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Cholesky, opm_core::Machine::Broadwell, "fig08_cholesky_broadwell");
+    opm_bench::manifest::run_and_write(Some(&["fig08_cholesky_broadwell".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 10: SpTRANS corpus sweep on Broadwell.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrans, opm_core::Machine::Broadwell, "fig10_sptrans_broadwell");
+    opm_bench::manifest::run_and_write(Some(&["fig10_sptrans_broadwell".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 13: Stencil on Broadwell.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stencil, opm_core::Machine::Broadwell, "fig13_stencil_broadwell");
+    opm_bench::manifest::run_and_write(Some(&["fig13_stencil_broadwell".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 14: FFT on Broadwell.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Fft, opm_core::Machine::Broadwell, "fig14_fft_broadwell");
+    opm_bench::manifest::run_and_write(Some(&["fig14_fft_broadwell".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 15: GEMM heat map on KNL (four MCDRAM modes).
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Gemm, opm_core::Machine::Knl, "fig15_gemm_knl");
+    opm_bench::manifest::run_and_write(Some(&["fig15_gemm_knl".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 16: Cholesky heat map on KNL.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::dense_heatmap(opm_kernels::KernelId::Cholesky, opm_core::Machine::Knl, "fig16_cholesky_knl");
+    opm_bench::manifest::run_and_write(Some(&["fig16_cholesky_knl".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 17: SpMV corpus sweep on KNL.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Spmv, opm_core::Machine::Knl, "fig17_spmv_knl");
+    opm_bench::manifest::run_and_write(Some(&["fig17_spmv_knl".into()]));
 }

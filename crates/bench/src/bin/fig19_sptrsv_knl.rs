@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 19: SpTRSV corpus sweep on KNL.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::sparse_figure(opm_kernels::SparseKernelId::Sptrsv, opm_core::Machine::Knl, "fig19_sptrsv_knl");
+    opm_bench::manifest::run_and_write(Some(&["fig19_sptrsv_knl".into()]));
 }

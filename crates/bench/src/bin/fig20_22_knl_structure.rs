@@ -1,4 +1,7 @@
 //! Regenerates paper Figs. 20-22: sparse structure heat maps on KNL.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::fig20_22_knl_structure();
+    opm_bench::manifest::run_and_write(Some(&["fig20_22_knl_structure".into()]));
 }

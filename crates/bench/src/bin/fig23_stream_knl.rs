@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 23: Stream on KNL (four modes).
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Stream, opm_core::Machine::Knl, "fig23_stream_knl");
+    opm_bench::manifest::run_and_write(Some(&["fig23_stream_knl".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 25: FFT on KNL.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::curve_figure(opm_kernels::KernelId::Fft, opm_core::Machine::Knl, "fig25_fft_knl");
+    opm_bench::manifest::run_and_write(Some(&["fig25_fft_knl".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 26: Broadwell power breakdown.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::power_figure(opm_core::Machine::Broadwell, "fig26_power_broadwell");
+    opm_bench::manifest::run_and_write(Some(&["fig26_power_broadwell".into()]));
 }

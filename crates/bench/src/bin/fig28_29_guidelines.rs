@@ -1,4 +1,7 @@
 //! Regenerates paper Figs. 28-29: OPM tuning guidelines via the Stepping Model.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::fig28_29_guidelines();
+    opm_bench::manifest::run_and_write(Some(&["fig28_29_guidelines".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 30: tuning OPM hardware (capacity vs bandwidth scaling).
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::fig30_hw_tuning();
+    opm_bench::manifest::run_and_write(Some(&["fig30_hw_tuning".into()]));
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Table 4: eDRAM summary statistics.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::table4_edram_summary();
+    opm_bench::manifest::run_and_write(Some(&["table4_edram_summary".into()]));
 }

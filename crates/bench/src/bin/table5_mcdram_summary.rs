@@ -1,4 +1,7 @@
 //! Regenerates paper Table 5: MCDRAM summary statistics.
+//! Runs on the sweep engine via the figure registry; honours
+//! `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` and writes
+//! `run_manifest.csv` next to the figure CSVs.
 fn main() {
-    opm_bench::figures::table5_mcdram_summary();
+    opm_bench::manifest::run_and_write(Some(&["table5_mcdram_summary".into()]));
 }

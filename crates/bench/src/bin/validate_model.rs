@@ -52,9 +52,7 @@ fn model_bandwidth(config: OpmConfig, full_bytes: f64, threads: usize) -> f64 {
     ph.tiers = vec![Tier::new(full_bytes, 1.0)];
     ph.threads = threads;
     let prof = AccessProfile::single("sweep", ph, full_bytes);
-    PerfModel::for_config(config)
-        .evaluate(&prof)
-        .bandwidth_gbs
+    PerfModel::for_config(config).evaluate(&prof).bandwidth_gbs
 }
 
 /// (machine label, configs, concurrency, threads, (lo, hi) footprint range).

@@ -31,7 +31,10 @@ pub fn parse_args(raw: &[String]) -> Args {
     while i < raw.len() {
         let a = &raw[i];
         if let Some(key) = a.strip_prefix("--") {
-            let next_is_value = raw.get(i + 1).map(|v| !v.starts_with("--")).unwrap_or(false);
+            let next_is_value = raw
+                .get(i + 1)
+                .map(|v| !v.starts_with("--"))
+                .unwrap_or(false);
             if next_is_value {
                 args.options.insert(key.to_string(), raw[i + 1].clone());
                 i += 2;
@@ -51,7 +54,10 @@ impl Args {
     fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.options
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -351,7 +357,10 @@ mod tests {
         for k in KernelId::ALL {
             assert_eq!(parse_kernel(k.name()), Some(k));
         }
-        for c in OpmConfig::broadwell_modes().into_iter().chain(OpmConfig::knl_modes()) {
+        for c in OpmConfig::broadwell_modes()
+            .into_iter()
+            .chain(OpmConfig::knl_modes())
+        {
             assert_eq!(parse_config(c.label()), Some(c));
         }
         assert_eq!(parse_kernel("nope"), None);

@@ -34,7 +34,10 @@ pub fn skylake_like_platform() -> PlatformSpec {
 /// given kernel MLP (latency-sensitive kernels feel the placement; fully
 /// prefetched streams do not). Returns `(footprint, cpu_side, mem_side)`.
 pub fn edram_placement_sweep(mlp: f64, prefetch: f64) -> Vec<(f64, f64, f64)> {
-    let cpu = PerfModel::new(PlatformSpec::broadwell(), OpmConfig::Broadwell(EdramMode::On));
+    let cpu = PerfModel::new(
+        PlatformSpec::broadwell(),
+        OpmConfig::Broadwell(EdramMode::On),
+    );
     let mem = PerfModel::new(skylake_like_platform(), OpmConfig::Broadwell(EdramMode::On));
     logspace(1.0 * MIB, 1.0 * GIB, 32)
         .into_iter()
@@ -202,8 +205,10 @@ pub fn ext_csr5_balance() {
     }
     crate::emit(&series, "ext_csr5_balance");
     print!("{}", table.render());
-    println!("
-(nonzero-balanced CSR5 vs row-blocked CSR under row-length skew, §3.1.2)");
+    println!(
+        "
+(nonzero-balanced CSR5 vs row-blocked CSR under row-length skew, §3.1.2)"
+    );
 }
 
 /// KNL on-die cluster modes (§3.3: the paper runs quadrant, "the default
@@ -268,7 +273,11 @@ pub fn ext_cluster_modes() {
         ClusterMode::Snc4Oblivious,
         ClusterMode::Snc4Aware,
     ];
-    let mut table = TextTable::new(vec!["cluster mode", "stream GFlop/s", "latency-bound GFlop/s"]);
+    let mut table = TextTable::new(vec![
+        "cluster mode",
+        "stream GFlop/s",
+        "latency-bound GFlop/s",
+    ]);
     let mut series = Series::new(vec!["mode_index", "stream_gflops", "latency_gflops"]);
     let mk_prof = |mlp: f64, prefetch: f64, threads: usize| {
         let fp = 4.0 * GIB;
@@ -293,8 +302,10 @@ pub fn ext_cluster_modes() {
     }
     crate::emit(&series, "ext_cluster_modes");
     print!("{}", table.render());
-    println!("
-(KNL cluster-mode what-if for a NUMA-oblivious application, §3.3)");
+    println!(
+        "
+(KNL cluster-mode what-if for a NUMA-oblivious application, §3.3)"
+    );
 }
 
 #[cfg(test)]
@@ -315,7 +326,9 @@ mod tests {
         use opm_sparse::gen::{MatrixKind, MatrixSpec};
         let n = 20_000;
         let nnz = 400_000;
-        let skewed = MatrixSpec::new(MatrixKind::PowerLaw, n, nnz, 3).build().stats();
+        let skewed = MatrixSpec::new(MatrixKind::PowerLaw, n, nnz, 3)
+            .build()
+            .stats();
         let uniform = MatrixSpec::new(MatrixKind::Banded { half_band: 8 }, n, nnz, 3)
             .build()
             .stats();
@@ -356,9 +369,8 @@ mod tests {
         let lb = edram_placement_sweep(1.5, 0.1);
         let st = edram_placement_sweep(10.0, 0.95);
         // Largest relative loss from moving memory-side, per sweep.
-        let loss = |v: &[(f64, f64, f64)]| {
-            v.iter().map(|(_, c, m)| 1.0 - m / c).fold(0.0, f64::max)
-        };
+        let loss =
+            |v: &[(f64, f64, f64)]| v.iter().map(|(_, c, m)| 1.0 - m / c).fold(0.0, f64::max);
         assert!(
             loss(&lb) > loss(&st) + 0.02,
             "latency-bound loss {} vs streaming loss {}",

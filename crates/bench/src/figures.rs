@@ -4,22 +4,27 @@
 //! `src/bin/` are thin wrappers.
 
 use crate::{
-    emit, harness_corpus, kernel_power, kernel_sweep_gflops, out_dir, structure_heatmap,
+    emit, harness_corpus, harness_dense_sizes, harness_dense_tiles, harness_fft_sizes,
+    harness_stencil_grids, harness_stream_footprints, kernel_power, kernel_sweep_gflops, out_dir,
+    structure_heatmap,
 };
 use opm_core::perf::PerfModel;
 use opm_core::platform::{EdramMode, Machine, McdramMode, OpmConfig, PlatformSpec};
 use opm_core::power::{breakeven_gain, opm_saves_energy};
+use opm_core::profile::ProfileKey;
 use opm_core::report::{Series, TextTable};
 use opm_core::roofline::Roofline;
 use opm_core::stats::{gaussian_kde, linspace, silverman_bandwidth, summarize};
-use opm_core::stepping::{schematic, schematic_hw_tuning, stepping_curve, SchematicLevel, SweepKernel};
+use opm_core::stepping::{
+    schematic, schematic_hw_tuning, stepping_curve, SchematicLevel, SweepKernel,
+};
 use opm_core::units::{GIB, MIB};
+use opm_kernels::engine::Engine;
 use opm_kernels::registry::KernelId;
 use opm_kernels::summary::{cross_kernel, summarize_pair, SummaryRow};
 use opm_kernels::sweeps::{
-    cholesky_sweep, fft_curve, gemm_sweep, paper_dense_sizes, paper_dense_tiles,
-    paper_fft_sizes, paper_stencil_grids, paper_stream_footprints, sparse_sweep, stencil_curve,
-    stream_curve, CurvePoint, SparseKernelId,
+    cholesky_sweep, fft_curve, gemm_sweep, sparse_sweep, stencil_curve, stream_curve, CurvePoint,
+    SparseKernelId,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -28,8 +33,8 @@ use rand::{RngExt, SeedableRng};
 /// random (size, tile) samples, with and without eDRAM.
 pub fn fig01_gemm_pdf() {
     let mut rng = StdRng::seed_from_u64(2017);
-    let sizes = paper_dense_sizes(Machine::Broadwell);
-    let tiles = paper_dense_tiles();
+    let sizes = harness_dense_sizes(Machine::Broadwell);
+    let tiles = harness_dense_tiles();
     let samples: Vec<(usize, usize)> = (0..1024)
         .map(|_| {
             (
@@ -40,14 +45,23 @@ pub fn fig01_gemm_pdf() {
         .collect();
     let eval = |config: OpmConfig| -> Vec<f64> {
         let model = PerfModel::for_config(config);
-        samples
-            .iter()
-            .map(|&(n, tile)| {
-                model
-                    .evaluate(&opm_dense::gemm_profile(n, tile, 4, 4))
-                    .gflops
-            })
-            .collect()
+        let engine = Engine::global();
+        engine.run_stage(&format!("gemm_pdf/{}", config.label()), |eng| {
+            let gflops = eng.par_map(&samples, |&(n, tile)| {
+                let prof = eng.profile(
+                    ProfileKey::Gemm {
+                        n,
+                        tile,
+                        threads: 4,
+                        cores: 4,
+                    },
+                    || opm_dense::gemm_profile(n, tile, 4, 4),
+                );
+                model.evaluate(&prof).gflops
+            });
+            let points = gflops.len();
+            (gflops, points)
+        })
     };
     let off = eval(OpmConfig::Broadwell(EdramMode::Off));
     let on = eval(OpmConfig::Broadwell(EdramMode::On));
@@ -125,14 +139,38 @@ pub fn fig05_roofline() {
 /// Fig. 6: the Stepping Model schematic (single- and multi-level).
 pub fn fig06_stepping_model() {
     let single = [
-        SchematicLevel { capacity: 1e6, bandwidth: 400.0, valley: 0.55 },
-        SchematicLevel { capacity: 1e9, bandwidth: 30.0, valley: 1.0 },
+        SchematicLevel {
+            capacity: 1e6,
+            bandwidth: 400.0,
+            valley: 0.55,
+        },
+        SchematicLevel {
+            capacity: 1e9,
+            bandwidth: 30.0,
+            valley: 1.0,
+        },
     ];
     let multi = [
-        SchematicLevel { capacity: 256e3, bandwidth: 800.0, valley: 0.7 },
-        SchematicLevel { capacity: 6e6, bandwidth: 210.0, valley: 0.6 },
-        SchematicLevel { capacity: 128e6, bandwidth: 102.0, valley: 0.8 },
-        SchematicLevel { capacity: 16e9, bandwidth: 34.0, valley: 1.0 },
+        SchematicLevel {
+            capacity: 256e3,
+            bandwidth: 800.0,
+            valley: 0.7,
+        },
+        SchematicLevel {
+            capacity: 6e6,
+            bandwidth: 210.0,
+            valley: 0.6,
+        },
+        SchematicLevel {
+            capacity: 128e6,
+            bandwidth: 102.0,
+            valley: 0.8,
+        },
+        SchematicLevel {
+            capacity: 16e9,
+            bandwidth: 34.0,
+            valley: 1.0,
+        },
     ];
     let mut s = Series::new(vec!["footprint", "perf_single_cache"]);
     for (x, y) in schematic(&single, 1.0, 48) {
@@ -150,8 +188,8 @@ pub fn fig06_stepping_model() {
 /// every OPM configuration of the machine.
 pub fn dense_heatmap(kernel: KernelId, machine: Machine, name: &str) {
     assert!(matches!(kernel, KernelId::Gemm | KernelId::Cholesky));
-    let sizes = paper_dense_sizes(machine);
-    let tiles = paper_dense_tiles();
+    let sizes = harness_dense_sizes(machine);
+    let tiles = harness_dense_tiles();
     let configs: Vec<OpmConfig> = match machine {
         Machine::Broadwell => OpmConfig::broadwell_modes().to_vec(),
         Machine::Knl => OpmConfig::knl_modes().to_vec(),
@@ -225,7 +263,12 @@ pub fn sparse_figure(kernel: SparseKernelId, machine: Machine, name: &str) {
     emit(&structure_heatmap(&pts, 16), &format!("{name}_structure"));
     for (c, sw) in configs.iter().zip(&sweeps) {
         let best = sw.iter().map(|p| p.gflops).fold(0.0, f64::max);
-        println!("{}: best {:.2} GFlop/s over {} matrices", c.label(), best, specs.len());
+        println!(
+            "{}: best {:.2} GFlop/s over {} matrices",
+            c.label(),
+            best,
+            specs.len()
+        );
     }
 }
 
@@ -258,9 +301,9 @@ pub fn curve_figure(kernel: KernelId, machine: Machine, name: &str) {
     let curves: Vec<Vec<CurvePoint>> = configs
         .iter()
         .map(|&c| match kernel {
-            KernelId::Stream => stream_curve(c, &paper_stream_footprints(machine, 64)),
-            KernelId::Stencil => stencil_curve(c, &paper_stencil_grids(machine)),
-            KernelId::Fft => fft_curve(c, &paper_fft_sizes(machine)),
+            KernelId::Stream => stream_curve(c, &harness_stream_footprints(machine, 64)),
+            KernelId::Stencil => stencil_curve(c, &harness_stencil_grids(machine)),
+            KernelId::Fft => fft_curve(c, &harness_fft_sizes(machine)),
             _ => panic!("curve_figure only handles Stream/Stencil/FFT"),
         })
         .collect();
@@ -288,7 +331,10 @@ pub fn power_figure(machine: Machine, name: &str) {
             OpmConfig::Broadwell(EdramMode::Off),
             OpmConfig::Broadwell(EdramMode::On),
         ),
-        Machine::Knl => (OpmConfig::Knl(McdramMode::Off), OpmConfig::Knl(McdramMode::Flat)),
+        Machine::Knl => (
+            OpmConfig::Knl(McdramMode::Off),
+            OpmConfig::Knl(McdramMode::Flat),
+        ),
     };
     let mut s = Series::new(vec![
         "kernel_index",
@@ -297,7 +343,13 @@ pub fn power_figure(machine: Machine, name: &str) {
         "dram_w_base",
         "dram_w_opm",
     ]);
-    let mut t = TextTable::new(vec!["Kernel", "Pkg base", "Pkg OPM", "DRAM base", "DRAM OPM"]);
+    let mut t = TextTable::new(vec![
+        "Kernel",
+        "Pkg base",
+        "Pkg OPM",
+        "DRAM base",
+        "DRAM OPM",
+    ]);
     let mut pkg_base = Vec::new();
     let mut pkg_opm = Vec::new();
     for (i, k) in KernelId::ALL.iter().enumerate() {
@@ -393,9 +445,21 @@ pub fn fig28_29_guidelines() {
 /// peak right; scaling its bandwidth moves it up.
 pub fn fig30_hw_tuning() {
     let base = [
-        SchematicLevel { capacity: 6e6, bandwidth: 210.0, valley: 0.7 },
-        SchematicLevel { capacity: 128e6, bandwidth: 102.0, valley: 0.85 },
-        SchematicLevel { capacity: 16e9, bandwidth: 34.0, valley: 1.0 },
+        SchematicLevel {
+            capacity: 6e6,
+            bandwidth: 210.0,
+            valley: 0.7,
+        },
+        SchematicLevel {
+            capacity: 128e6,
+            bandwidth: 102.0,
+            valley: 0.85,
+        },
+        SchematicLevel {
+            capacity: 16e9,
+            bandwidth: 34.0,
+            valley: 1.0,
+        },
     ];
     let ai = 0.25;
     let n = 32;
@@ -412,7 +476,13 @@ pub fn fig30_hw_tuning() {
         "bandwidth_x2",
         "bandwidth_x4",
     ]);
-    for i in 0..baseline.len().min(cap2.len()).min(bw2.len()).min(cap4.len()).min(bw4.len()) {
+    for i in 0..baseline
+        .len()
+        .min(cap2.len())
+        .min(bw2.len())
+        .min(cap4.len())
+        .min(bw4.len())
+    {
         s.push(vec![
             baseline[i].0,
             baseline[i].1,
@@ -446,7 +516,11 @@ pub fn table4_edram_summary() {
         "Eq.1 @ {:.1}% power overhead: avg gain {:.1}% -> energy {} (break-even gain {:.1}%)",
         100.0 * w,
         100.0 * p,
-        if opm_saves_energy(p, w) { "SAVED" } else { "NOT saved" },
+        if opm_saves_energy(p, w) {
+            "SAVED"
+        } else {
+            "NOT saved"
+        },
         100.0 * breakeven_gain(w)
     );
     emit_summary_csv(&rows[0], "table4_edram_summary");

@@ -1,0 +1,431 @@
+//! The figure registry and the run manifest.
+//!
+//! Every figure/table pipeline is registered here by name, so the
+//! `all_figures` driver and each per-figure binary run through the same
+//! path: execute the pipeline on the global [`Engine`], attribute its
+//! sweep stages, wall time and profile-cache traffic, print a progress
+//! line to stderr, and write the accumulated observability data to
+//! `results/run_manifest.csv`.
+
+use crate::{figures, out_dir};
+use opm_core::platform::Machine;
+use opm_kernels::engine::Engine;
+use opm_kernels::registry::KernelId;
+use opm_kernels::sweeps::SparseKernelId;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One registered figure/table pipeline.
+pub struct FigureSpec {
+    /// Registry name; also the stem of the primary CSV the pipeline
+    /// writes.
+    pub name: &'static str,
+    /// The pipeline entry point.
+    pub run: fn(),
+}
+
+fn fig07() {
+    figures::dense_heatmap(KernelId::Gemm, Machine::Broadwell, "fig07_gemm_broadwell");
+}
+fn fig08() {
+    figures::dense_heatmap(
+        KernelId::Cholesky,
+        Machine::Broadwell,
+        "fig08_cholesky_broadwell",
+    );
+}
+fn fig09() {
+    figures::sparse_figure(
+        SparseKernelId::Spmv,
+        Machine::Broadwell,
+        "fig09_spmv_broadwell",
+    );
+}
+fn fig10() {
+    figures::sparse_figure(
+        SparseKernelId::Sptrans,
+        Machine::Broadwell,
+        "fig10_sptrans_broadwell",
+    );
+}
+fn fig11() {
+    figures::sparse_figure(
+        SparseKernelId::Sptrsv,
+        Machine::Broadwell,
+        "fig11_sptrsv_broadwell",
+    );
+}
+fn fig12() {
+    figures::curve_figure(
+        KernelId::Stream,
+        Machine::Broadwell,
+        "fig12_stream_broadwell",
+    );
+}
+fn fig13() {
+    figures::curve_figure(
+        KernelId::Stencil,
+        Machine::Broadwell,
+        "fig13_stencil_broadwell",
+    );
+}
+fn fig14() {
+    figures::curve_figure(KernelId::Fft, Machine::Broadwell, "fig14_fft_broadwell");
+}
+fn fig15() {
+    figures::dense_heatmap(KernelId::Gemm, Machine::Knl, "fig15_gemm_knl");
+}
+fn fig16() {
+    figures::dense_heatmap(KernelId::Cholesky, Machine::Knl, "fig16_cholesky_knl");
+}
+fn fig17() {
+    figures::sparse_figure(SparseKernelId::Spmv, Machine::Knl, "fig17_spmv_knl");
+}
+fn fig18() {
+    figures::sparse_figure(SparseKernelId::Sptrans, Machine::Knl, "fig18_sptrans_knl");
+}
+fn fig19() {
+    figures::sparse_figure(SparseKernelId::Sptrsv, Machine::Knl, "fig19_sptrsv_knl");
+}
+fn fig23() {
+    figures::curve_figure(KernelId::Stream, Machine::Knl, "fig23_stream_knl");
+}
+fn fig24() {
+    figures::curve_figure(KernelId::Stencil, Machine::Knl, "fig24_stencil_knl");
+}
+fn fig25() {
+    figures::curve_figure(KernelId::Fft, Machine::Knl, "fig25_fft_knl");
+}
+fn fig26() {
+    figures::power_figure(Machine::Broadwell, "fig26_power_broadwell");
+}
+fn fig27() {
+    figures::power_figure(Machine::Knl, "fig27_power_knl");
+}
+
+/// Every figure/table pipeline, in paper order (the order `all_figures`
+/// runs them).
+pub const ALL_FIGURES: &[FigureSpec] = &[
+    FigureSpec {
+        name: "fig01_gemm_pdf",
+        run: figures::fig01_gemm_pdf,
+    },
+    FigureSpec {
+        name: "fig04_ai_spectrum",
+        run: figures::fig04_ai_spectrum,
+    },
+    FigureSpec {
+        name: "fig05_roofline",
+        run: figures::fig05_roofline,
+    },
+    FigureSpec {
+        name: "fig06_stepping_model",
+        run: figures::fig06_stepping_model,
+    },
+    FigureSpec {
+        name: "fig07_gemm_broadwell",
+        run: fig07,
+    },
+    FigureSpec {
+        name: "fig08_cholesky_broadwell",
+        run: fig08,
+    },
+    FigureSpec {
+        name: "fig09_spmv_broadwell",
+        run: fig09,
+    },
+    FigureSpec {
+        name: "fig10_sptrans_broadwell",
+        run: fig10,
+    },
+    FigureSpec {
+        name: "fig11_sptrsv_broadwell",
+        run: fig11,
+    },
+    FigureSpec {
+        name: "fig12_stream_broadwell",
+        run: fig12,
+    },
+    FigureSpec {
+        name: "fig13_stencil_broadwell",
+        run: fig13,
+    },
+    FigureSpec {
+        name: "fig14_fft_broadwell",
+        run: fig14,
+    },
+    FigureSpec {
+        name: "fig15_gemm_knl",
+        run: fig15,
+    },
+    FigureSpec {
+        name: "fig16_cholesky_knl",
+        run: fig16,
+    },
+    FigureSpec {
+        name: "fig17_spmv_knl",
+        run: fig17,
+    },
+    FigureSpec {
+        name: "fig18_sptrans_knl",
+        run: fig18,
+    },
+    FigureSpec {
+        name: "fig19_sptrsv_knl",
+        run: fig19,
+    },
+    FigureSpec {
+        name: "fig20_22_knl_structure",
+        run: figures::fig20_22_knl_structure,
+    },
+    FigureSpec {
+        name: "fig23_stream_knl",
+        run: fig23,
+    },
+    FigureSpec {
+        name: "fig24_stencil_knl",
+        run: fig24,
+    },
+    FigureSpec {
+        name: "fig25_fft_knl",
+        run: fig25,
+    },
+    FigureSpec {
+        name: "fig26_power_broadwell",
+        run: fig26,
+    },
+    FigureSpec {
+        name: "fig27_power_knl",
+        run: fig27,
+    },
+    FigureSpec {
+        name: "fig28_29_guidelines",
+        run: figures::fig28_29_guidelines,
+    },
+    FigureSpec {
+        name: "fig30_hw_tuning",
+        run: figures::fig30_hw_tuning,
+    },
+    FigureSpec {
+        name: "table4_edram_summary",
+        run: figures::table4_edram_summary,
+    },
+    FigureSpec {
+        name: "table5_mcdram_summary",
+        run: figures::table5_mcdram_summary,
+    },
+];
+
+/// Look up one registered pipeline.
+pub fn find(name: &str) -> Option<&'static FigureSpec> {
+    ALL_FIGURES.iter().find(|f| f.name == name)
+}
+
+/// Observability record of one executed figure pipeline.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Registry name.
+    pub name: &'static str,
+    /// Wall-clock time of the whole pipeline.
+    pub wall_ns: u128,
+    /// Sweep points evaluated (summed over the pipeline's engine stages).
+    pub points: usize,
+    /// Profile-cache hits during the pipeline.
+    pub cache_hits: u64,
+    /// Profile-cache misses during the pipeline.
+    pub cache_misses: u64,
+}
+
+impl FigureReport {
+    /// Wall time in seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_ns as f64 / 1e9
+    }
+
+    /// Evaluated sweep points per second.
+    pub fn points_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.points as f64 / self.wall_secs()
+        }
+    }
+
+    /// Profile-cache hit rate over the pipeline (0 when it computed no
+    /// profiles).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Run the named pipelines (or every registered one for `None`) on the
+/// global engine, printing one progress line per figure to stderr.
+/// Unknown names panic, listing the registry.
+pub fn run_figures(names: Option<&[String]>) -> Vec<FigureReport> {
+    let selected: Vec<&FigureSpec> = match names {
+        None => ALL_FIGURES.iter().collect(),
+        Some(ns) => ns
+            .iter()
+            .map(|n| {
+                find(n).unwrap_or_else(|| {
+                    let known: Vec<&str> = ALL_FIGURES.iter().map(|f| f.name).collect();
+                    panic!("unknown figure {n:?}; known: {}", known.join(", "))
+                })
+            })
+            .collect(),
+    };
+    let engine = Engine::global();
+    let total = selected.len();
+    let mut reports = Vec::with_capacity(total);
+    for (i, spec) in selected.iter().enumerate() {
+        let mark = engine.stage_count();
+        let (h0, m0) = engine.cache_counters();
+        let start = Instant::now();
+        (spec.run)();
+        let wall_ns = start.elapsed().as_nanos();
+        let (h1, m1) = engine.cache_counters();
+        let points: usize = engine.stages_since(mark).iter().map(|s| s.points).sum();
+        let report = FigureReport {
+            name: spec.name,
+            wall_ns,
+            points,
+            cache_hits: h1 - h0,
+            cache_misses: m1 - m0,
+        };
+        eprintln!(
+            "[{}/{}] {}: {:.2}s, {} points ({:.0} pts/s), cache {}h/{}m",
+            i + 1,
+            total,
+            report.name,
+            report.wall_secs(),
+            report.points,
+            report.points_per_sec(),
+            report.cache_hits,
+            report.cache_misses,
+        );
+        reports.push(report);
+    }
+    reports
+}
+
+/// Write `run_manifest.csv` under [`out_dir`]: one row per executed
+/// figure plus a `TOTAL` row, with wall time, evaluated points,
+/// throughput, and profile-cache traffic/hit rate.
+pub fn write_manifest(reports: &[FigureReport]) -> std::io::Result<PathBuf> {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("run_manifest.csv");
+    let mut out =
+        String::from("figure,wall_s,points,points_per_s,cache_hits,cache_misses,cache_hit_rate\n");
+    let mut push_row =
+        |name: &str, wall_s: f64, points: usize, pps: f64, hits: u64, misses: u64, rate: f64| {
+            out.push_str(&format!(
+                "{name},{wall_s:.6},{points},{pps:.1},{hits},{misses},{rate:.4}\n"
+            ));
+        };
+    for r in reports {
+        push_row(
+            r.name,
+            r.wall_secs(),
+            r.points,
+            r.points_per_sec(),
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_hit_rate(),
+        );
+    }
+    let wall_ns: u128 = reports.iter().map(|r| r.wall_ns).sum();
+    let points: usize = reports.iter().map(|r| r.points).sum();
+    let hits: u64 = reports.iter().map(|r| r.cache_hits).sum();
+    let misses: u64 = reports.iter().map(|r| r.cache_misses).sum();
+    let wall_s = wall_ns as f64 / 1e9;
+    push_row(
+        "TOTAL",
+        wall_s,
+        points,
+        if wall_ns == 0 {
+            0.0
+        } else {
+            points as f64 / wall_s
+        },
+        hits,
+        misses,
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+    );
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+/// Run the named pipelines (or all of them) and write the run manifest —
+/// the shared entry point of `all_figures` and the per-figure binaries.
+pub fn run_and_write(names: Option<&[String]>) {
+    let engine = Engine::global();
+    let cfg = engine.config();
+    eprintln!(
+        "engine: {} thread(s), profile cache {}, {} grids",
+        cfg.threads,
+        if cfg.cache_enabled { "on" } else { "off" },
+        if cfg.reduced { "reduced" } else { "full" },
+    );
+    let reports = run_figures(names);
+    match write_manifest(&reports) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: write failed: {e}"),
+    }
+    let (hits, misses) = engine.cache_counters();
+    let total = hits + misses;
+    eprintln!(
+        "profile cache: {} distinct profiles, {hits}/{total} lookups hit ({:.1}%)",
+        engine.cache_len(),
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / total as f64
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for (i, f) in ALL_FIGURES.iter().enumerate() {
+            assert!(
+                !ALL_FIGURES[..i].iter().any(|g| g.name == f.name),
+                "duplicate {}",
+                f.name
+            );
+            assert!(find(f.name).is_some());
+        }
+        assert!(find("nope").is_none());
+        assert_eq!(ALL_FIGURES.len(), 27);
+    }
+
+    #[test]
+    fn manifest_rows_format() {
+        let reports = [FigureReport {
+            name: "fig01_gemm_pdf",
+            wall_ns: 2_000_000_000,
+            points: 100,
+            cache_hits: 75,
+            cache_misses: 25,
+        }];
+        let r = &reports[0];
+        assert!((r.wall_secs() - 2.0).abs() < 1e-12);
+        assert!((r.points_per_sec() - 50.0).abs() < 1e-9);
+        assert!((r.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

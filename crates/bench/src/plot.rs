@@ -61,7 +61,10 @@ pub fn line_chart(title: &str, series: &[(String, Vec<(f64, f64)>)], opts: Chart
     let mut ys: Vec<f64> = Vec::new();
     for (_, pts) in series {
         for &(x, y) in pts {
-            if x.is_finite() && y.is_finite() && (!opts.log_x || x > 0.0) && (!opts.log_y || y > 0.0)
+            if x.is_finite()
+                && y.is_finite()
+                && (!opts.log_x || x > 0.0)
+                && (!opts.log_y || y > 0.0)
             {
                 xs.push(x);
                 ys.push(y);
@@ -111,12 +114,7 @@ pub fn line_chart(title: &str, series: &[(String, Vec<(f64, f64)>)], opts: Chart
         };
         let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "{} +{}",
-        " ".repeat(9),
-        "-".repeat(opts.width)
-    );
+    let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(opts.width));
     let _ = writeln!(
         out,
         "{}{:<.3e}{}{:.3e}",
@@ -144,12 +142,10 @@ pub fn heat_map(
     log_axes: bool,
 ) -> String {
     assert!(!points.is_empty() && cols >= 2 && rows >= 2);
-    let min = |sel: fn(&(f64, f64, f64)) -> f64| {
-        points.iter().map(sel).fold(f64::INFINITY, f64::min)
-    };
-    let max = |sel: fn(&(f64, f64, f64)) -> f64| {
-        points.iter().map(sel).fold(f64::NEG_INFINITY, f64::max)
-    };
+    let min =
+        |sel: fn(&(f64, f64, f64)) -> f64| points.iter().map(sel).fold(f64::INFINITY, f64::min);
+    let max =
+        |sel: fn(&(f64, f64, f64)) -> f64| points.iter().map(sel).fold(f64::NEG_INFINITY, f64::max);
     let (x_lo, x_hi) = (min(|p| p.0), max(|p| p.0));
     let (y_lo, y_hi) = (min(|p| p.1), max(|p| p.1));
     let (v_lo, v_hi) = (min(|p| p.2), max(|p| p.2));
@@ -167,7 +163,10 @@ pub fn heat_map(
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "{title}  (value {v_lo:.2} .. {v_hi:.2}, ' '→low '@'→high)");
+    let _ = writeln!(
+        out,
+        "{title}  (value {v_lo:.2} .. {v_hi:.2}, ' '→low '@'→high)"
+    );
     for row in &grid {
         let line: String = row
             .iter()
@@ -186,7 +185,10 @@ pub fn heat_map(
             .collect();
         let _ = writeln!(out, "  |{line}|");
     }
-    let _ = writeln!(out, "  x: {x_lo:.3e} .. {x_hi:.3e}   y: {y_lo:.3e} .. {y_hi:.3e}");
+    let _ = writeln!(
+        out,
+        "  x: {x_lo:.3e} .. {x_hi:.3e}   y: {y_lo:.3e} .. {y_hi:.3e}"
+    );
     out
 }
 
@@ -213,12 +215,10 @@ pub fn read_series(path: &std::path::Path) -> Result<Series, String> {
 
 /// Build line-chart input from a series: x = `x_col`, one plotted series per
 /// other selected column.
-pub fn series_to_lines(
-    s: &Series,
-    x_col: &str,
-    y_cols: &[&str],
-) -> Vec<(String, Vec<(f64, f64)>)> {
-    let xi = s.column(x_col).unwrap_or_else(|| panic!("no column {x_col}"));
+pub fn series_to_lines(s: &Series, x_col: &str, y_cols: &[&str]) -> Vec<(String, Vec<(f64, f64)>)> {
+    let xi = s
+        .column(x_col)
+        .unwrap_or_else(|| panic!("no column {x_col}"));
     y_cols
         .iter()
         .map(|y| {

@@ -65,7 +65,11 @@ pub fn recommend_mcdram(w: &Workload) -> McdramMode {
 /// eDRAM hurting (§5.1), so performance-priority users should keep it on;
 /// energy-priority users should disable it when the expected gain is below
 /// the Eq. 1 break-even.
-pub fn recommend_edram(expected_gain: f64, power_overhead: f64, energy_priority: bool) -> EdramMode {
+pub fn recommend_edram(
+    expected_gain: f64,
+    power_overhead: f64,
+    energy_priority: bool,
+) -> EdramMode {
     if !energy_priority {
         return EdramMode::On;
     }
@@ -82,7 +86,8 @@ pub fn explain_mcdram(w: &Workload) -> String {
     let gib = |b: f64| b / GIB;
     match mode {
         McdramMode::Off => "DDR preferred: the workload is latency bound and MCDRAM's access \
-             latency exceeds DDR's (paper §4.2.2)".to_string(),
+             latency exceeds DDR's (paper §4.2.2)"
+            .to_string(),
         McdramMode::Flat => format!(
             "flat mode: the {:.1} GiB data set fits the 16 GiB MCDRAM, so every \
              access hits at full bandwidth with no tag overhead (guideline II)",
@@ -133,7 +138,9 @@ pub fn empirically_best_mode(
         ph.threads = threads;
         ph.compute_eff = 0.9;
         let prof = AccessProfile::single("probe", ph, footprint);
-        let g = PerfModel::for_config(OpmConfig::Knl(m)).evaluate(&prof).gflops;
+        let g = PerfModel::for_config(OpmConfig::Knl(m))
+            .evaluate(&prof)
+            .gflops;
         if g > best.1 {
             best = (m, g);
         }

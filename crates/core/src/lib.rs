@@ -29,7 +29,7 @@ pub use guideline::{recommend_edram, recommend_mcdram, Workload};
 pub use perf::{Estimate, ModelParams, PerfModel};
 pub use platform::{EdramMode, Machine, McdramMode, MemLevel, OpmConfig, PlatformSpec};
 pub use power::{energy_delay_product, Objective, PowerModel, PowerSample};
-pub use profile::{AccessProfile, Phase, Tier};
+pub use profile::{AccessProfile, Phase, ProfileKey, Tier};
 pub use roofline::Roofline;
 pub use sharing::{evaluate_sharing, SharingOutcome, SharingPolicy};
 pub use stepping::{stepping_curve, SteppingCurve, SweepKernel};

@@ -167,7 +167,11 @@ impl EffHierarchy {
         footprint: f64,
         params: &ModelParams,
     ) -> Self {
-        assert_eq!(platform.machine, config.machine(), "config/platform mismatch");
+        assert_eq!(
+            platform.machine,
+            config.machine(),
+            "config/platform mismatch"
+        );
         let mut caches: Vec<EffLevel> = platform
             .caches
             .iter()
@@ -396,7 +400,11 @@ impl PerfModel {
 
     /// Create a model with explicit (ablation) parameters.
     pub fn with_params(platform: PlatformSpec, config: OpmConfig, params: ModelParams) -> Self {
-        assert_eq!(platform.machine, config.machine(), "config/platform mismatch");
+        assert_eq!(
+            platform.machine,
+            config.machine(),
+            "config/platform mismatch"
+        );
         PerfModel {
             platform,
             config,
@@ -530,7 +538,13 @@ impl PerfModel {
                 }
             }
             if served_below > 1e-12 {
-                backing_traffic.push((bytes * served_below, tier.working_set, p_max, mlp, upper_sharp_cap));
+                backing_traffic.push((
+                    bytes * served_below,
+                    tier.working_set,
+                    p_max,
+                    mlp,
+                    upper_sharp_cap,
+                ));
             }
         }
         // Streaming remainder: compulsory traffic with a working set far
@@ -555,7 +569,16 @@ impl PerfModel {
             };
             if flat_b > 0.0 {
                 let spec = hier.flat_spec.as_ref().unwrap();
-                let t = service_time(flat_b, spec, w, sharp_cap, threads_mem, mlp, p_max, &self.params);
+                let t = service_time(
+                    flat_b,
+                    spec,
+                    w,
+                    sharp_cap,
+                    threads_mem,
+                    mlp,
+                    p_max,
+                    &self.params,
+                );
                 memory_ns += t;
                 opm_bytes += flat_b;
                 components.push(Component {
@@ -565,7 +588,16 @@ impl PerfModel {
                 });
             }
             if back_b > 0.0 {
-                let t = service_time(back_b, &hier.backing, w, sharp_cap, threads_mem, mlp, p_max, &self.params);
+                let t = service_time(
+                    back_b,
+                    &hier.backing,
+                    w,
+                    sharp_cap,
+                    threads_mem,
+                    mlp,
+                    p_max,
+                    &self.params,
+                );
                 memory_ns += t;
                 if hier.backing.name.starts_with("MCDRAM") {
                     // Flat mode: backing *is* the OPM (plus straddle DDR).
@@ -620,7 +652,11 @@ fn service_time(
     // Kernel MLP models *miss*-level parallelism to memory; short on-die
     // latencies are covered by the out-of-order window regardless, so
     // low-MLP kernels (SpTRSV) are not latency-bound on cache hits.
-    let eff_mlp = if lvl.latency_ns <= 20.0 { mlp.max(8.0) } else { mlp };
+    let eff_mlp = if lvl.latency_ns <= 20.0 {
+        mlp.max(8.0)
+    } else {
+        mlp
+    };
     let conc = (threads * eff_mlp * r).max(1.0);
     let lat_bw = conc * CACHE_LINE / lvl.latency_ns; // GB/s equivalent
     let bw_term = p_eff / lvl.bandwidth;
@@ -676,7 +712,10 @@ mod tests {
         let in_l3 = gflops(cfg, 4.0 * MIB);
         let plateau = gflops(cfg, 512.0 * MIB);
         // L3-resident runs far faster than the DDR plateau.
-        assert!(in_l3 > 3.0 * plateau, "L3 peak {in_l3} vs plateau {plateau}");
+        assert!(
+            in_l3 > 3.0 * plateau,
+            "L3 peak {in_l3} vs plateau {plateau}"
+        );
         // Plateau throughput tracks DDR bandwidth: AI/16 of 34.1 GB/s ~ 2.1.
         assert!((plateau * 16.0 - 34.1).abs() < 8.0);
     }
@@ -713,10 +752,7 @@ mod tests {
         for mb in [1.0, 4.0, 6.0, 8.0, 16.0, 64.0, 120.0, 200.0, 1024.0, 8192.0] {
             let on = gflops(OpmConfig::Broadwell(EdramMode::On), mb * MIB);
             let off = gflops(OpmConfig::Broadwell(EdramMode::Off), mb * MIB);
-            assert!(
-                on >= off * 0.999,
-                "eDRAM hurt at {mb} MB: {on} < {off}"
-            );
+            assert!(on >= off * 0.999, "eDRAM hurt at {mb} MB: {on} < {off}");
         }
     }
 
@@ -788,7 +824,10 @@ mod tests {
         };
         let ddr = mk(OpmConfig::Knl(McdramMode::Off));
         let flat = mk(OpmConfig::Knl(McdramMode::Flat));
-        assert!(flat < ddr, "flat {flat} should lose to ddr {ddr} at low MLP");
+        assert!(
+            flat < ddr,
+            "flat {flat} should lose to ddr {ddr} at low MLP"
+        );
     }
 
     #[test]
@@ -833,15 +872,15 @@ mod tests {
         assert_eq!(p.thrash, THRASH);
         assert_eq!(p.straddle_penalty, STRADDLE_PENALTY);
         assert_eq!(absorb_with(90.0, 100.0, THRASH), absorb(90.0, 100.0));
-        assert_eq!(ramp_with(200.0, 100.0, RAMP_GROW, RAMP_FLOOR), ramp(200.0, 100.0));
+        assert_eq!(
+            ramp_with(200.0, 100.0, RAMP_GROW, RAMP_FLOOR),
+            ramp(200.0, 100.0)
+        );
     }
 
     #[test]
     #[should_panic(expected = "config/platform mismatch")]
     fn mismatched_platform_panics() {
-        PerfModel::new(
-            PlatformSpec::broadwell(),
-            OpmConfig::Knl(McdramMode::Cache),
-        );
+        PerfModel::new(PlatformSpec::broadwell(), OpmConfig::Knl(McdramMode::Cache));
     }
 }

@@ -90,7 +90,13 @@ impl PowerModel {
     }
 
     /// Average power while executing the estimated run under `config`.
-    pub fn sample(&self, est: &Estimate, config: OpmConfig, total_flops: f64, total_bytes: f64) -> PowerSample {
+    pub fn sample(
+        &self,
+        est: &Estimate,
+        config: OpmConfig,
+        total_flops: f64,
+        total_bytes: f64,
+    ) -> PowerSample {
         assert_eq!(self.machine, config.machine(), "config/model mismatch");
         assert!(est.time_ns > 0.0, "estimate has zero time");
         let t = est.time_ns; // ns
@@ -114,7 +120,13 @@ impl PowerModel {
     }
 
     /// Total energy in joules for the run.
-    pub fn energy_j(&self, est: &Estimate, config: OpmConfig, total_flops: f64, total_bytes: f64) -> f64 {
+    pub fn energy_j(
+        &self,
+        est: &Estimate,
+        config: OpmConfig,
+        total_flops: f64,
+        total_bytes: f64,
+    ) -> f64 {
         let p = self.sample(est, config, total_flops, total_bytes);
         // W * ns = nJ; convert to J.
         p.total_w() * est.time_ns * 1e-9
@@ -236,7 +248,12 @@ mod tests {
         let p_flat = pm.sample(&e_flat, flat, f, b);
         let p_off = pm.sample(&e_off, off, f2, b2);
         // Flat mode serves from MCDRAM: DDR power falls to ~idle.
-        assert!(p_flat.dram_w < p_off.dram_w, "{} vs {}", p_flat.dram_w, p_off.dram_w);
+        assert!(
+            p_flat.dram_w < p_off.dram_w,
+            "{} vs {}",
+            p_flat.dram_w,
+            p_off.dram_w
+        );
     }
 
     #[test]

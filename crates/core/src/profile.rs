@@ -120,14 +120,9 @@ impl Phase {
             frac += t.fraction;
         }
         if frac > 1.0 + 1e-9 {
-            return Err(format!(
-                "{}: tier fractions sum to {frac} > 1",
-                self.name
-            ));
+            return Err(format!("{}: tier fractions sum to {frac} > 1", self.name));
         }
-        if !(0.0..=1.0).contains(&self.prefetch)
-            || !(0.0..=1.0).contains(&self.stream_prefetch)
-        {
+        if !(0.0..=1.0).contains(&self.prefetch) || !(0.0..=1.0).contains(&self.stream_prefetch) {
             return Err(format!("{}: prefetch out of [0,1]", self.name));
         }
         if self.mlp < 1.0 {
@@ -192,6 +187,126 @@ impl AccessProfile {
             p.validate()?;
         }
         Ok(())
+    }
+}
+
+/// Identity of one access-profile computation, used by the sweep engine's
+/// memoization cache (`opm_kernels::engine`).
+///
+/// A profile depends only on the kernel and its problem/tiling/threading
+/// parameters — **not** on the OPM configuration being evaluated — so one
+/// cached profile is reused across eDRAM on/off and all four MCDRAM modes,
+/// and across every figure/table that sweeps the same grid. Float-valued
+/// parameters are stored as IEEE-754 bit patterns so the key is `Eq + Hash`
+/// without tolerance questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfileKey {
+    /// Dense GEMM: `gemm_profile(n, tile, threads, cores)`.
+    Gemm {
+        /// Matrix order.
+        n: usize,
+        /// Tile size.
+        tile: usize,
+        /// Threads used.
+        threads: usize,
+        /// Physical cores.
+        cores: usize,
+    },
+    /// Dense Cholesky: `cholesky_profile(n, tile, threads, cores)`.
+    Cholesky {
+        /// Matrix order.
+        n: usize,
+        /// Tile size.
+        tile: usize,
+        /// Threads used.
+        threads: usize,
+        /// Physical cores.
+        cores: usize,
+    },
+    /// SpMV: `spmv_profile(rows, nnz, span, threads)`.
+    Spmv {
+        /// Matrix rows.
+        rows: usize,
+        /// Non-zeros.
+        nnz: usize,
+        /// `avg_col_span` as IEEE-754 bits.
+        span_bits: u64,
+        /// Threads used.
+        threads: usize,
+    },
+    /// SpTRANS: `sptrans_profile(rows, nnz, threads)`.
+    Sptrans {
+        /// Matrix rows.
+        rows: usize,
+        /// Non-zeros.
+        nnz: usize,
+        /// Threads used.
+        threads: usize,
+    },
+    /// SpTRSV: `sptrsv_profile(rows, nnz, span, levels, threads)`.
+    Sptrsv {
+        /// Matrix rows.
+        rows: usize,
+        /// Non-zeros.
+        nnz: usize,
+        /// `avg_col_span` as IEEE-754 bits.
+        span_bits: u64,
+        /// Level count as IEEE-754 bits.
+        levels_bits: u64,
+        /// Threads used.
+        threads: usize,
+    },
+    /// 3D FFT: `fft3d_profile(n, threads, cores)`.
+    Fft3d {
+        /// Cube edge length.
+        n: usize,
+        /// Threads used.
+        threads: usize,
+        /// Physical cores.
+        cores: usize,
+    },
+    /// 25-point stencil: `stencil_profile(nx, ny, nz, block, threads, cores)`.
+    Stencil {
+        /// Grid extents.
+        grid: (usize, usize, usize),
+        /// Blocking factors.
+        block: (usize, usize, usize),
+        /// Threads used.
+        threads: usize,
+        /// Physical cores.
+        cores: usize,
+    },
+    /// Stream TRIAD: `stream_profile(n, unroll, threads)`.
+    Stream {
+        /// Elements per array.
+        n: usize,
+        /// Unroll factor.
+        unroll: usize,
+        /// Threads used.
+        threads: usize,
+    },
+}
+
+impl ProfileKey {
+    /// SpMV key from the float-valued span.
+    pub fn spmv(rows: usize, nnz: usize, span: f64, threads: usize) -> Self {
+        ProfileKey::Spmv {
+            rows,
+            nnz,
+            span_bits: span.to_bits(),
+            threads,
+        }
+    }
+
+    /// SpTRSV key from the float-valued span and level count.
+    pub fn sptrsv(rows: usize, nnz: usize, span: f64, levels: f64, threads: usize) -> Self {
+        ProfileKey::Sptrsv {
+            rows,
+            nnz,
+            span_bits: span.to_bits(),
+            levels_bits: levels.to_bits(),
+            threads,
+        }
     }
 }
 

@@ -187,7 +187,13 @@ mod tests {
         assert!(lines[0].starts_with("kernel"));
         assert!(lines[1].starts_with("---"));
         // All rows padded to the same width.
-        assert_eq!(lines[2].find("204.5"), lines[3].find("9.6").map(|p| p - 1).map(|_| lines[2].find("204.5").unwrap()));
+        assert_eq!(
+            lines[2].find("204.5"),
+            lines[3]
+                .find("9.6")
+                .map(|p| p - 1)
+                .map(|_| lines[2].find("204.5").unwrap())
+        );
         assert!(lines[2].contains("gemm"));
     }
 

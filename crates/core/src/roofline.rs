@@ -127,8 +127,8 @@ mod tests {
     fn opm_raises_bandwidth_bound_kernels_only() {
         let r = Roofline::for_platform(&PlatformSpec::broadwell());
         let gemm_ai = 1024.0 / 16.0; // Table 2, n = 1024
-        // GEMM is compute bound under both ceilings: eDRAM cannot raise the
-        // raw peak (paper Fig. 1 observation).
+                                     // GEMM is compute bound under both ceilings: eDRAM cannot raise the
+                                     // raw peak (paper Fig. 1 observation).
         assert_eq!(
             r.attainable(gemm_ai, "eDRAM"),
             r.attainable(gemm_ai, "DDR3-2133")

@@ -206,9 +206,16 @@ mod tests {
             SharingPolicy::Shared,
             SharingPolicy::Priority(1),
         ] {
-            let apps = vec![stream_app(1.0 * GIB), stream_app(8.0 * GIB), stream_app(3.0 * GIB)];
+            let apps = vec![
+                stream_app(1.0 * GIB),
+                stream_app(8.0 * GIB),
+                stream_app(3.0 * GIB),
+            ];
             let out = evaluate_sharing(OpmConfig::Knl(McdramMode::Cache), &apps, &policy);
-            assert!(out.fairness > 0.0 && out.fairness <= 1.0 + 1e-12, "{policy:?}");
+            assert!(
+                out.fairness > 0.0 && out.fairness <= 1.0 + 1e-12,
+                "{policy:?}"
+            );
             assert_eq!(out.apps.len(), 3);
         }
     }

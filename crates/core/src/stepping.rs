@@ -216,8 +216,20 @@ mod tests {
     #[test]
     fn effective_region_brackets_edram() {
         let k = SweepKernel::default();
-        let on = stepping_curve(OpmConfig::Broadwell(EdramMode::On), k, 1.0 * MIB, 8.0 * GIB, 96);
-        let off = stepping_curve(OpmConfig::Broadwell(EdramMode::Off), k, 1.0 * MIB, 8.0 * GIB, 96);
+        let on = stepping_curve(
+            OpmConfig::Broadwell(EdramMode::On),
+            k,
+            1.0 * MIB,
+            8.0 * GIB,
+            96,
+        );
+        let off = stepping_curve(
+            OpmConfig::Broadwell(EdramMode::Off),
+            k,
+            1.0 * MIB,
+            8.0 * GIB,
+            96,
+        );
         let (lo, hi) = on.effective_region(&off, 0.10).expect("region exists");
         // Paper §4.1.2: the effective region falls between the L3 valley and
         // a bit past the eDRAM capacity (128 MB).
@@ -229,9 +241,21 @@ mod tests {
     #[test]
     fn schematic_has_declining_peaks() {
         let levels = [
-            SchematicLevel { capacity: 1e6, bandwidth: 400.0, valley: 0.6 },
-            SchematicLevel { capacity: 1e8, bandwidth: 100.0, valley: 0.7 },
-            SchematicLevel { capacity: 1e10, bandwidth: 30.0, valley: 1.0 },
+            SchematicLevel {
+                capacity: 1e6,
+                bandwidth: 400.0,
+                valley: 0.6,
+            },
+            SchematicLevel {
+                capacity: 1e8,
+                bandwidth: 100.0,
+                valley: 0.7,
+            },
+            SchematicLevel {
+                capacity: 1e10,
+                bandwidth: 30.0,
+                valley: 1.0,
+            },
         ];
         let pts = schematic(&levels, 0.1, 24);
         let first = pts[0].1;
@@ -244,8 +268,16 @@ mod tests {
     #[test]
     fn schematic_valley_dips_below_plateau() {
         let levels = [
-            SchematicLevel { capacity: 1e6, bandwidth: 400.0, valley: 0.6 },
-            SchematicLevel { capacity: 1e9, bandwidth: 30.0, valley: 0.5 },
+            SchematicLevel {
+                capacity: 1e6,
+                bandwidth: 400.0,
+                valley: 0.6,
+            },
+            SchematicLevel {
+                capacity: 1e9,
+                bandwidth: 30.0,
+                valley: 0.5,
+            },
         ];
         let pts = schematic(&levels, 1.0, 64);
         let plateau = pts.last().unwrap().1;
@@ -260,18 +292,28 @@ mod tests {
     #[test]
     fn hw_tuning_scales_peak_position_and_height() {
         let levels = [
-            SchematicLevel { capacity: 1e6, bandwidth: 400.0, valley: 1.0 },
-            SchematicLevel { capacity: 1e8, bandwidth: 100.0, valley: 1.0 },
-            SchematicLevel { capacity: 1e10, bandwidth: 30.0, valley: 1.0 },
+            SchematicLevel {
+                capacity: 1e6,
+                bandwidth: 400.0,
+                valley: 1.0,
+            },
+            SchematicLevel {
+                capacity: 1e8,
+                bandwidth: 100.0,
+                valley: 1.0,
+            },
+            SchematicLevel {
+                capacity: 1e10,
+                bandwidth: 30.0,
+                valley: 1.0,
+            },
         ];
         // Double the OPM (index 1) bandwidth: its plateau doubles.
         let up = schematic_hw_tuning(&levels, 1, 1.0, 2.0, 1.0, 16);
         let base = schematic(&levels, 1.0, 16);
         let plateau_at = |pts: &[(f64, f64)], x: f64| {
             pts.iter()
-                .min_by(|a, b| {
-                    (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap())
                 .unwrap()
                 .1
         };

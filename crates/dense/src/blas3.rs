@@ -36,7 +36,10 @@ pub fn potrf_block(w: &mut DenseMatrix, k0: usize, k1: usize) -> Result<(), NotP
 /// TRSM (right, lower, transposed): solve `X · L₂₂ᵀ = A` in place for the
 /// panel rows `[i0, i1)` against the factored diagonal block `[k0, k1)`.
 pub fn trsm_panel(w: &mut DenseMatrix, k0: usize, k1: usize, i0: usize, i1: usize) {
-    assert!(i0 >= k1 || i1 <= k0, "panel must not overlap the diagonal block");
+    assert!(
+        i0 >= k1 || i1 <= k0,
+        "panel must not overlap the diagonal block"
+    );
     for i in i0..i1 {
         for j in k0..k1 {
             let mut s = w[(i, j)];

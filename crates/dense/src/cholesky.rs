@@ -50,10 +50,7 @@ pub fn cholesky_naive(a: &DenseMatrix) -> Result<DenseMatrix, NotPositiveDefinit
 }
 
 /// Tiled right-looking Cholesky with tile size `tile`. Returns `L`.
-pub fn cholesky_blocked(
-    a: &DenseMatrix,
-    tile: usize,
-) -> Result<DenseMatrix, NotPositiveDefinite> {
+pub fn cholesky_blocked(a: &DenseMatrix, tile: usize) -> Result<DenseMatrix, NotPositiveDefinite> {
     assert_eq!(a.rows(), a.cols(), "matrix must be square");
     assert!(tile > 0, "tile must be positive");
     let n = a.rows();
@@ -100,11 +97,7 @@ pub fn cholesky_blocked(
     Ok(l)
 }
 
-fn potrf_inplace(
-    w: &mut DenseMatrix,
-    k0: usize,
-    k1: usize,
-) -> Result<(), NotPositiveDefinite> {
+fn potrf_inplace(w: &mut DenseMatrix, k0: usize, k1: usize) -> Result<(), NotPositiveDefinite> {
     for j in k0..k1 {
         let mut d = w[(j, j)];
         for l in k0..j {
@@ -221,10 +214,7 @@ mod tests {
         let reference = cholesky_naive(&a).unwrap();
         for tile in [1, 2, 3, 4, 7, 16, 64] {
             let l = cholesky_blocked(&a, tile).unwrap();
-            assert!(
-                reference.max_abs_diff(&l) < 1e-9,
-                "tile {tile} diverges"
-            );
+            assert!(reference.max_abs_diff(&l) < 1e-9, "tile {tile} diverges");
         }
     }
 

@@ -105,8 +105,9 @@ fn bluestein(input: &[Complex], dir: Direction) -> Vec<Complex> {
     // Chirp: w_k = e^{sign · iπ k² / n}.
     let chirp: Vec<Complex> = (0..n)
         .map(|k| {
-            let theta = sign * std::f64::consts::PI * ((k as u128 * k as u128) % (2 * n as u128)) as f64
-                / n as f64;
+            let theta =
+                sign * std::f64::consts::PI * ((k as u128 * k as u128) % (2 * n as u128)) as f64
+                    / n as f64;
             Complex::from_angle(theta)
         })
         .collect();

@@ -176,7 +176,9 @@ fn twiddle_tables(n: usize) -> Vec<Vec<Complex>> {
         .map(|s| {
             let len = 1usize << (s + 1);
             let ang = -2.0 * std::f64::consts::PI / len as f64;
-            (0..len / 2).map(|k| Complex::from_angle(ang * k as f64)).collect()
+            (0..len / 2)
+                .map(|k| Complex::from_angle(ang * k as f64))
+                .collect()
         })
         .collect()
 }

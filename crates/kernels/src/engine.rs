@@ -1,0 +1,433 @@
+//! The shared sweep-execution engine.
+//!
+//! Every figure/table pipeline in this repository reduces to the same
+//! shape: evaluate the performance model over a grid of sweep points,
+//! where each point first derives an [`AccessProfile`] (pure function of
+//! kernel + problem parameters) and then evaluates it under one OPM
+//! configuration. This module factors that shape out once:
+//!
+//! * **Parallel work queue** — [`Engine::par_map`] dispatches grid points
+//!   to a pool of `std::thread::scope` workers through an atomic index.
+//!   Results are tagged with their point index and merged in sorted order,
+//!   so a run with any thread count produces *byte-identical* output to a
+//!   serial run.
+//! * **Profile memoization** — [`Engine::profile`] caches computed access
+//!   profiles under a [`ProfileKey`]. Profiles do not depend on the OPM
+//!   configuration, so one computation is reused across eDRAM on/off and
+//!   all four MCDRAM modes (and across every figure sweeping the same
+//!   grid).
+//! * **Observability** — [`Engine::run_stage`] wraps each sweep with wall
+//!   time, point count, and cache hit/miss deltas, accumulated as
+//!   [`StageRecord`]s for the run-manifest emitted by `opm-bench`.
+//!
+//! The process-wide instance ([`Engine::global`]) is configured from the
+//! environment: `OPM_THREADS` (worker count, default = available
+//! parallelism), `OPM_PROFILE_CACHE` (`0`/`off`/`false` disables
+//! memoization), and `OPM_REDUCED` (`1`/`on`/`true` selects the reduced
+//! harness grids in `opm-bench`).
+
+use opm_core::profile::{AccessProfile, ProfileKey};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Engine tuning knobs, normally read from the environment once per
+/// process.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for [`Engine::par_map`] (1 = serial).
+    pub threads: usize,
+    /// Whether [`Engine::profile`] memoizes computed profiles.
+    pub cache_enabled: bool,
+    /// Whether harness binaries should use reduced sweep grids.
+    pub reduced: bool,
+}
+
+impl EngineConfig {
+    /// Read `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED`.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("OPM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(default_threads);
+        EngineConfig {
+            threads,
+            cache_enabled: !env_is_off("OPM_PROFILE_CACHE"),
+            reduced: env_is_on("OPM_REDUCED"),
+        }
+    }
+
+    /// Serial, cache-enabled, full-grid config (useful as a baseline in
+    /// determinism tests).
+    pub fn serial() -> Self {
+        EngineConfig {
+            threads: 1,
+            cache_enabled: true,
+            reduced: false,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: default_threads(),
+            cache_enabled: true,
+            reduced: false,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn env_is_off(name: &str) -> bool {
+    matches!(
+        std::env::var(name).as_deref(),
+        Ok("0") | Ok("off") | Ok("false") | Ok("no")
+    )
+}
+
+fn env_is_on(name: &str) -> bool {
+    matches!(
+        std::env::var(name).as_deref(),
+        Ok("1") | Ok("on") | Ok("true") | Ok("yes")
+    )
+}
+
+/// Timing/counter record of one completed sweep stage.
+#[derive(Debug, Clone)]
+pub struct StageRecord {
+    /// Stage label, e.g. `gemm_sweep/knl-flat`.
+    pub label: String,
+    /// Sweep points evaluated by the stage.
+    pub points: usize,
+    /// Wall-clock time of the stage.
+    pub wall_ns: u128,
+    /// Profile-cache hits attributed to the stage.
+    pub cache_hits: u64,
+    /// Profile-cache misses attributed to the stage.
+    pub cache_misses: u64,
+}
+
+impl StageRecord {
+    /// Wall time in seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_ns as f64 / 1e9
+    }
+
+    /// Evaluated points per second (0 for an instantaneous stage).
+    pub fn points_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.points as f64 / self.wall_secs()
+        }
+    }
+}
+
+/// The sweep-execution engine: a worker pool plus the memoized profile
+/// cache and the stage log. See the module docs for the design.
+pub struct Engine {
+    config: EngineConfig,
+    cache: Mutex<HashMap<ProfileKey, Arc<AccessProfile>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stages: Mutex<Vec<StageRecord>>,
+}
+
+impl Engine {
+    /// Engine with an explicit configuration (tests, determinism checks).
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Engine configured from the environment.
+    pub fn from_env() -> Self {
+        Engine::new(EngineConfig::from_env())
+    }
+
+    /// The process-wide engine, created from the environment on first use.
+    /// Set `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` before the
+    /// first sweep to take effect.
+    pub fn global() -> &'static Engine {
+        static GLOBAL: OnceLock<Engine> = OnceLock::new();
+        GLOBAL.get_or_init(Engine::from_env)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Look up (or compute and memoize) the access profile for `key`.
+    ///
+    /// `compute` must be the pure profile constructor matching `key`; it
+    /// runs at most once per key while the cache is enabled. With the
+    /// cache disabled every call computes afresh, which is what the
+    /// determinism tests compare against.
+    pub fn profile(
+        &self,
+        key: ProfileKey,
+        compute: impl FnOnce() -> AccessProfile,
+    ) -> Arc<AccessProfile> {
+        if !self.config.cache_enabled {
+            return Arc::new(compute());
+        }
+        if let Some(hit) = self.cache.lock().unwrap().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        // Compute outside the lock: a concurrent duplicate costs a second
+        // computation of the same pure function, never a wrong result.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(compute());
+        self.cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(fresh)
+            .clone()
+    }
+
+    /// Lifetime (hits, misses) of the profile cache.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Distinct profiles currently memoized.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Drop every memoized profile (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().unwrap().clear();
+    }
+
+    /// Map `f` over `items` on the worker pool, preserving input order.
+    ///
+    /// Points are handed out through an atomic index (dynamic load
+    /// balancing — grid points vary widely in cost), each worker tags its
+    /// results with the point index, and the merged output is sorted by
+    /// that index. The result is therefore identical — element for
+    /// element — for every thread count, including 1.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = self.config.threads.clamp(1, items.len().max(1));
+        if threads == 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, f(&items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
+        let mut indexed: Vec<(usize, R)> = parts.into_iter().flatten().collect();
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Run `f` as a named stage, recording wall time, its reported point
+    /// count, and the cache hit/miss delta. Stages are assumed to run
+    /// sequentially (parallelism lives *inside* a stage, in
+    /// [`Engine::par_map`]); overlapping stages would attribute each
+    /// other's cache traffic.
+    pub fn run_stage<R>(&self, label: &str, f: impl FnOnce(&Engine) -> (R, usize)) -> R {
+        let (h0, m0) = self.cache_counters();
+        let start = Instant::now();
+        let (out, points) = f(self);
+        let wall_ns = start.elapsed().as_nanos();
+        let (h1, m1) = self.cache_counters();
+        self.stages.lock().unwrap().push(StageRecord {
+            label: label.to_string(),
+            points,
+            wall_ns,
+            cache_hits: h1 - h0,
+            cache_misses: m1 - m0,
+        });
+        out
+    }
+
+    /// Number of stages recorded so far (use with [`Engine::stages_since`]
+    /// to attribute stages to a window, e.g. one figure).
+    pub fn stage_count(&self) -> usize {
+        self.stages.lock().unwrap().len()
+    }
+
+    /// Copies of the stage records from index `from` onward.
+    pub fn stages_since(&self, from: usize) -> Vec<StageRecord> {
+        let stages = self.stages.lock().unwrap();
+        stages[from.min(stages.len())..].to_vec()
+    }
+
+    /// Copies of every stage record.
+    pub fn stages(&self) -> Vec<StageRecord> {
+        self.stages_since(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opm_core::profile::{Phase, Tier};
+
+    fn probe_profile(n: usize) -> AccessProfile {
+        let mut phase = Phase::new("p", n as f64, 8.0 * n as f64);
+        phase.tiers.push(Tier::new(8.0 * n as f64, 0.5));
+        AccessProfile::single("probe", phase, 8.0 * n as f64)
+    }
+
+    #[test]
+    fn par_map_is_order_preserving_for_every_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let eng = Engine::new(EngineConfig {
+                threads,
+                cache_enabled: true,
+                reduced: false,
+            });
+            let got = eng.par_map(&items, |&x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let eng = Engine::new(EngineConfig::default());
+        assert_eq!(eng.par_map(&[] as &[usize], |&x| x), Vec::<usize>::new());
+        assert_eq!(eng.par_map(&[7usize], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn profile_cache_hits_and_counts() {
+        let eng = Engine::new(EngineConfig::serial());
+        let key = ProfileKey::Gemm {
+            n: 64,
+            tile: 16,
+            threads: 4,
+            cores: 4,
+        };
+        let a = eng.profile(key, || probe_profile(64));
+        let b = eng.profile(key, || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(eng.cache_counters(), (1, 1));
+        assert_eq!(eng.cache_len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            cache_enabled: false,
+            reduced: false,
+        });
+        let key = ProfileKey::Stream {
+            n: 1024,
+            unroll: 4,
+            threads: 4,
+        };
+        let calls = AtomicU64::new(0);
+        for _ in 0..3 {
+            let _ = eng.profile(key, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                probe_profile(1024)
+            });
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(eng.cache_counters(), (0, 0));
+        assert_eq!(eng.cache_len(), 0);
+    }
+
+    #[test]
+    fn run_stage_records_points_and_cache_delta() {
+        let eng = Engine::new(EngineConfig::serial());
+        let out = eng.run_stage("probe", |e| {
+            let v: Vec<_> = (0..5)
+                .map(|i| {
+                    e.profile(
+                        ProfileKey::Gemm {
+                            n: 32,
+                            tile: 8,
+                            threads: 1,
+                            cores: 1,
+                        },
+                        || probe_profile(32 + i),
+                    )
+                })
+                .collect();
+            let n = v.len();
+            (v, n)
+        });
+        assert_eq!(out.len(), 5);
+        let stages = eng.stages();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].label, "probe");
+        assert_eq!(stages[0].points, 5);
+        assert_eq!(stages[0].cache_misses, 1);
+        assert_eq!(stages[0].cache_hits, 4);
+    }
+
+    #[test]
+    fn parallel_cache_converges_to_one_entry_per_key() {
+        let eng = Engine::new(EngineConfig {
+            threads: 8,
+            cache_enabled: true,
+            reduced: false,
+        });
+        let items: Vec<usize> = (0..200).collect();
+        let profs = eng.par_map(&items, |&i| {
+            eng.profile(
+                ProfileKey::Fft3d {
+                    n: i % 4,
+                    threads: 1,
+                    cores: 1,
+                },
+                || probe_profile(i % 4 + 1),
+            )
+        });
+        assert_eq!(eng.cache_len(), 4);
+        let (h, m) = eng.cache_counters();
+        assert_eq!(h + m, 200);
+        // Every result for the same key is the same memoized profile.
+        for (i, p) in profs.iter().enumerate() {
+            assert_eq!(p.footprint, profs[i % 4].footprint);
+        }
+    }
+}

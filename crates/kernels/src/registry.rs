@@ -171,9 +171,18 @@ mod tests {
 
     #[test]
     fn classes_partition_kernels() {
-        let dense = KernelId::ALL.iter().filter(|k| k.class() == IntensityClass::Dense).count();
-        let sparse = KernelId::ALL.iter().filter(|k| k.class() == IntensityClass::Sparse).count();
-        let medium = KernelId::ALL.iter().filter(|k| k.class() == IntensityClass::Medium).count();
+        let dense = KernelId::ALL
+            .iter()
+            .filter(|k| k.class() == IntensityClass::Dense)
+            .count();
+        let sparse = KernelId::ALL
+            .iter()
+            .filter(|k| k.class() == IntensityClass::Sparse)
+            .count();
+        let medium = KernelId::ALL
+            .iter()
+            .filter(|k| k.class() == IntensityClass::Medium)
+            .count();
         assert_eq!((dense, sparse, medium), (2, 4, 2));
     }
 

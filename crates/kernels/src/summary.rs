@@ -82,7 +82,10 @@ pub fn cross_kernel(rows: &[SummaryRow]) -> CrossKernelSummary {
     let n = rows.len() as f64;
     CrossKernelSummary {
         avg_gap: rows.iter().map(|r| r.avg_gap).sum::<f64>() / n,
-        max_gap: rows.iter().map(|r| r.max_gap).fold(f64::NEG_INFINITY, f64::max),
+        max_gap: rows
+            .iter()
+            .map(|r| r.max_gap)
+            .fold(f64::NEG_INFINITY, f64::max),
         avg_speedup: rows.iter().map(|r| r.avg_speedup).sum::<f64>() / n,
         max_speedup: rows
             .iter()

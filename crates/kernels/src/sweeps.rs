@@ -2,13 +2,20 @@
 //! (matrix orders × tile sizes for the dense kernels, the 968-matrix corpus
 //! for the sparse kernels, and footprint sweeps for Stream/Stencil/FFT),
 //! evaluated through the performance model for any OPM configuration.
+//!
+//! Every sweep executes on the shared [`Engine`] (see [`crate::engine`]):
+//! grid points run on its deterministic parallel work queue, access
+//! profiles are memoized across configurations, and each sweep is recorded
+//! as a timed stage. The `*_on` variants take an explicit engine; the
+//! original names run on [`Engine::global`].
 
+use crate::engine::Engine;
 use crate::registry::KernelId;
 use opm_core::perf::PerfModel;
 use opm_core::platform::{Machine, OpmConfig, PlatformSpec};
+use opm_core::profile::ProfileKey;
 use opm_core::units::{GIB, MIB};
 use opm_sparse::gen::MatrixSpec;
-use rayon::prelude::*;
 
 /// One point of a dense (size × tile) heat map.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,55 +88,91 @@ pub fn paper_dense_tiles() -> Vec<usize> {
     (128..=4096).step_by(128).collect()
 }
 
-/// GEMM heat map under one configuration.
-pub fn gemm_sweep(config: OpmConfig, sizes: &[usize], tiles: &[usize]) -> Vec<HeatPoint> {
+fn dense_sweep_on(
+    engine: &Engine,
+    config: OpmConfig,
+    kernel: KernelId,
+    sizes: &[usize],
+    tiles: &[usize],
+) -> Vec<HeatPoint> {
     let model = PerfModel::for_config(config);
     let machine = config.machine();
-    let threads = KernelId::Gemm.threads(machine);
+    let threads = kernel.threads(machine);
     let c = cores(machine);
-    sizes
-        .par_iter()
-        .flat_map_iter(|&n| {
-            let model = model.clone();
-            tiles.iter().map(move |&tile| {
-                let prof = opm_dense::gemm_profile(n, tile, threads, c);
-                HeatPoint {
-                    n,
-                    tile,
-                    gflops: model.evaluate(&prof).gflops,
-                }
-            })
-        })
-        .collect()
+    let grid: Vec<(usize, usize)> = sizes
+        .iter()
+        .flat_map(|&n| tiles.iter().map(move |&tile| (n, tile)))
+        .collect();
+    let label = format!("{}_sweep/{}", kernel.name(), config.label());
+    engine.run_stage(&label, |eng| {
+        let pts = eng.par_map(&grid, |&(n, tile)| {
+            let prof = match kernel {
+                KernelId::Gemm => eng.profile(
+                    ProfileKey::Gemm {
+                        n,
+                        tile,
+                        threads,
+                        cores: c,
+                    },
+                    || opm_dense::gemm_profile(n, tile, threads, c),
+                ),
+                _ => eng.profile(
+                    ProfileKey::Cholesky {
+                        n,
+                        tile,
+                        threads,
+                        cores: c,
+                    },
+                    || opm_dense::cholesky_profile(n, tile, threads, c),
+                ),
+            };
+            HeatPoint {
+                n,
+                tile,
+                gflops: model.evaluate(&prof).gflops,
+            }
+        });
+        let n = pts.len();
+        (pts, n)
+    })
+}
+
+/// GEMM heat map under one configuration, on an explicit engine.
+pub fn gemm_sweep_on(
+    engine: &Engine,
+    config: OpmConfig,
+    sizes: &[usize],
+    tiles: &[usize],
+) -> Vec<HeatPoint> {
+    dense_sweep_on(engine, config, KernelId::Gemm, sizes, tiles)
+}
+
+/// GEMM heat map under one configuration.
+pub fn gemm_sweep(config: OpmConfig, sizes: &[usize], tiles: &[usize]) -> Vec<HeatPoint> {
+    gemm_sweep_on(Engine::global(), config, sizes, tiles)
+}
+
+/// Cholesky heat map under one configuration, on an explicit engine.
+pub fn cholesky_sweep_on(
+    engine: &Engine,
+    config: OpmConfig,
+    sizes: &[usize],
+    tiles: &[usize],
+) -> Vec<HeatPoint> {
+    dense_sweep_on(engine, config, KernelId::Cholesky, sizes, tiles)
 }
 
 /// Cholesky heat map under one configuration.
 pub fn cholesky_sweep(config: OpmConfig, sizes: &[usize], tiles: &[usize]) -> Vec<HeatPoint> {
-    let model = PerfModel::for_config(config);
-    let machine = config.machine();
-    let threads = KernelId::Cholesky.threads(machine);
-    let c = cores(machine);
-    sizes
-        .par_iter()
-        .flat_map_iter(|&n| {
-            let model = model.clone();
-            tiles.iter().map(move |&tile| {
-                let prof = opm_dense::cholesky_profile(n, tile, threads, c);
-                HeatPoint {
-                    n,
-                    tile,
-                    gflops: model.evaluate(&prof).gflops,
-                }
-            })
-        })
-        .collect()
+    cholesky_sweep_on(Engine::global(), config, sizes, tiles)
 }
 
-/// Corpus sweep for one sparse kernel under one configuration, using the
-/// generator's analytic structure estimates (building all 968 matrices
-/// would take hours; estimates carry rows/nnz/span/levels, which is what
-/// the profiles need).
-pub fn sparse_sweep(
+/// Corpus sweep for one sparse kernel under one configuration, on an
+/// explicit engine. Uses the generator's analytic structure estimates
+/// (building all 968 matrices would take hours; estimates carry
+/// rows/nnz/span/levels, which is what the profiles need).
+pub fn sparse_sweep_on(
+    engine: &Engine,
     config: OpmConfig,
     kernel: SparseKernelId,
     specs: &[MatrixSpec],
@@ -137,23 +180,34 @@ pub fn sparse_sweep(
     let model = PerfModel::for_config(config);
     let machine = config.machine();
     let threads = kernel.kernel().threads(machine);
-    specs
-        .par_iter()
-        .map(|spec| {
+    let label = format!("{}_sweep/{}", kernel.kernel().name(), config.label());
+    engine.run_stage(&label, |eng| {
+        let pts = eng.par_map(specs, |spec| {
             let est = spec.estimate();
             let prof = match kernel {
-                SparseKernelId::Spmv => {
-                    opm_sparse::spmv_profile(est.rows, est.nnz, est.avg_col_span, threads)
-                }
-                SparseKernelId::Sptrans => {
-                    opm_sparse::sptrans_profile(est.rows, est.nnz, threads)
-                }
-                SparseKernelId::Sptrsv => opm_sparse::sptrsv_profile(
-                    est.rows,
-                    est.nnz,
-                    est.avg_col_span,
-                    est.levels,
-                    threads,
+                SparseKernelId::Spmv => eng.profile(
+                    ProfileKey::spmv(est.rows, est.nnz, est.avg_col_span, threads),
+                    || opm_sparse::spmv_profile(est.rows, est.nnz, est.avg_col_span, threads),
+                ),
+                SparseKernelId::Sptrans => eng.profile(
+                    ProfileKey::Sptrans {
+                        rows: est.rows,
+                        nnz: est.nnz,
+                        threads,
+                    },
+                    || opm_sparse::sptrans_profile(est.rows, est.nnz, threads),
+                ),
+                SparseKernelId::Sptrsv => eng.profile(
+                    ProfileKey::sptrsv(est.rows, est.nnz, est.avg_col_span, est.levels, threads),
+                    || {
+                        opm_sparse::sptrsv_profile(
+                            est.rows,
+                            est.nnz,
+                            est.avg_col_span,
+                            est.levels,
+                            threads,
+                        )
+                    },
                 ),
             };
             SparsePoint {
@@ -161,62 +215,122 @@ pub fn sparse_sweep(
                 footprint: prof.footprint,
                 gflops: model.evaluate(&prof).gflops,
             }
-        })
-        .collect()
+        });
+        let n = pts.len();
+        (pts, n)
+    })
 }
 
-/// Stream TRIAD footprint curve (paper Figs. 12 / 23).
-pub fn stream_curve(config: OpmConfig, footprints: &[f64]) -> Vec<CurvePoint> {
+/// Corpus sweep for one sparse kernel under one configuration.
+pub fn sparse_sweep(
+    config: OpmConfig,
+    kernel: SparseKernelId,
+    specs: &[MatrixSpec],
+) -> Vec<SparsePoint> {
+    sparse_sweep_on(Engine::global(), config, kernel, specs)
+}
+
+/// Stream TRIAD footprint curve (paper Figs. 12 / 23), on an explicit
+/// engine.
+pub fn stream_curve_on(engine: &Engine, config: OpmConfig, footprints: &[f64]) -> Vec<CurvePoint> {
     let model = PerfModel::for_config(config);
     let threads = KernelId::Stream.threads(config.machine());
-    footprints
-        .iter()
-        .map(|&fp| {
+    let label = format!("stream_curve/{}", config.label());
+    engine.run_stage(&label, |eng| {
+        let pts = eng.par_map(footprints, |&fp| {
             let n = (fp / 24.0).max(64.0) as usize;
-            let prof = opm_stencil::stream_profile(n, 4, threads);
+            let prof = eng.profile(
+                ProfileKey::Stream {
+                    n,
+                    unroll: 4,
+                    threads,
+                },
+                || opm_stencil::stream_profile(n, 4, threads),
+            );
             CurvePoint {
                 footprint: prof.footprint,
                 gflops: model.evaluate(&prof).gflops,
             }
-        })
-        .collect()
+        });
+        let n = pts.len();
+        (pts, n)
+    })
+}
+
+/// Stream TRIAD footprint curve (paper Figs. 12 / 23).
+pub fn stream_curve(config: OpmConfig, footprints: &[f64]) -> Vec<CurvePoint> {
+    stream_curve_on(Engine::global(), config, footprints)
+}
+
+/// Stencil grid-size curve (paper Figs. 13 / 24), on an explicit engine.
+/// The block is the paper's 64×64×96.
+pub fn stencil_curve_on(
+    engine: &Engine,
+    config: OpmConfig,
+    grids: &[(usize, usize, usize)],
+) -> Vec<CurvePoint> {
+    let model = PerfModel::for_config(config);
+    let machine = config.machine();
+    let threads = KernelId::Stencil.threads(machine);
+    let c = cores(machine);
+    let label = format!("stencil_curve/{}", config.label());
+    engine.run_stage(&label, |eng| {
+        let pts = eng.par_map(grids, |&(nx, ny, nz)| {
+            let prof = eng.profile(
+                ProfileKey::Stencil {
+                    grid: (nx, ny, nz),
+                    block: (64, 64, 96),
+                    threads,
+                    cores: c,
+                },
+                || opm_stencil::stencil_profile(nx, ny, nz, (64, 64, 96), threads, c),
+            );
+            CurvePoint {
+                footprint: prof.footprint,
+                gflops: model.evaluate(&prof).gflops,
+            }
+        });
+        let n = pts.len();
+        (pts, n)
+    })
 }
 
 /// Stencil grid-size curve (paper Figs. 13 / 24). The block is the paper's
 /// 64×64×96.
 pub fn stencil_curve(config: OpmConfig, grids: &[(usize, usize, usize)]) -> Vec<CurvePoint> {
-    let model = PerfModel::for_config(config);
-    let machine = config.machine();
-    let threads = KernelId::Stencil.threads(machine);
-    let c = cores(machine);
-    grids
-        .iter()
-        .map(|&(nx, ny, nz)| {
-            let prof = opm_stencil::stencil_profile(nx, ny, nz, (64, 64, 96), threads, c);
-            CurvePoint {
-                footprint: prof.footprint,
-                gflops: model.evaluate(&prof).gflops,
-            }
-        })
-        .collect()
+    stencil_curve_on(Engine::global(), config, grids)
 }
 
-/// 3D-FFT size curve (paper Figs. 14 / 25).
-pub fn fft_curve(config: OpmConfig, sizes: &[usize]) -> Vec<CurvePoint> {
+/// 3D-FFT size curve (paper Figs. 14 / 25), on an explicit engine.
+pub fn fft_curve_on(engine: &Engine, config: OpmConfig, sizes: &[usize]) -> Vec<CurvePoint> {
     let model = PerfModel::for_config(config);
     let machine = config.machine();
     let threads = KernelId::Fft.threads(machine);
     let c = cores(machine);
-    sizes
-        .iter()
-        .map(|&n| {
-            let prof = opm_fft::fft3d_profile(n, threads, c);
+    let label = format!("fft_curve/{}", config.label());
+    engine.run_stage(&label, |eng| {
+        let pts = eng.par_map(sizes, |&n| {
+            let prof = eng.profile(
+                ProfileKey::Fft3d {
+                    n,
+                    threads,
+                    cores: c,
+                },
+                || opm_fft::fft3d_profile(n, threads, c),
+            );
             CurvePoint {
                 footprint: prof.footprint,
                 gflops: model.evaluate(&prof).gflops,
             }
-        })
-        .collect()
+        });
+        let n = pts.len();
+        (pts, n)
+    })
+}
+
+/// 3D-FFT size curve (paper Figs. 14 / 25).
+pub fn fft_curve(config: OpmConfig, sizes: &[usize]) -> Vec<CurvePoint> {
+    fft_curve_on(Engine::global(), config, sizes)
 }
 
 /// Paper stream footprint range (log-spaced samples).
@@ -296,9 +410,8 @@ mod tests {
         // (1) Peak barely moves.
         assert!((peak_on - peak_off).abs() / peak_off < 0.05);
         // (2) More configurations reach 70 % of peak with eDRAM.
-        let near = |pts: &[HeatPoint], peak: f64| {
-            pts.iter().filter(|p| p.gflops > 0.7 * peak).count()
-        };
+        let near =
+            |pts: &[HeatPoint], peak: f64| pts.iter().filter(|p| p.gflops > 0.7 * peak).count();
         assert!(
             near(&on, peak_off) > near(&off, peak_off),
             "near-peak region did not expand: {} vs {}",
@@ -338,9 +451,7 @@ mod tests {
         let cfg = OpmConfig::Knl(McdramMode::Flat);
         let spmv = sparse_sweep(cfg, SparseKernelId::Spmv, &specs);
         let sptrsv = sparse_sweep(cfg, SparseKernelId::Sptrsv, &specs);
-        let avg = |v: &[SparsePoint]| {
-            v.iter().map(|p| p.gflops).sum::<f64>() / v.len() as f64
-        };
+        let avg = |v: &[SparsePoint]| v.iter().map(|p| p.gflops).sum::<f64>() / v.len() as f64;
         assert!(avg(&sptrsv) < avg(&spmv));
     }
 

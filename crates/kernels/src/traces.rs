@@ -330,7 +330,11 @@ mod tests {
         // 49 reads per cell, each cell read ~49 times across neighbors: a
         // plane-sized cache captures nearly everything.
         let plane_lines = ((n * n * 8 * 20) / 64) as u64;
-        assert!(h.hit_ratio(plane_lines) > 0.8, "{}", h.hit_ratio(plane_lines));
+        assert!(
+            h.hit_ratio(plane_lines) > 0.8,
+            "{}",
+            h.hit_ratio(plane_lines)
+        );
     }
 
     #[test]
@@ -345,7 +349,10 @@ mod tests {
             .to_lower_triangular();
         let hb = reuse_histogram(&sptrsv_trace(&banded));
         let hr = reuse_histogram(&sptrsv_trace(&random));
-        assert!(hb.hit_ratio(64) > hr.hit_ratio(64), "banded x-reuse should be tighter");
+        assert!(
+            hb.hit_ratio(64) > hr.hit_ratio(64),
+            "banded x-reuse should be tighter"
+        );
     }
 
     #[test]

@@ -256,7 +256,7 @@ mod tests {
         c.access(0, false);
         c.access(sets, false);
         c.access(0, false); // refresh 0
-        // Fill a third line in the set: victim must be `sets` (LRU).
+                            // Fill a third line in the set: victim must be `sets` (LRU).
         match c.access(2 * sets, false) {
             Lookup::Miss { evicted, .. } => assert_eq!(evicted, Some(sets)),
             _ => panic!("expected miss"),

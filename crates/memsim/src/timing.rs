@@ -175,7 +175,10 @@ mod tests {
         let on = timed(OpmConfig::Broadwell(EdramMode::On), 48 * 1024);
         let off = timed(OpmConfig::Broadwell(EdramMode::Off), 48 * 1024);
         let speedup = off / on;
-        assert!(speedup > 1.5 && speedup < 4.0, "sim-timed speedup {speedup}");
+        assert!(
+            speedup > 1.5 && speedup < 4.0,
+            "sim-timed speedup {speedup}"
+        );
     }
 
     #[test]

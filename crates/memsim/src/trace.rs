@@ -123,7 +123,9 @@ impl Trace {
     pub fn random(base: u64, bytes: u64, count: usize, seed: u64) -> Self {
         assert!(bytes >= 8, "region too small");
         let mut t = Trace::new();
-        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut s = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         for _ in 0..count {
             s = s
                 .wrapping_mul(6364136223846793005)

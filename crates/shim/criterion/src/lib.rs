@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of the API for the workspace's bench targets to
+//! compile and produce useful numbers offline: benchmark groups, throughput
+//! annotation, `bench_function` / `bench_with_input`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs a
+//! short warm-up followed by a fixed number of timed iterations and prints
+//! mean wall time (no statistical analysis, HTML reports, or comparisons).
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl AsRef<str> for BenchmarkId {
+    fn as_ref(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Per-iteration measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f` over warm-up + measured iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..2 {
+            std_black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the work done per iteration (reported as a rate).
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: 10,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:.2} GiB/s",
+                    n as f64 / b.mean_ns * 1e9 / (1u64 << 30) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.2} Melem/s", n as f64 / b.mean_ns * 1e9 / 1e6)
+            }
+            None => String::new(),
+        };
+        println!("{}/{id}: {:.3} ms/iter{rate}", self.name, b.mean_ns / 1e6);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(&mut self, id: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        self.run_one(id.as_ref(), f);
+    }
+
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run_one(&id.name, |b| f(b, input));
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _c: self,
+        }
+    }
+
+    /// Benchmark a closure outside a group.
+    pub fn bench_function(&mut self, id: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Collect benchmark functions into one runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        let mut ran = false;
+        g.bench_function("f", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses: `crossbeam::scope` (mapped
+//! onto `std::thread::scope`, so the threads are real) and
+//! `crossbeam::deque::{Injector, Steal}` (a mutex-backed MPMC queue rather
+//! than a lock-free deque — same semantics, adequate throughput for the
+//! level-scheduled solver that consumes it).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Scoped-thread handle passed to `scope` closures. Mirrors the shape of
+/// `crossbeam::thread::Scope`: `spawn` takes a closure that receives the
+/// scope again (unused by our callers).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker thread.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads join before returning.
+/// Always `Ok` — a panicking worker propagates at join, as with
+/// `std::thread::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Work-stealing deque module (mutex-backed here).
+pub mod deque {
+    use super::*;
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// Got an item.
+        Success(T),
+        /// Queue empty at the time of the attempt.
+        Empty,
+        /// Transient contention; try again.
+        Retry,
+    }
+
+    /// FIFO injector queue shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Empty queue.
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueue an item.
+        pub fn push(&self, item: T) {
+            self.q.lock().expect("injector poisoned").push_back(item);
+        }
+
+        /// Dequeue an item.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(v) => Steal::Success(v),
+                    None => Steal::Empty,
+                },
+                Err(_) => Steal::Retry,
+            }
+        }
+
+        /// True when no items are queued.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().map(|q| q.is_empty()).unwrap_or(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn injector_is_fifo() {
+        let q = Injector::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.steal(), Steal::Success(1));
+        assert_eq!(q.steal(), Steal::Success(2));
+        assert_eq!(q.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn scope_joins_real_threads() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

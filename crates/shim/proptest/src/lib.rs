@@ -1,0 +1,338 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! strategies for numeric ranges, tuples, [`Just`], `collection::vec`, and
+//! simple `[class]{lo,hi}` string patterns, plus the [`proptest!`] macro
+//! and `prop_assert*` assertions. Cases are generated from a seeded RNG
+//! (deterministic per test name), so failures are reproducible. There is
+//! **no shrinking**: a failing case panics with its inputs via the normal
+//! assertion message.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// Per-case RNG handed to strategies; deterministic per (test, case).
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// RNG for case `case` of test `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5bd1_e995)),
+        }
+    }
+
+    fn usize_in(&mut self, r: Range<usize>) -> usize {
+        self.rng.random_range(r)
+    }
+}
+
+/// A value generator. Mirrors `proptest::strategy::Strategy` minus
+/// shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generate a value, then build a dependent strategy from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy returning a fixed (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(usize, u64, u32, f64, f32);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+/// String strategy from a `[class]{lo,hi}` pattern (the only regex shape
+/// the workspace uses). Character classes support literal chars and `a-z`
+/// ranges; a trailing `-` is literal. Patterns not of this shape fall back
+/// to sampling 1–8 chars from the pattern's own characters.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self).unwrap_or_else(|| {
+            (
+                self.chars().filter(|c| c.is_ascii_graphic()).collect(),
+                1,
+                8,
+            )
+        });
+        let len = rng.usize_in(lo..hi + 1);
+        (0..len)
+            .map(|_| alphabet[rng.usize_in(0..alphabet.len().max(1))])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            for c in a as u32..=b as u32 {
+                alphabet.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match reps.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if alphabet.is_empty() || lo > hi {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a uniformly chosen length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `size` elements drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Assert inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut __proptest_rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    (cfg = ($cfg:expr);) => {};
+}
+
+/// Mirrors `proptest::prelude::*` for the names this workspace imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples(n in 2usize..10, pair in (0u64..5, -1.0f64..1.0)) {
+            prop_assert!((2..10).contains(&n));
+            prop_assert!(pair.0 < 5);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..6).prop_flat_map(|n| collection::vec(0usize..n, 1..4))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+
+        #[test]
+        fn mapped(m in (0usize..4).prop_map(|x| x * 2)) {
+            prop_assert!(m % 2 == 0 && m < 8);
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-c0-1-]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| "abc01-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = super::TestRng::for_case("x", 0);
+        let mut b = super::TestRng::for_case("x", 0);
+        let s: String = Strategy::sample(&"[a-z]{8,8}", &mut a);
+        let t: String = Strategy::sample(&"[a-z]{8,8}", &mut b);
+        assert_eq!(s, t);
+    }
+}

@@ -275,11 +275,8 @@ impl MatrixSpec {
                             for dx in -1i64..=1 {
                                 for dy in -1i64..=1 {
                                     for dz in -1i64..=1 {
-                                        let (xx, yy, zz) = (
-                                            x as i64 + dx,
-                                            y as i64 + dy,
-                                            z as i64 + dz,
-                                        );
+                                        let (xx, yy, zz) =
+                                            (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                                         if xx >= 0
                                             && yy >= 0
                                             && zz >= 0
@@ -287,8 +284,7 @@ impl MatrixSpec {
                                             && (yy as usize) < side
                                             && (zz as usize) < side
                                         {
-                                            let j =
-                                                cell(xx as usize, yy as usize, zz as usize);
+                                            let j = cell(xx as usize, yy as usize, zz as usize);
                                             coo.push(i, j, val(&mut rng));
                                         }
                                     }
@@ -382,7 +378,8 @@ mod tests {
         for kind in MatrixKind::all(256) {
             let s = MatrixSpec::new(kind, 256, 2048, 1);
             let m = s.build();
-            m.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            m.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
             assert_eq!(m.rows, 256);
             assert_eq!(m.cols, 256);
             assert!(m.nnz() > 0);
@@ -473,9 +470,14 @@ mod tests {
         for kind in MatrixKind::extended(512) {
             let spec = MatrixSpec::new(kind, 512, 4096, 3);
             let m = spec.build();
-            m.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            m.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
             let est = spec.estimate();
-            assert!(est.levels >= 1.0 && est.avg_col_span >= 1.0, "{}", kind.label());
+            assert!(
+                est.levels >= 1.0 && est.avg_col_span >= 1.0,
+                "{}",
+                kind.label()
+            );
         }
         // The extended list adds exactly the two new kinds.
         assert_eq!(MatrixKind::extended(512).len(), 8);

@@ -21,8 +21,11 @@ pub fn segmented_sort_pairs(seg_ptr: &[usize], keys: &mut [u32], vals: &mut [f64
         .par_iter()
         .filter(|(lo, hi)| hi > lo)
         .map(|&(lo, hi)| {
-            let mut pairs: Vec<(u32, f64)> =
-                keys[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()).collect();
+            let mut pairs: Vec<(u32, f64)> = keys[lo..hi]
+                .iter()
+                .copied()
+                .zip(vals[lo..hi].iter().copied())
+                .collect();
             pairs.sort_unstable_by_key(|&(k, _)| k);
             (lo, pairs)
         })

@@ -104,12 +104,7 @@ pub fn spmv_footprint(stats: &SparseStats) -> f64 {
 /// (working set = the structure-dependent column span — banded matrices
 /// cache `x` perfectly, random matrices thrash it; this is the mechanism
 /// behind the paper's structure heatmaps, Figs. 9 and 20).
-pub fn spmv_profile(
-    rows: usize,
-    nnz: usize,
-    avg_col_span: f64,
-    threads: usize,
-) -> AccessProfile {
+pub fn spmv_profile(rows: usize, nnz: usize, avg_col_span: f64, threads: usize) -> AccessProfile {
     assert!(rows > 0 && nnz > 0 && threads > 0);
     let m = rows as f64;
     let nz = nnz as f64;

@@ -195,7 +195,9 @@ mod tests {
     }
 
     fn lower(kind: MatrixKind, n: usize, nnz: usize, seed: u64) -> CsrMatrix {
-        MatrixSpec::new(kind, n, nnz, seed).build().to_lower_triangular()
+        MatrixSpec::new(kind, n, nnz, seed)
+            .build()
+            .to_lower_triangular()
     }
 
     #[test]

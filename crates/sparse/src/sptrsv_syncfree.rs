@@ -21,12 +21,7 @@ fn atomic_f64_add(cell: &AtomicU64, v: f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let next = f64::from_bits(cur) + v;
-        match cell.compare_exchange_weak(
-            cur,
-            next.to_bits(),
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::AcqRel, Ordering::Relaxed) {
             Ok(_) => return,
             Err(actual) => cur = actual,
         }
@@ -159,7 +154,9 @@ mod tests {
     use crate::sptrsv::{sptrsv_serial, TrsvError};
 
     fn lower(kind: MatrixKind, n: usize, nnz: usize, seed: u64) -> CsrMatrix {
-        MatrixSpec::new(kind, n, nnz, seed).build().to_lower_triangular()
+        MatrixSpec::new(kind, n, nnz, seed)
+            .build()
+            .to_lower_triangular()
     }
 
     #[test]

@@ -101,7 +101,10 @@ pub fn step_folded(prev: &FoldedGrid, cur: &FoldedGrid, next: &mut FoldedGrid, c
     assert_eq!(cur.fold, next.fold);
     let w = second_derivative_weights(HALF);
     let (nx, ny, nz) = (cur.nx, cur.ny, cur.nz);
-    assert!(nx > 2 * HALF && ny > 2 * HALF && nz > 2 * HALF, "grid too small");
+    assert!(
+        nx > 2 * HALF && ny > 2 * HALF && nz > 2 * HALF,
+        "grid too small"
+    );
     for x in HALF..nx - HALF {
         for y in HALF..ny - HALF {
             for z in HALF..nz - HALF {

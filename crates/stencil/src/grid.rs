@@ -39,8 +39,8 @@ impl Grid {
             for y in 0..ny {
                 for z in 0..nz {
                     let i = g.idx(x, y, z);
-                    g.data[i] = (x as f64 * 0.3).sin() + (y as f64 * 0.2).cos()
-                        + (z as f64 * 0.1).sin();
+                    g.data[i] =
+                        (x as f64 * 0.3).sin() + (y as f64 * 0.2).cos() + (z as f64 * 0.1).sin();
                 }
             }
         }

@@ -43,7 +43,10 @@ pub fn second_derivative_weights(m: usize) -> Vec<f64> {
 pub fn step_naive(prev: &Grid, cur: &Grid, next: &mut Grid, c2: f64) {
     let w = second_derivative_weights(HALF);
     let (nx, ny, nz) = (cur.nx, cur.ny, cur.nz);
-    assert!(nx > 2 * HALF && ny > 2 * HALF && nz > 2 * HALF, "grid too small");
+    assert!(
+        nx > 2 * HALF && ny > 2 * HALF && nz > 2 * HALF,
+        "grid too small"
+    );
     for x in HALF..nx - HALF {
         for y in HALF..ny - HALF {
             for z in HALF..nz - HALF {
@@ -57,8 +60,7 @@ pub fn step_naive(prev: &Grid, cur: &Grid, next: &mut Grid, c2: f64) {
                             + cur.at(x, y, z + r)
                             + cur.at(x, y, z - r));
                 }
-                *next.at_mut(x, y, z) =
-                    2.0 * cur.at(x, y, z) - prev.at(x, y, z) + c2 * lap;
+                *next.at_mut(x, y, z) = 2.0 * cur.at(x, y, z) - prev.at(x, y, z) + c2 * lap;
             }
         }
     }
@@ -77,7 +79,10 @@ pub fn step_blocked(
     let (bx, by, bz) = block;
     assert!(bx > 0 && by > 0 && bz > 0, "block dims must be positive");
     let (nx, ny, nz) = (cur.nx, cur.ny, cur.nz);
-    assert!(nx > 2 * HALF && ny > 2 * HALF && nz > 2 * HALF, "grid too small");
+    assert!(
+        nx > 2 * HALF && ny > 2 * HALF && nz > 2 * HALF,
+        "grid too small"
+    );
     // Parallelize across x-slabs of `bx` rows; each slab owns a disjoint
     // region of `next`.
     let plane = ny * nz;
@@ -112,8 +117,7 @@ pub fn step_blocked(
                                                 + cur.at(x, y, z - r));
                                     }
                                     let i = (x - x0) * plane + y * nz + z;
-                                    slab[i] = 2.0 * cur.at(x, y, z) - prev.at(x, y, z)
-                                        + c2 * lap;
+                                    slab[i] = 2.0 * cur.at(x, y, z) - prev.at(x, y, z) + c2 * lap;
                                 }
                             }
                         }

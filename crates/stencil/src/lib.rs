@@ -20,8 +20,7 @@ pub use folding::{step_folded, FoldedGrid};
 pub use grid::Grid;
 pub use iso3dfd::{
     second_derivative_weights, stencil_flops, stencil_footprint, stencil_interior_flops,
-    stencil_profile, step_blocked,
-    step_naive, HALF,
+    stencil_profile, step_blocked, step_naive, HALF,
 };
 pub use stream::{stream_footprint, stream_profile, triad, triad_bytes, triad_flops};
 pub use temporal::{stencil_temporal_profile, step2_fused};

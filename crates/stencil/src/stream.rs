@@ -8,7 +8,9 @@ use rayon::prelude::*;
 /// `a[i] = b[i]` — COPY.
 pub fn copy(a: &mut [f64], b: &[f64]) {
     assert_eq!(a.len(), b.len());
-    a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x = y);
+    a.par_iter_mut()
+        .zip(b.par_iter())
+        .for_each(|(x, &y)| *x = y);
 }
 
 /// `a[i] = α·b[i]` — SCALE.

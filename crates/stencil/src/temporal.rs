@@ -166,6 +166,11 @@ mod tests {
         };
         let plain = crate::iso3dfd::stencil_profile(1024, 1024, 512, (64, 64, 96), 256, 64);
         let fused = stencil_temporal_profile(1024, 1024, 512, (64, 64, 96), 256, 64);
-        assert!(gap(&fused) < gap(&plain), "{} vs {}", gap(&fused), gap(&plain));
+        assert!(
+            gap(&fused) < gap(&plain),
+            "{} vs {}",
+            gap(&fused),
+            gap(&plain)
+        );
     }
 }

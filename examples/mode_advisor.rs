@@ -7,7 +7,9 @@
 //! cargo run --release --example mode_advisor [footprint_gib] [hot_gib] [latency_bound]
 //! ```
 
-use opm_repro::core::guideline::{empirically_best_mode, explain_mcdram, recommend_mcdram, Workload};
+use opm_repro::core::guideline::{
+    empirically_best_mode, explain_mcdram, recommend_mcdram, Workload,
+};
 use opm_repro::core::platform::McdramMode;
 use opm_repro::core::report::TextTable;
 use opm_repro::core::units::GIB;
@@ -16,7 +18,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.len() > 1 {
         let footprint: f64 = args[1].parse().expect("footprint in GiB");
-        let hot: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(footprint);
+        let hot: f64 = args
+            .get(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(footprint);
         let latency_bound = args
             .get(3)
             .map(|s| s == "true" || s == "1")

@@ -45,8 +45,16 @@ fn main() {
 
     section("§4.1.2 — the eDRAM effective region for sparse kernels");
     let specs = corpus(60);
-    let s_on = sparse_sweep(OpmConfig::Broadwell(EdramMode::On), SparseKernelId::Spmv, &specs);
-    let s_off = sparse_sweep(OpmConfig::Broadwell(EdramMode::Off), SparseKernelId::Spmv, &specs);
+    let s_on = sparse_sweep(
+        OpmConfig::Broadwell(EdramMode::On),
+        SparseKernelId::Spmv,
+        &specs,
+    );
+    let s_off = sparse_sweep(
+        OpmConfig::Broadwell(EdramMode::Off),
+        SparseKernelId::Spmv,
+        &specs,
+    );
     let mut in_region = 0;
     for (a, b) in s_on.iter().zip(&s_off) {
         if a.gflops > 1.1 * b.gflops {
@@ -61,7 +69,13 @@ fn main() {
 
     section("§4.1.3 — the Stepping Model on Stream");
     let k = SweepKernel::default();
-    let curve = stepping_curve(OpmConfig::Broadwell(EdramMode::On), k, 512.0 * 1024.0, 4.0 * GIB, 48);
+    let curve = stepping_curve(
+        OpmConfig::Broadwell(EdramMode::On),
+        k,
+        512.0 * 1024.0,
+        4.0 * GIB,
+        48,
+    );
     let (peak_fp, peak) = curve.peak();
     println!(
         "L3 cache peak at {:.1} MB ({:.0} GB/s); eDRAM plateau ~{:.0} GB/s; DDR plateau {:.0} GB/s",
@@ -81,7 +95,11 @@ fn main() {
         let fps = [fp_gib * GIB];
         let flat = stream_curve(OpmConfig::Knl(McdramMode::Flat), &fps)[0].gflops;
         let ddr = stream_curve(OpmConfig::Knl(McdramMode::Off), &fps)[0].gflops;
-        let verdict = if flat > ddr { "flat wins" } else { "flat LOSES (straddle, §4.2.1-II)" };
+        let verdict = if flat > ddr {
+            "flat wins"
+        } else {
+            "flat LOSES (straddle, §4.2.1-II)"
+        };
         println!(
             "footprint {fp_gib:>4.0} GiB: flat {:.1} vs DDR {:.1} GFlop/s -> {verdict}",
             flat, ddr
@@ -89,8 +107,16 @@ fn main() {
     }
 
     section("§4.2.2 — SpTRSV: when MCDRAM loses on latency");
-    let t_flat = sparse_sweep(OpmConfig::Knl(McdramMode::Flat), SparseKernelId::Sptrsv, &specs);
-    let t_ddr = sparse_sweep(OpmConfig::Knl(McdramMode::Off), SparseKernelId::Sptrsv, &specs);
+    let t_flat = sparse_sweep(
+        OpmConfig::Knl(McdramMode::Flat),
+        SparseKernelId::Sptrsv,
+        &specs,
+    );
+    let t_ddr = sparse_sweep(
+        OpmConfig::Knl(McdramMode::Off),
+        SparseKernelId::Sptrsv,
+        &specs,
+    );
     let losses = t_flat
         .iter()
         .zip(&t_ddr)

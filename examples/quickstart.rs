@@ -31,7 +31,12 @@ fn main() {
 
     // 2. Model the same kernel, at the paper's scale, on both evaluated
     //    machines under every OPM configuration of Table 1.
-    let mut table = TextTable::new(vec!["configuration", "modeled GFlop/s", "package W", "DRAM W"]);
+    let mut table = TextTable::new(vec![
+        "configuration",
+        "modeled GFlop/s",
+        "package W",
+        "DRAM W",
+    ]);
     let big_n = 8192;
     let big_tile = 384;
     for config in OpmConfig::broadwell_modes()

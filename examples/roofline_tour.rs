@@ -50,8 +50,20 @@ fn main() {
     // ASCII Stepping Model walk on Broadwell.
     println!("Stepping Model (Broadwell, STREAM-like kernel, GB/s equivalent):");
     let k = SweepKernel::default();
-    let on = stepping_curve(OpmConfig::Broadwell(EdramMode::On), k, 256.0 * 1024.0, 4.0 * GIB, 40);
-    let off = stepping_curve(OpmConfig::Broadwell(EdramMode::Off), k, 256.0 * 1024.0, 4.0 * GIB, 40);
+    let on = stepping_curve(
+        OpmConfig::Broadwell(EdramMode::On),
+        k,
+        256.0 * 1024.0,
+        4.0 * GIB,
+        40,
+    );
+    let off = stepping_curve(
+        OpmConfig::Broadwell(EdramMode::Off),
+        k,
+        256.0 * 1024.0,
+        4.0 * GIB,
+        40,
+    );
     let max = on.points.iter().map(|p| p.1).fold(0.0, f64::max);
     for ((fp, a), (_, b)) in on.points.iter().zip(&off.points) {
         let bar = |v: f64| "#".repeat(((v / max) * 50.0).round() as usize);

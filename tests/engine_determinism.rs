@@ -1,0 +1,211 @@
+//! Determinism guarantees of the sweep-execution engine: a parallel run
+//! must emit byte-identical CSVs to a serial run for every thread count,
+//! and the memoized profile cache must return exactly the profiles an
+//! uncached computation would.
+
+use opm_core::platform::{EdramMode, Machine, McdramMode, OpmConfig};
+use opm_core::profile::ProfileKey;
+use opm_core::report::Series;
+use opm_kernels::engine::{Engine, EngineConfig};
+use opm_kernels::sweeps::{
+    cholesky_sweep_on, fft_curve_on, gemm_sweep_on, paper_fft_sizes, paper_stream_footprints,
+    sparse_sweep_on, stream_curve_on, CurvePoint, HeatPoint, SparseKernelId, SparsePoint,
+};
+use opm_sparse::gen::corpus;
+
+fn engine(threads: usize, cache_enabled: bool) -> Engine {
+    Engine::new(EngineConfig {
+        threads,
+        cache_enabled,
+        reduced: false,
+    })
+}
+
+/// Render a dense sweep the way the figure pipelines do, so "identical
+/// CSV bytes" is tested end to end through the float formatter.
+fn heat_csv(points: &[HeatPoint]) -> String {
+    let mut s = Series::new(vec!["n", "tile", "gflops"]);
+    for p in points {
+        s.push(vec![p.n as f64, p.tile as f64, p.gflops]);
+    }
+    s.to_csv()
+}
+
+fn curve_csv(points: &[CurvePoint]) -> String {
+    let mut s = Series::new(vec!["footprint", "gflops"]);
+    for p in points {
+        s.push(vec![p.footprint, p.gflops]);
+    }
+    s.to_csv()
+}
+
+fn sparse_csv(points: &[SparsePoint]) -> String {
+    let mut s = Series::new(vec!["rows", "nnz", "footprint", "gflops"]);
+    for p in points {
+        s.push(vec![
+            p.spec.rows as f64,
+            p.spec.nnz_target as f64,
+            p.footprint,
+            p.gflops,
+        ]);
+    }
+    s.to_csv()
+}
+
+const THREAD_COUNTS: [usize; 4] = [2, 3, 5, 16];
+
+#[test]
+fn gemm_sweep_is_byte_identical_across_thread_counts() {
+    let sizes = [256, 2304, 8448, 16128];
+    let tiles = [128, 512, 1024, 4096];
+    let config = OpmConfig::Broadwell(EdramMode::On);
+    let baseline = heat_csv(&gemm_sweep_on(&engine(1, true), config, &sizes, &tiles));
+    for threads in THREAD_COUNTS {
+        let got = heat_csv(&gemm_sweep_on(
+            &engine(threads, true),
+            config,
+            &sizes,
+            &tiles,
+        ));
+        assert_eq!(got, baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn cholesky_sweep_is_byte_identical_across_thread_counts() {
+    let sizes = [1280, 5376];
+    let tiles = [256, 640, 2048];
+    let config = OpmConfig::Knl(McdramMode::Cache);
+    let baseline = heat_csv(&cholesky_sweep_on(&engine(1, true), config, &sizes, &tiles));
+    for threads in THREAD_COUNTS {
+        let got = heat_csv(&cholesky_sweep_on(
+            &engine(threads, true),
+            config,
+            &sizes,
+            &tiles,
+        ));
+        assert_eq!(got, baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn sparse_sweep_is_byte_identical_across_thread_counts() {
+    let specs = corpus(32);
+    let config = OpmConfig::Knl(McdramMode::Flat);
+    for kernel in [
+        SparseKernelId::Spmv,
+        SparseKernelId::Sptrans,
+        SparseKernelId::Sptrsv,
+    ] {
+        let baseline = sparse_csv(&sparse_sweep_on(&engine(1, true), config, kernel, &specs));
+        for threads in THREAD_COUNTS {
+            let got = sparse_csv(&sparse_sweep_on(
+                &engine(threads, true),
+                config,
+                kernel,
+                &specs,
+            ));
+            assert_eq!(got, baseline, "{kernel:?} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn curves_are_byte_identical_across_thread_counts() {
+    let footprints = paper_stream_footprints(Machine::Broadwell, 24);
+    let fft_sizes = paper_fft_sizes(Machine::Knl);
+    let stream_base = curve_csv(&stream_curve_on(
+        &engine(1, true),
+        OpmConfig::Broadwell(EdramMode::On),
+        &footprints,
+    ));
+    let fft_base = curve_csv(&fft_curve_on(
+        &engine(1, true),
+        OpmConfig::Knl(McdramMode::Flat),
+        &fft_sizes,
+    ));
+    for threads in THREAD_COUNTS {
+        let stream = curve_csv(&stream_curve_on(
+            &engine(threads, true),
+            OpmConfig::Broadwell(EdramMode::On),
+            &footprints,
+        ));
+        let fft = curve_csv(&fft_curve_on(
+            &engine(threads, true),
+            OpmConfig::Knl(McdramMode::Flat),
+            &fft_sizes,
+        ));
+        assert_eq!(stream, stream_base, "stream threads={threads}");
+        assert_eq!(fft, fft_base, "fft threads={threads}");
+    }
+}
+
+#[test]
+fn cached_sweep_equals_uncached_sweep() {
+    let sizes = [256, 4352, 16128];
+    let tiles = [128, 1152, 4096];
+    let specs = corpus(16);
+    for config in [
+        OpmConfig::Broadwell(EdramMode::Off),
+        OpmConfig::Broadwell(EdramMode::On),
+        OpmConfig::Knl(McdramMode::Flat),
+    ] {
+        let cached = engine(2, true);
+        let uncached = engine(2, false);
+        // Run each sweep twice on the cached engine so the second pass is
+        // answered from the cache, then demand equality with no-cache.
+        let _ = gemm_sweep_on(&cached, config, &sizes, &tiles);
+        let warm = gemm_sweep_on(&cached, config, &sizes, &tiles);
+        let cold = gemm_sweep_on(&uncached, config, &sizes, &tiles);
+        assert_eq!(heat_csv(&warm), heat_csv(&cold));
+        let _ = sparse_sweep_on(&cached, config, SparseKernelId::Spmv, &specs);
+        let warm = sparse_sweep_on(&cached, config, SparseKernelId::Spmv, &specs);
+        let cold = sparse_sweep_on(&uncached, config, SparseKernelId::Spmv, &specs);
+        assert_eq!(sparse_csv(&warm), sparse_csv(&cold));
+        let (hits, _) = cached.cache_counters();
+        assert!(hits > 0, "second pass should hit the cache");
+        assert_eq!(uncached.cache_counters(), (0, 0));
+    }
+}
+
+#[test]
+fn memoized_profile_equals_direct_computation() {
+    let eng = engine(1, true);
+    for (n, tile) in [(256, 128), (8448, 1024)] {
+        let key = ProfileKey::Gemm {
+            n,
+            tile,
+            threads: 4,
+            cores: 4,
+        };
+        // First call computes and memoizes, second answers from cache;
+        // both must equal the direct constructor output.
+        let direct = opm_dense::gemm_profile(n, tile, 4, 4);
+        let first = eng.profile(key, || opm_dense::gemm_profile(n, tile, 4, 4));
+        let second = eng.profile(key, || unreachable!("cache must hit"));
+        assert_eq!(*first, direct);
+        assert_eq!(*second, direct);
+    }
+    let direct = opm_sparse::spmv_profile(100_000, 1_500_000, 40_000.0, 14);
+    let key = ProfileKey::spmv(100_000, 1_500_000, 40_000.0, 14);
+    let first = eng.profile(key, || {
+        opm_sparse::spmv_profile(100_000, 1_500_000, 40_000.0, 14)
+    });
+    assert_eq!(*first, direct);
+}
+
+#[test]
+fn profiles_are_shared_across_configs_of_one_machine() {
+    let eng = engine(1, true);
+    let sizes = [2304, 8448];
+    let tiles = [256, 1024];
+    let _ = gemm_sweep_on(&eng, OpmConfig::Broadwell(EdramMode::Off), &sizes, &tiles);
+    let (h0, m0) = eng.cache_counters();
+    assert_eq!(h0, 0);
+    assert_eq!(m0 as usize, sizes.len() * tiles.len());
+    // The second configuration re-uses every profile of the first.
+    let _ = gemm_sweep_on(&eng, OpmConfig::Broadwell(EdramMode::On), &sizes, &tiles);
+    let (h1, m1) = eng.cache_counters();
+    assert_eq!(m1, m0, "no new profile computations");
+    assert_eq!(h1 as usize, sizes.len() * tiles.len());
+}

@@ -26,8 +26,8 @@ impl EnvGuard {
 
     fn csv(&self, name: &str) -> String {
         let path = self.dir.join(format!("{name}.csv"));
-        let text = fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        let text =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
         assert!(text.lines().count() > 1, "{name}.csv has no data rows");
         // Every row parses as numbers with a consistent width.
         let header_cols = text.lines().next().unwrap().split(',').count();

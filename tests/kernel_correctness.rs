@@ -3,13 +3,11 @@
 
 #![allow(clippy::needless_range_loop)]
 
-use opm_repro::dense::{
-    cholesky_blocked, gemm_blocked, gemm_naive, gemm_parallel, DenseMatrix,
-};
+use opm_repro::dense::{cholesky_blocked, gemm_blocked, gemm_naive, gemm_parallel, DenseMatrix};
 use opm_repro::fft::{fft3d, Direction, Grid3};
 use opm_repro::sparse::{
-    parse_matrix_market, spmv_parallel, spmv_serial, sptrans_merge, sptrans_scan,
-    sptrsv_levelset, to_matrix_market, MatrixKind, MatrixSpec,
+    parse_matrix_market, spmv_parallel, spmv_serial, sptrans_merge, sptrans_scan, sptrsv_levelset,
+    to_matrix_market, MatrixKind, MatrixSpec,
 };
 use opm_repro::stencil::{step_blocked, step_naive, Grid, HALF};
 
@@ -102,9 +100,8 @@ fn fft3d_plane_wave_concentrates() {
     for x in 0..n {
         for y in 0..n {
             for z in 0..n {
-                let theta = 2.0 * std::f64::consts::PI
-                    * ((kx * x + ky * y + kz * z) as f64)
-                    / n as f64;
+                let theta =
+                    2.0 * std::f64::consts::PI * ((kx * x + ky * y + kz * z) as f64) / n as f64;
                 *g.at_mut(x, y, z) = opm_repro::fft::Complex::from_angle(theta);
             }
         }

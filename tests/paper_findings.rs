@@ -27,10 +27,19 @@ fn edram_never_hurts_across_kernels() {
     let g_on = gemm_sweep(on, &sizes, &tiles);
     let g_off = gemm_sweep(off, &sizes, &tiles);
     for (a, b) in g_on.iter().zip(&g_off) {
-        assert!(a.gflops >= b.gflops * 0.999, "GEMM hurt at n={} tile={}", a.n, a.tile);
+        assert!(
+            a.gflops >= b.gflops * 0.999,
+            "GEMM hurt at n={} tile={}",
+            a.n,
+            a.tile
+        );
     }
     // Sparse.
-    for kernel in [SparseKernelId::Spmv, SparseKernelId::Sptrans, SparseKernelId::Sptrsv] {
+    for kernel in [
+        SparseKernelId::Spmv,
+        SparseKernelId::Sptrans,
+        SparseKernelId::Sptrsv,
+    ] {
         let s_on = sparse_sweep(on, kernel, &corpus_specs());
         let s_off = sparse_sweep(off, kernel, &corpus_specs());
         for (a, b) in s_on.iter().zip(&s_off) {
@@ -59,7 +68,10 @@ fn edram_gemm_peak_vs_region() {
     let on = gemm_sweep(OpmConfig::Broadwell(EdramMode::On), &sizes, &tiles);
     let peak_off = off.iter().map(|p| p.gflops).fold(0.0, f64::max);
     let peak_on = on.iter().map(|p| p.gflops).fold(0.0, f64::max);
-    assert!((peak_on - peak_off) / peak_off < 0.05, "peak moved too much");
+    assert!(
+        (peak_on - peak_off) / peak_off < 0.05,
+        "peak moved too much"
+    );
     // Fig. 1's wording: "more samples can reach near-peak (e.g., 90%)".
     let near = |v: &[opm_repro::kernels::HeatPoint]| {
         v.iter().filter(|p| p.gflops > 0.9 * peak_off).count()
@@ -75,7 +87,12 @@ fn flat_straddle_is_worse_than_ddr() {
     let flat = stream_curve(OpmConfig::Knl(McdramMode::Flat), &fps);
     let ddr = stream_curve(OpmConfig::Knl(McdramMode::Off), &fps);
     for (f, d) in flat.iter().zip(&ddr) {
-        assert!(f.gflops < d.gflops, "straddle {} vs ddr {}", f.gflops, d.gflops);
+        assert!(
+            f.gflops < d.gflops,
+            "straddle {} vs ddr {}",
+            f.gflops,
+            d.gflops
+        );
     }
 }
 
@@ -90,7 +107,12 @@ fn hybrid_beats_cache_for_gemm() {
     let avg = |v: &[opm_repro::kernels::HeatPoint]| {
         v.iter().map(|p| p.gflops).sum::<f64>() / v.len() as f64
     };
-    assert!(avg(&hybrid) >= avg(&cache), "{} vs {}", avg(&hybrid), avg(&cache));
+    assert!(
+        avg(&hybrid) >= avg(&cache),
+        "{} vs {}",
+        avg(&hybrid),
+        avg(&cache)
+    );
 }
 
 /// §4.2.3 / Fig. 23: cache mode performs worse than flat for Stream (no
@@ -115,8 +137,16 @@ fn stream_mode_ordering_on_knl() {
 #[test]
 fn sptrsv_mcdram_can_lose_to_ddr() {
     let specs = corpus_specs();
-    let flat = sparse_sweep(OpmConfig::Knl(McdramMode::Flat), SparseKernelId::Sptrsv, &specs);
-    let ddr = sparse_sweep(OpmConfig::Knl(McdramMode::Off), SparseKernelId::Sptrsv, &specs);
+    let flat = sparse_sweep(
+        OpmConfig::Knl(McdramMode::Flat),
+        SparseKernelId::Sptrsv,
+        &specs,
+    );
+    let ddr = sparse_sweep(
+        OpmConfig::Knl(McdramMode::Off),
+        SparseKernelId::Sptrsv,
+        &specs,
+    );
     let losses = flat
         .iter()
         .zip(&ddr)
@@ -130,8 +160,16 @@ fn sptrsv_mcdram_can_lose_to_ddr() {
 #[test]
 fn edram_average_gain_beats_energy_breakeven() {
     let specs = corpus_specs();
-    let on = sparse_sweep(OpmConfig::Broadwell(EdramMode::On), SparseKernelId::Spmv, &specs);
-    let off = sparse_sweep(OpmConfig::Broadwell(EdramMode::Off), SparseKernelId::Spmv, &specs);
+    let on = sparse_sweep(
+        OpmConfig::Broadwell(EdramMode::On),
+        SparseKernelId::Spmv,
+        &specs,
+    );
+    let off = sparse_sweep(
+        OpmConfig::Broadwell(EdramMode::Off),
+        SparseKernelId::Spmv,
+        &specs,
+    );
     let row = summarize_pair(
         "SpMV",
         &off.iter().map(|p| p.gflops).collect::<Vec<_>>(),

@@ -7,7 +7,9 @@ use opm_repro::core::profile::{AccessProfile, Phase, Tier};
 use opm_repro::core::stats::{gaussian_kde, linspace, quantile, summarize};
 use opm_repro::dense::{cholesky_blocked, gemm_blocked, gemm_naive, DenseMatrix};
 use opm_repro::fft::{fft_inplace, Complex, Direction};
-use opm_repro::memsim::{reuse_histogram, SetAssocCache, Trace};
+use opm_repro::memsim::{
+    reuse_histogram, HierarchySim, Lookup, ReuseHistogram, SetAssocCache, Trace,
+};
 use opm_repro::sparse::spmv::nnz_balanced_partition;
 use opm_repro::sparse::{
     spmv_csr5, spmv_parallel, spmv_serial, sptrans_merge, sptrans_scan, sptrsv_levelset,
@@ -29,6 +31,16 @@ fn arb_csr(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
             }
             CsrMatrix::from_coo(coo)
         })
+}
+
+/// Exact LRU hit count of a fully-associative cache with `lines` lines,
+/// by the stack-distance theorem (integer counterpart of `hit_ratio`).
+fn lru_hits(h: &ReuseHistogram, lines: u64) -> u64 {
+    h.finite
+        .iter()
+        .filter(|(d, _)| *d < lines)
+        .map(|(_, c)| *c)
+        .sum()
 }
 
 proptest! {
@@ -363,6 +375,84 @@ proptest! {
         let kde = gaussian_kde(&xs, &grid, 5.0);
         for (_, d) in kde {
             prop_assert!(d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn victim_cache_captures_every_eviction(
+        count in 50usize..400, region_kb in 4u64..64, seed in 0u64..500,
+    ) {
+        // An L3 stand-in backed by an eDRAM-style victim cache: every line
+        // the L3 evicts must be resident in the victim right after the fill
+        // (and gone from the L3), which is what makes eDRAM absorb L3
+        // capacity misses in the hierarchy model.
+        let mut l3 = SetAssocCache::new("l3", 16 * 64, 4);
+        let mut victim = SetAssocCache::new("victim", 64 * 64, 8);
+        let t = Trace::random(0, region_kb * 1024, count, seed);
+        for a in &t.accesses {
+            for line in a.lines() {
+                if let Lookup::Miss { evicted: Some(tag), dirty } = l3.access(line, false) {
+                    victim.fill(tag, dirty);
+                    prop_assert!(victim.contains(tag), "evicted line {} missing from victim", tag);
+                    prop_assert!(!l3.contains(tag));
+                }
+            }
+        }
+        // The full hierarchy accounts for every touch exactly once.
+        let mut sim = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::On), 8192);
+        let r = sim.run(&t).clone();
+        let served = r.level_hits.iter().sum::<u64>() + r.victim_hits + r.opm_flat + r.dram;
+        prop_assert_eq!(served, r.accesses);
+    }
+
+    #[test]
+    fn direct_mapped_aliasing_thrashes_but_two_way_coexists(
+        sets_pow in 2u32..9, base in 0u64..1024, rounds in 2usize..32,
+    ) {
+        // Cache-mode MCDRAM is direct-mapped: two lines whose addresses
+        // differ by exactly the set count alias to the same set and evict
+        // each other forever, while one extra way removes the conflict.
+        let sets = 1u64 << sets_pow;
+        let mut dm = SetAssocCache::direct_mapped("mcdram", sets * 64);
+        prop_assert_eq!(dm.sets() as u64, sets);
+        let (a, b) = (base, base + sets);
+        for _ in 0..rounds {
+            prop_assert!(matches!(dm.access(a, false), Lookup::Miss { .. }));
+            prop_assert!(matches!(dm.access(b, false), Lookup::Miss { .. }));
+        }
+        let mut two_way = SetAssocCache::new("mcdram-2w", sets * 2 * 64, 2);
+        prop_assert_eq!(two_way.sets() as u64, sets);
+        two_way.access(a, false);
+        two_way.access(b, false);
+        for _ in 0..rounds {
+            prop_assert!(matches!(two_way.access(a, false), Lookup::Hit));
+            prop_assert!(matches!(two_way.access(b, false), Lookup::Hit));
+        }
+    }
+
+    #[test]
+    fn reuse_hits_are_superadditive_under_concatenation(
+        c1 in 20usize..200, c2 in 20usize..200, region_kb in 1u64..32,
+        s1 in 0u64..500, s2 in 0u64..500,
+    ) {
+        // Prefixing a trace can only turn t2's cold misses into finite
+        // reuses — distances of reuses internal to either half are
+        // untouched — so LRU hits at every capacity are superadditive and
+        // cold misses subadditive under concatenation.
+        let t1 = Trace::random(0, region_kb * 1024, c1, s1);
+        let t2 = Trace::random(0, region_kb * 1024, c2, s2);
+        let mut cat = t1.clone();
+        cat.accesses.extend(t2.accesses.iter().cloned());
+        let h1 = reuse_histogram(&t1);
+        let h2 = reuse_histogram(&t2);
+        let h12 = reuse_histogram(&cat);
+        prop_assert_eq!(h12.total, h1.total + h2.total);
+        prop_assert!(h12.cold <= h1.cold + h2.cold);
+        for cap in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 1 << 20] {
+            prop_assert!(
+                lru_hits(&h12, cap) >= lru_hits(&h1, cap) + lru_hits(&h2, cap),
+                "capacity {} lines: concatenated hits fell below the sum", cap
+            );
         }
     }
 }
