@@ -1,0 +1,198 @@
+//! Checkpoint/resume journal for figure pipelines.
+//!
+//! Each figure run writes a journal to
+//! `results/.checkpoint/<figure>.ckpt`. The file opens with the figure
+//! name and a **configuration signature** (reduced-grid flag, corpus
+//! size, fault spec — everything that changes output bytes), then
+//! accumulates `progress` lines as the engine flushes completed point
+//! ranges (every [`opm_kernels::EngineConfig::checkpoint_every`] points)
+//! and a `stage` line as each sweep stage completes; a final `done` line
+//! marks the figure's CSVs as fully written.
+//!
+//! `all_figures --resume` consults [`figure_is_done`]: a figure whose
+//! journal ends in `done` *and* whose signature matches the current
+//! configuration is skipped — its CSVs are already on disk, and engine
+//! determinism guarantees a re-run would reproduce them byte for byte.
+//! A signature mismatch (different corpus size, different fault plan)
+//! invalidates the checkpoint and the figure re-runs. Journals are
+//! cleared at the start of a non-resume run so stale `done` markers can
+//! never mask missing output.
+
+use crate::out_dir;
+use opm_kernels::engine::{lock_recover, Engine, StageJournal, StageRecord};
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The checkpoint directory under the current results dir.
+pub fn ckpt_dir() -> PathBuf {
+    out_dir().join(".checkpoint")
+}
+
+/// Journal path for one figure.
+pub fn ckpt_path(figure: &str) -> PathBuf {
+    ckpt_dir().join(format!("{figure}.ckpt"))
+}
+
+/// The configuration signature recorded in (and checked against) every
+/// journal: anything that changes the *bytes* of the figure CSVs.
+/// Thread count and the profile cache are deliberately absent — the
+/// engine is deterministic across both.
+pub fn config_signature(engine: &Engine) -> String {
+    let fault = std::env::var("OPM_FAULT_SPEC").unwrap_or_default();
+    format!(
+        "reduced={} corpus={} fault={}",
+        engine.config().reduced,
+        crate::corpus_size(),
+        fault,
+    )
+}
+
+/// Whether `figure`'s journal marks a completed run under the given
+/// signature.
+pub fn figure_is_done(figure: &str, signature: &str) -> bool {
+    let Ok(text) = fs::read_to_string(ckpt_path(figure)) else {
+        return false;
+    };
+    let mut sig_ok = false;
+    let mut done = false;
+    for line in text.lines() {
+        if let Some(sig) = line.strip_prefix("config ") {
+            sig_ok = sig == signature;
+        } else if line.trim() == "done" {
+            done = true;
+        }
+    }
+    sig_ok && done
+}
+
+/// Delete every journal (start of a fresh, non-resume run).
+pub fn clear_all() {
+    let _ = fs::remove_dir_all(ckpt_dir());
+}
+
+/// An open journal for one figure, receiving the engine's progress
+/// events. Writes are line-buffered behind a mutex (progress events
+/// arrive from every worker thread) and flushed on each event, so the
+/// journal survives a `kill -9` up to the last completed point range.
+pub struct FigureCheckpoint {
+    figure: String,
+    file: Mutex<fs::File>,
+}
+
+impl FigureCheckpoint {
+    /// Open (truncating) the journal for `figure` and write its header.
+    pub fn begin(figure: &str, signature: &str) -> std::io::Result<Self> {
+        fs::create_dir_all(ckpt_dir())?;
+        let mut file = fs::File::create(ckpt_path(figure))?;
+        writeln!(file, "begin {figure}")?;
+        writeln!(file, "config {signature}")?;
+        file.flush()?;
+        Ok(FigureCheckpoint {
+            figure: figure.to_string(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Append the `done` marker: every CSV of the figure is on disk.
+    pub fn mark_done(&self) {
+        let mut f = lock_recover(&self.file);
+        let _ = writeln!(f, "done");
+        let _ = f.flush();
+    }
+
+    /// The figure this journal belongs to.
+    pub fn figure(&self) -> &str {
+        &self.figure
+    }
+}
+
+impl StageJournal for FigureCheckpoint {
+    fn progress(&self, stage: &str, completed: usize, total: usize) {
+        let mut f = lock_recover(&self.file);
+        let _ = writeln!(f, "progress {stage} {completed}/{total}");
+        let _ = f.flush();
+    }
+
+    fn stage_done(&self, record: &StageRecord) {
+        let mut f = lock_recover(&self.file);
+        let _ = writeln!(f, "stage {} {}", record.label, record.points);
+        let _ = f.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn with_tmp_results<R>(tag: &str, f: impl FnOnce() -> R) -> R {
+        let _lock = crate::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("opm_ckpt_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("OPM_RESULTS", &dir);
+        let out = f();
+        std::env::remove_var("OPM_RESULTS");
+        let _ = fs::remove_dir_all(&dir);
+        out
+    }
+
+    #[test]
+    fn journal_lifecycle_and_done_detection() {
+        with_tmp_results("lifecycle", || {
+            let sig = "reduced=true corpus=48 fault=";
+            assert!(!figure_is_done("figx", sig));
+            let ck = FigureCheckpoint::begin("figx", sig).unwrap();
+            ck.progress("stage_a", 64, 128);
+            ck.stage_done(&StageRecord {
+                label: "stage_a".into(),
+                points: 128,
+                wall_ns: 1,
+                cache_hits: 0,
+                cache_misses: 0,
+            });
+            // In-progress journal is not "done".
+            assert!(!figure_is_done("figx", sig));
+            ck.mark_done();
+            assert!(figure_is_done("figx", sig));
+            // A different signature invalidates the checkpoint.
+            assert!(!figure_is_done("figx", "reduced=false corpus=968 fault="));
+            let text = fs::read_to_string(ckpt_path("figx")).unwrap();
+            assert!(text.contains("begin figx"));
+            assert!(text.contains("progress stage_a 64/128"));
+            assert!(text.contains("stage stage_a 128"));
+            clear_all();
+            assert!(!figure_is_done("figx", sig));
+        });
+    }
+
+    #[test]
+    fn checkpoint_feeds_from_engine_journal_hook() {
+        with_tmp_results("enginehook", || {
+            let sig = "reduced=false corpus=48 fault=";
+            let mut config = opm_kernels::EngineConfig::serial();
+            config.checkpoint_every = 4;
+            let engine = Engine::new(config);
+            let ck = Arc::new(FigureCheckpoint::begin("figy", sig).unwrap());
+            engine.set_journal(Some(ck.clone()));
+            engine.run_stage("hooked_stage", |e| {
+                let items: Vec<usize> = (0..10).collect();
+                let v = e.par_map(&items, |&x| x);
+                let n = v.len();
+                (v, n)
+            });
+            ck.mark_done();
+            engine.set_journal(None);
+            let text = fs::read_to_string(ckpt_path("figy")).unwrap();
+            assert!(text.contains("progress hooked_stage 4/10"), "{text}");
+            assert!(text.contains("progress hooked_stage 8/10"), "{text}");
+            assert!(text.contains("progress hooked_stage 10/10"), "{text}");
+            assert!(text.contains("stage hooked_stage 10"), "{text}");
+            assert!(figure_is_done("figy", sig));
+        });
+    }
+}

@@ -161,6 +161,11 @@ USAGE:
   opm recommend --footprint-gib <f> [--hot-gib <f>] [--latency-bound]
   opm stepping --config <label> [--ai <f>] [--samples <n>]
   opm corpus [--count <n>] [--index <i>]
+  opm corpus --dir <path>
+      load every .mtx under <path>; unparseable files are quarantined to
+      results/quarantine_manifest.csv (with the parse reason) instead of
+      aborting the sweep. OPM_FAULT_SPEC=io@matrix:<stem> injects load
+      faults for testing.
 ";
 
 fn cmd_model(args: &Args) -> Result<String, String> {
@@ -253,6 +258,9 @@ fn cmd_stepping(args: &Args) -> Result<String, String> {
 }
 
 fn cmd_corpus(args: &Args) -> Result<String, String> {
+    if let Some(dir) = args.options.get("dir") {
+        return cmd_corpus_dir(std::path::Path::new(dir));
+    }
     let count = args.get_usize("count", 10);
     let specs = opm_sparse::corpus(count);
     match args.options.get("index") {
@@ -285,6 +293,41 @@ fn cmd_corpus(args: &Args) -> Result<String, String> {
             Ok(out)
         }
     }
+}
+
+/// `opm corpus --dir <path>`: quarantining directory load (see
+/// [`crate::corpus`]).
+fn cmd_corpus_dir(dir: &std::path::Path) -> Result<String, String> {
+    let engine = opm_kernels::Engine::global();
+    let load = crate::corpus::load_corpus_dir(engine, dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let manifest = load
+        .write_manifest()
+        .map_err(|e| format!("writing quarantine manifest: {e}"))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "loaded {} matrices, quarantined {} (manifest: {})\n",
+        load.loaded.len(),
+        load.quarantined.len(),
+        manifest.display(),
+    ));
+    for (stem, m) in &load.loaded {
+        out.push_str(&format!(
+            "  ok   {stem}: {}x{} nnz={}\n",
+            m.rows,
+            m.cols,
+            m.nnz()
+        ));
+    }
+    for q in &load.quarantined {
+        out.push_str(&format!(
+            "  QUAR {} ({} attempt(s)): {}\n",
+            q.path.display(),
+            q.attempts,
+            q.reason
+        ));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -344,6 +387,32 @@ mod tests {
         let one = run_str("corpus --count 5 --index 2").unwrap();
         assert!(one.contains("corpus[2]"));
         assert!(run_str("corpus --count 5 --index 9").is_err());
+    }
+
+    #[test]
+    fn corpus_dir_quarantines_and_reports() {
+        let _lock = crate::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("opm_cli_corpus_{}", std::process::id()));
+        let results = dir.join("results");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("good.mtx"),
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("bad.mtx"), "not a matrix at all\n").unwrap();
+        std::env::set_var("OPM_RESULTS", &results);
+        let out = run_str(&format!("corpus --dir {}", dir.display())).unwrap();
+        std::env::remove_var("OPM_RESULTS");
+        assert!(out.contains("loaded 1 matrices, quarantined 1"), "{out}");
+        assert!(out.contains("ok   good"), "{out}");
+        assert!(out.contains("QUAR"), "{out}");
+        assert!(results.join("quarantine_manifest.csv").exists());
+        assert!(run_str("corpus --dir /nonexistent/dir").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

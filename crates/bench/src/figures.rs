@@ -46,25 +46,35 @@ pub fn fig01_gemm_pdf() {
     let eval = |config: OpmConfig| -> Vec<f64> {
         let model = PerfModel::for_config(config);
         let engine = Engine::global();
-        engine.run_stage(&format!("gemm_pdf/{}", config.label()), |eng| {
-            let gflops = eng.par_map(&samples, |&(n, tile)| {
-                let prof = eng.profile(
-                    ProfileKey::Gemm {
-                        n,
-                        tile,
-                        threads: 4,
-                        cores: 4,
-                    },
-                    || opm_dense::gemm_profile(n, tile, 4, 4),
-                );
-                model.evaluate(&prof).gflops
-            });
+        let label = format!("gemm_pdf/{}", config.label());
+        engine.run_stage(&label, |eng| {
+            let gflops = eng.par_map_isolated(
+                &label,
+                &samples,
+                |&(n, tile)| {
+                    let prof = eng.profile(
+                        ProfileKey::Gemm {
+                            n,
+                            tile,
+                            threads: 4,
+                            cores: 4,
+                        },
+                        || opm_dense::gemm_profile(n, tile, 4, 4),
+                    );
+                    model.evaluate(&prof).gflops
+                },
+                |_, _| f64::NAN,
+            );
             let points = gflops.len();
             (gflops, points)
         })
     };
-    let off = eval(OpmConfig::Broadwell(EdramMode::Off));
-    let on = eval(OpmConfig::Broadwell(EdramMode::On));
+    // Quarantined sample points come back as NaN; dropping them keeps the
+    // density estimate over the surviving samples (and is a no-op in a
+    // fault-free run).
+    let finite = |v: Vec<f64>| -> Vec<f64> { v.into_iter().filter(|g| g.is_finite()).collect() };
+    let off = finite(eval(OpmConfig::Broadwell(EdramMode::Off)));
+    let on = finite(eval(OpmConfig::Broadwell(EdramMode::On)));
     let grid = linspace(0.0, 240.0, 481);
     let bw = silverman_bandwidth(&off).max(silverman_bandwidth(&on));
     let kde_off = gaussian_kde(&off, &grid, bw);

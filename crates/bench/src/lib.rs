@@ -328,8 +328,14 @@ mod tests {
 }
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod cli;
+pub mod corpus;
 pub mod extensions;
 pub mod figures;
 pub mod manifest;
 pub mod plot;
+
+/// Serializes lib tests that mutate process environment (`OPM_RESULTS`).
+#[cfg(test)]
+pub(crate) static TEST_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());

@@ -6,14 +6,25 @@
 //! sweep stages, wall time and profile-cache traffic, print a progress
 //! line to stderr, and write the accumulated observability data to
 //! `results/run_manifest.csv`.
+//!
+//! Runs are fault-tolerant end to end: each pipeline executes under
+//! `catch_unwind` (one crashing figure does not kill the campaign), a
+//! checkpoint journal tracks per-figure completion for `--resume`
+//! ([`crate::checkpoint`]), and every point/figure failure the engine
+//! recorded is written — deterministically sorted — to
+//! `results/run_errors.csv`.
 
-use crate::{figures, out_dir};
+use crate::{checkpoint, figures, out_dir};
 use opm_core::platform::Machine;
-use opm_kernels::engine::Engine;
+use opm_core::report::RecordTable;
+use opm_kernels::engine::{Engine, PointFailure};
+use opm_kernels::faultinject::FaultKind;
 use opm_kernels::registry::KernelId;
 use opm_kernels::sweeps::SparseKernelId;
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One registered figure/table pipeline.
@@ -222,11 +233,45 @@ pub fn find(name: &str) -> Option<&'static FigureSpec> {
     ALL_FIGURES.iter().find(|f| f.name == name)
 }
 
+/// Execution options for a figure run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Skip figures whose checkpoint journal marks them complete under
+    /// the current configuration (see [`crate::checkpoint`]). When false,
+    /// all journals are cleared first.
+    pub resume: bool,
+}
+
+/// How one figure pipeline ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureStatus {
+    /// Ran to completion (possibly with quarantined points).
+    Completed,
+    /// The pipeline itself panicked outside point isolation; its CSVs
+    /// may be missing or partial.
+    Failed,
+    /// Skipped under `--resume`: a prior run already completed it.
+    Resumed,
+}
+
+impl FigureStatus {
+    /// Manifest label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FigureStatus::Completed => "ok",
+            FigureStatus::Failed => "failed",
+            FigureStatus::Resumed => "resumed",
+        }
+    }
+}
+
 /// Observability record of one executed figure pipeline.
 #[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Registry name.
     pub name: &'static str,
+    /// How the pipeline ended.
+    pub status: FigureStatus,
     /// Wall-clock time of the whole pipeline.
     pub wall_ns: u128,
     /// Sweep points evaluated (summed over the pipeline's engine stages).
@@ -235,6 +280,9 @@ pub struct FigureReport {
     pub cache_hits: u64,
     /// Profile-cache misses during the pipeline.
     pub cache_misses: u64,
+    /// Point/figure failures recorded during the pipeline (recovered
+    /// retries included).
+    pub failures: usize,
 }
 
 impl FigureReport {
@@ -265,9 +313,22 @@ impl FigureReport {
 }
 
 /// Run the named pipelines (or every registered one for `None`) on the
+/// global engine with default options. See [`run_figures_opt`].
+pub fn run_figures(names: Option<&[String]>) -> Vec<FigureReport> {
+    run_figures_opt(names, &RunOptions::default())
+}
+
+/// Run the named pipelines (or every registered one for `None`) on the
 /// global engine, printing one progress line per figure to stderr.
 /// Unknown names panic, listing the registry.
-pub fn run_figures(names: Option<&[String]>) -> Vec<FigureReport> {
+///
+/// Each pipeline runs under `catch_unwind` with a checkpoint journal
+/// attached to the engine; a figure that panics is recorded as a failure
+/// (figure-level, in the engine's failure log) and the run continues.
+/// With `options.resume`, figures whose journal is complete under the
+/// current configuration signature are skipped — their CSVs are already
+/// on disk and deterministic re-execution would reproduce them exactly.
+pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<FigureReport> {
     let selected: Vec<&FigureSpec> = match names {
         None => ALL_FIGURES.iter().collect(),
         Some(ns) => ns
@@ -281,37 +342,150 @@ pub fn run_figures(names: Option<&[String]>) -> Vec<FigureReport> {
             .collect(),
     };
     let engine = Engine::global();
+    let signature = checkpoint::config_signature(engine);
+    if !options.resume {
+        checkpoint::clear_all();
+    }
     let total = selected.len();
     let mut reports = Vec::with_capacity(total);
     for (i, spec) in selected.iter().enumerate() {
-        let mark = engine.stage_count();
+        if options.resume && checkpoint::figure_is_done(spec.name, &signature) {
+            eprintln!(
+                "[{}/{}] {}: resumed (checkpoint done)",
+                i + 1,
+                total,
+                spec.name
+            );
+            reports.push(FigureReport {
+                name: spec.name,
+                status: FigureStatus::Resumed,
+                wall_ns: 0,
+                points: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                failures: 0,
+            });
+            continue;
+        }
+        let stage_mark = engine.stage_count();
+        let failure_mark = engine.failure_count();
         let (h0, m0) = engine.cache_counters();
+        let journal = match checkpoint::FigureCheckpoint::begin(spec.name, &signature) {
+            Ok(j) => {
+                let j = Arc::new(j);
+                engine.set_journal(Some(j.clone()));
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("checkpoint for {}: {e} (running without one)", spec.name);
+                None
+            }
+        };
         let start = Instant::now();
-        (spec.run)();
+        let outcome = catch_unwind(AssertUnwindSafe(spec.run));
         let wall_ns = start.elapsed().as_nanos();
+        engine.set_journal(None);
+        let status = match outcome {
+            Ok(()) => {
+                if let Some(j) = &journal {
+                    j.mark_done();
+                }
+                FigureStatus::Completed
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                engine.record_failure(PointFailure {
+                    stage: format!("figure/{}", spec.name),
+                    index: usize::MAX,
+                    kind: FaultKind::Panic,
+                    attempts: 1,
+                    transient: false,
+                    recovered: false,
+                    message,
+                });
+                FigureStatus::Failed
+            }
+        };
         let (h1, m1) = engine.cache_counters();
-        let points: usize = engine.stages_since(mark).iter().map(|s| s.points).sum();
+        let points: usize = engine
+            .stages_since(stage_mark)
+            .iter()
+            .map(|s| s.points)
+            .sum();
         let report = FigureReport {
             name: spec.name,
+            status,
             wall_ns,
             points,
             cache_hits: h1 - h0,
             cache_misses: m1 - m0,
+            failures: engine.failure_count() - failure_mark,
         };
         eprintln!(
-            "[{}/{}] {}: {:.2}s, {} points ({:.0} pts/s), cache {}h/{}m",
+            "[{}/{}] {} [{}]: {:.2}s, {} points ({:.0} pts/s), cache {}h/{}m{}",
             i + 1,
             total,
             report.name,
+            report.status.label(),
             report.wall_secs(),
             report.points,
             report.points_per_sec(),
             report.cache_hits,
             report.cache_misses,
+            if report.failures > 0 {
+                format!(", {} failure(s)", report.failures)
+            } else {
+                String::new()
+            },
         );
         reports.push(report);
     }
     reports
+}
+
+/// Write `run_errors.csv` under [`out_dir`]: one row per recorded
+/// point/figure failure, sorted by (stage, point, message) so the file is
+/// byte-identical at every thread count. Always written — a header-only
+/// file is the positive signal that a run completed failure-free.
+///
+/// Columns: `stage` (sweep-stage label, or `figure/<name>` for a pipeline
+/// that failed outside point isolation), `point` (index in the stage's
+/// grid; `-` when not attributable to one point), `kind` (`panic`/`io`),
+/// `attempts` (evaluations including retries), `transient`
+/// (`true` if classified retryable), `outcome`
+/// (`recovered`/`quarantined`), `message` (the panic payload or error).
+pub fn write_run_errors(failures: &[PointFailure]) -> std::io::Result<PathBuf> {
+    let mut sorted: Vec<&PointFailure> = failures.iter().collect();
+    sorted.sort_by(|a, b| (&a.stage, a.index, &a.message).cmp(&(&b.stage, b.index, &b.message)));
+    let mut t = RecordTable::new(vec![
+        "stage",
+        "point",
+        "kind",
+        "attempts",
+        "transient",
+        "outcome",
+        "message",
+    ]);
+    for f in sorted {
+        t.push(vec![
+            f.stage.clone(),
+            if f.index == usize::MAX {
+                "-".to_string()
+            } else {
+                f.index.to_string()
+            },
+            f.kind.label().to_string(),
+            f.attempts.to_string(),
+            f.transient.to_string(),
+            f.outcome().to_string(),
+            f.message.clone(),
+        ]);
+    }
+    t.write_csv(out_dir(), "run_errors")
 }
 
 /// Write `run_manifest.csv` under [`out_dir`]: one row per executed
@@ -321,32 +495,45 @@ pub fn write_manifest(reports: &[FigureReport]) -> std::io::Result<PathBuf> {
     let dir = out_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("run_manifest.csv");
-    let mut out =
-        String::from("figure,wall_s,points,points_per_s,cache_hits,cache_misses,cache_hit_rate\n");
-    let mut push_row =
-        |name: &str, wall_s: f64, points: usize, pps: f64, hits: u64, misses: u64, rate: f64| {
-            out.push_str(&format!(
-                "{name},{wall_s:.6},{points},{pps:.1},{hits},{misses},{rate:.4}\n"
-            ));
-        };
+    let mut out = String::from(
+        "figure,status,wall_s,points,points_per_s,cache_hits,cache_misses,cache_hit_rate,failures\n",
+    );
+    #[allow(clippy::too_many_arguments)]
+    let mut push_row = |name: &str,
+                        status: &str,
+                        wall_s: f64,
+                        points: usize,
+                        pps: f64,
+                        hits: u64,
+                        misses: u64,
+                        rate: f64,
+                        failures: usize| {
+        out.push_str(&format!(
+            "{name},{status},{wall_s:.6},{points},{pps:.1},{hits},{misses},{rate:.4},{failures}\n"
+        ));
+    };
     for r in reports {
         push_row(
             r.name,
+            r.status.label(),
             r.wall_secs(),
             r.points,
             r.points_per_sec(),
             r.cache_hits,
             r.cache_misses,
             r.cache_hit_rate(),
+            r.failures,
         );
     }
     let wall_ns: u128 = reports.iter().map(|r| r.wall_ns).sum();
     let points: usize = reports.iter().map(|r| r.points).sum();
     let hits: u64 = reports.iter().map(|r| r.cache_hits).sum();
     let misses: u64 = reports.iter().map(|r| r.cache_misses).sum();
+    let failures: usize = reports.iter().map(|r| r.failures).sum();
     let wall_s = wall_ns as f64 / 1e9;
     push_row(
         "TOTAL",
+        "-",
         wall_s,
         points,
         if wall_ns == 0 {
@@ -361,6 +548,7 @@ pub fn write_manifest(reports: &[FigureReport]) -> std::io::Result<PathBuf> {
         } else {
             hits as f64 / (hits + misses) as f64
         },
+        failures,
     );
     let mut f = std::fs::File::create(&path)?;
     f.write_all(out.as_bytes())?;
@@ -368,20 +556,43 @@ pub fn write_manifest(reports: &[FigureReport]) -> std::io::Result<PathBuf> {
 }
 
 /// Run the named pipelines (or all of them) and write the run manifest —
-/// the shared entry point of `all_figures` and the per-figure binaries.
+/// the shared entry point of the per-figure binaries.
 pub fn run_and_write(names: Option<&[String]>) {
+    run_and_write_opt(names, &RunOptions::default());
+}
+
+/// [`run_and_write`] with explicit [`RunOptions`] (the `all_figures`
+/// entry point: `--resume` lands here). Also writes `run_errors.csv` and
+/// prints a failure/quarantine summary.
+pub fn run_and_write_opt(names: Option<&[String]>, options: &RunOptions) {
     let engine = Engine::global();
     let cfg = engine.config();
     eprintln!(
-        "engine: {} thread(s), profile cache {}, {} grids",
+        "engine: {} thread(s), profile cache {}, {} grids{}{}",
         cfg.threads,
         if cfg.cache_enabled { "on" } else { "off" },
         if cfg.reduced { "reduced" } else { "full" },
+        if options.resume { ", resuming" } else { "" },
+        if cfg.fault_plan.is_some() {
+            ", fault injection ON"
+        } else {
+            ""
+        },
     );
-    let reports = run_figures(names);
+    let reports = run_figures_opt(names, options);
     match write_manifest(&reports) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
         Err(e) => eprintln!("manifest: write failed: {e}"),
+    }
+    let failures = engine.failures();
+    match write_run_errors(&failures) {
+        Ok(path) => eprintln!("errors: {} ({} recorded)", path.display(), failures.len()),
+        Err(e) => eprintln!("errors: write failed: {e}"),
+    }
+    let quarantined = failures.iter().filter(|f| !f.recovered).count();
+    let recovered = failures.len() - quarantined;
+    if !failures.is_empty() {
+        eprintln!("failures: {quarantined} quarantined, {recovered} recovered by retry");
     }
     let (hits, misses) = engine.cache_counters();
     let total = hits + misses;
@@ -418,14 +629,61 @@ mod tests {
     fn manifest_rows_format() {
         let reports = [FigureReport {
             name: "fig01_gemm_pdf",
+            status: FigureStatus::Completed,
             wall_ns: 2_000_000_000,
             points: 100,
             cache_hits: 75,
             cache_misses: 25,
+            failures: 0,
         }];
         let r = &reports[0];
         assert!((r.wall_secs() - 2.0).abs() < 1e-12);
         assert!((r.points_per_sec() - 50.0).abs() < 1e-9);
         assert!((r.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(r.status.label(), "ok");
+        assert_eq!(FigureStatus::Failed.label(), "failed");
+        assert_eq!(FigureStatus::Resumed.label(), "resumed");
+    }
+
+    #[test]
+    fn run_errors_csv_is_sorted_and_quoted() {
+        let _lock = crate::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("opm_run_errors_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("OPM_RESULTS", &dir);
+        let failures = vec![
+            PointFailure {
+                stage: "z_sweep/knl-flat".into(),
+                index: 3,
+                kind: FaultKind::Panic,
+                attempts: 1,
+                transient: false,
+                recovered: false,
+                message: "boom, with comma".into(),
+            },
+            PointFailure {
+                stage: "a_sweep/brd-edram".into(),
+                index: usize::MAX,
+                kind: FaultKind::Io,
+                attempts: 3,
+                transient: true,
+                recovered: true,
+                message: "flaky".into(),
+            },
+        ];
+        let path = write_run_errors(&failures).unwrap();
+        std::env::remove_var("OPM_RESULTS");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "stage,point,kind,attempts,transient,outcome,message"
+        );
+        // Sorted by stage: a_sweep row first despite insertion order.
+        assert!(lines[1].starts_with("a_sweep/brd-edram,-,io,3,true,recovered"));
+        assert!(lines[2].contains("\"boom, with comma\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -76,6 +76,89 @@ fn format_num(v: f64) -> String {
     }
 }
 
+/// A rectangular table of string cells, writable as CSV with proper
+/// quoting — for manifests whose cells are not numbers (error messages,
+/// file paths, stage labels): `run_errors.csv`, the corpus quarantine
+/// manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordTable {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows; each must have `columns.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl RecordTable {
+    /// New empty table with the given columns.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        RecordTable {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the width does not match.
+    pub fn push<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV text. Cells containing commas, quotes, or newlines
+    /// are double-quoted with embedded quotes doubled (RFC 4180).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&csv_quote(cell));
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.columns);
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Write CSV to `dir/name.csv`, creating `dir` if needed.
+    pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Quote one CSV cell per RFC 4180 (only when it needs it).
+fn csv_quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
 /// An aligned text table (for Table 4/5 style console output).
 #[derive(Debug, Clone, Default)]
 pub struct TextTable {
@@ -195,6 +278,29 @@ mod tests {
                 .map(|_| lines[2].find("204.5").unwrap())
         );
         assert!(lines[2].contains("gemm"));
+    }
+
+    #[test]
+    fn record_table_quotes_awkward_cells() {
+        let mut t = RecordTable::new(vec!["figure", "message"]);
+        t.push(vec!["fig01", "plain"]);
+        t.push(vec!["fig02", "has, comma"]);
+        t.push(vec!["fig03", "says \"quoted\""]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "figure,message");
+        assert_eq!(lines[1], "fig01,plain");
+        assert_eq!(lines[2], "fig02,\"has, comma\"");
+        assert_eq!(lines[3], "fig03,\"says \"\"quoted\"\"\"");
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn record_table_rejects_ragged_rows() {
+        let mut t = RecordTable::new(vec!["a", "b"]);
+        t.push(vec!["only one"]);
     }
 
     #[test]

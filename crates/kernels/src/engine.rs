@@ -11,26 +11,101 @@
 //!   Results are tagged with their point index and merged in sorted order,
 //!   so a run with any thread count produces *byte-identical* output to a
 //!   serial run.
+//! * **Panic isolation** — every point evaluation runs inside
+//!   `catch_unwind`. [`Engine::par_map_isolated`] substitutes a
+//!   caller-supplied placeholder (NaN rows, in the figure sweeps) for a
+//!   failed point and records a [`PointFailure`] instead of killing the
+//!   worker pool; [`Engine::par_map`] keeps the strict contract but
+//!   propagates a *structured* panic after the surviving workers have
+//!   drained the queue. Failures classified as transient (injected
+//!   faults, I/O errors) are retried with bounded deterministic backoff
+//!   before they are quarantined.
 //! * **Profile memoization** — [`Engine::profile`] caches computed access
 //!   profiles under a [`ProfileKey`]. Profiles do not depend on the OPM
 //!   configuration, so one computation is reused across eDRAM on/off and
 //!   all four MCDRAM modes (and across every figure sweeping the same
-//!   grid).
+//!   grid). Lock poisoning is always recovered ([`lock_recover`]): the
+//!   caches hold plain data whose invariants hold between operations, so
+//!   a panic elsewhere must not wedge every later stage.
 //! * **Observability** — [`Engine::run_stage`] wraps each sweep with wall
 //!   time, point count, and cache hit/miss deltas, accumulated as
-//!   [`StageRecord`]s for the run-manifest emitted by `opm-bench`.
+//!   [`StageRecord`]s for the run-manifest emitted by `opm-bench`; an
+//!   optional [`StageJournal`] receives periodic completed-point-range
+//!   flushes for the checkpoint/resume machinery.
 //!
 //! The process-wide instance ([`Engine::global`]) is configured from the
 //! environment: `OPM_THREADS` (worker count, default = available
 //! parallelism), `OPM_PROFILE_CACHE` (`0`/`off`/`false` disables
-//! memoization), and `OPM_REDUCED` (`1`/`on`/`true` selects the reduced
-//! harness grids in `opm-bench`).
+//! memoization), `OPM_REDUCED` (`1`/`on`/`true` selects the reduced
+//! harness grids in `opm-bench`), `OPM_MAX_RETRIES` (transient-failure
+//! retry budget, default 2), `OPM_CKPT_EVERY` (points between checkpoint
+//! progress flushes, default 64), and `OPM_FAULT_SPEC` (deterministic
+//! fault injection; see [`crate::faultinject`]).
 
+use crate::faultinject::{FaultKind, FaultPlan, InjectedFault};
 use opm_core::profile::{AccessProfile, ProfileKey};
+use std::any::Any;
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Acquire a mutex, recovering the guard if a previous holder panicked.
+///
+/// Every lock in the engine protects plain data (a memo cache, an
+/// append-only log) whose invariants hold between operations, so the
+/// conservative default of propagating poison would only convert one
+/// already-recorded failure into a cascade that wedges every later
+/// stage.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Set while this thread is inside isolated point evaluation, where
+    /// panics are caught and recorded rather than reported by the hook.
+    static SUPPRESS_PANIC_HOOK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Chain a panic hook (once per process) that stays silent for panics
+/// caught by [`Engine::eval_point`] and delegates everything else to the
+/// previously installed hook, so panics outside the engine still print
+/// normally.
+fn install_quiet_panic_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_HOOK.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// RAII scope for hook suppression; restores the outer state on drop so
+/// nested isolation (or a panic escaping through user code that itself
+/// calls the engine) behaves.
+struct QuietPanicGuard {
+    prev: bool,
+}
+
+impl QuietPanicGuard {
+    fn new() -> Self {
+        install_quiet_panic_hook();
+        let prev = SUPPRESS_PANIC_HOOK.with(|s| s.replace(true));
+        QuietPanicGuard { prev }
+    }
+}
+
+impl Drop for QuietPanicGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        SUPPRESS_PANIC_HOOK.with(|s| s.set(prev));
+    }
+}
 
 /// Engine tuning knobs, normally read from the environment once per
 /// process.
@@ -42,10 +117,22 @@ pub struct EngineConfig {
     pub cache_enabled: bool,
     /// Whether harness binaries should use reduced sweep grids.
     pub reduced: bool,
+    /// Retry budget for transient point failures (0 = no retries).
+    pub max_retries: usize,
+    /// Base of the deterministic exponential retry backoff, in
+    /// microseconds (attempt `k` sleeps `base << k`, capped at 10 ms;
+    /// 0 disables sleeping entirely).
+    pub backoff_base_us: u64,
+    /// Completed-point interval between [`StageJournal::progress`]
+    /// flushes.
+    pub checkpoint_every: usize,
+    /// Deterministic fault-injection plan (tests, CI smoke runs).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl EngineConfig {
-    /// Read `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED`.
+    /// Read `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` /
+    /// `OPM_MAX_RETRIES` / `OPM_CKPT_EVERY` / `OPM_FAULT_SPEC`.
     pub fn from_env() -> Self {
         let threads = std::env::var("OPM_THREADS")
             .ok()
@@ -56,6 +143,10 @@ impl EngineConfig {
             threads,
             cache_enabled: !env_is_off("OPM_PROFILE_CACHE"),
             reduced: env_is_on("OPM_REDUCED"),
+            max_retries: env_usize("OPM_MAX_RETRIES", 2),
+            backoff_base_us: 50,
+            checkpoint_every: env_usize("OPM_CKPT_EVERY", 64).max(1),
+            fault_plan: FaultPlan::from_env().map(Arc::new),
         }
     }
 
@@ -64,9 +155,14 @@ impl EngineConfig {
     pub fn serial() -> Self {
         EngineConfig {
             threads: 1,
-            cache_enabled: true,
-            reduced: false,
+            ..EngineConfig::default()
         }
+    }
+
+    /// This config with a fault-injection plan attached (tests).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
     }
 }
 
@@ -76,6 +172,10 @@ impl Default for EngineConfig {
             threads: default_threads(),
             cache_enabled: true,
             reduced: false,
+            max_retries: 2,
+            backoff_base_us: 50,
+            checkpoint_every: 64,
+            fault_plan: None,
         }
     }
 }
@@ -98,6 +198,13 @@ fn env_is_on(name: &str) -> bool {
         std::env::var(name).as_deref(),
         Ok("1") | Ok("on") | Ok("true") | Ok("yes")
     )
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Timing/counter record of one completed sweep stage.
@@ -131,14 +238,85 @@ impl StageRecord {
     }
 }
 
+/// Record of one failed (or retried-and-recovered) sweep-point
+/// evaluation; accumulated on the engine and written to
+/// `results/run_errors.csv` by `opm-bench`.
+#[derive(Debug, Clone)]
+pub struct PointFailure {
+    /// Stage label the point belonged to.
+    pub stage: String,
+    /// Point index within the stage (`usize::MAX` for failures not
+    /// attributable to a single point, e.g. a crashed worker).
+    pub index: usize,
+    /// Failure classification.
+    pub kind: FaultKind,
+    /// Total evaluation attempts made (1 = no retries).
+    pub attempts: usize,
+    /// Whether the failure was classified transient (and therefore
+    /// retried).
+    pub transient: bool,
+    /// Whether a retry eventually produced a real result. When false the
+    /// point's output is a placeholder and the point counts as
+    /// quarantined.
+    pub recovered: bool,
+    /// Human-readable payload/cause.
+    pub message: String,
+}
+
+impl PointFailure {
+    /// Manifest outcome label: `recovered` or `quarantined`.
+    pub fn outcome(&self) -> &'static str {
+        if self.recovered {
+            "recovered"
+        } else {
+            "quarantined"
+        }
+    }
+}
+
+/// Sink for checkpoint/progress events emitted while stages run. The
+/// `opm-bench` checkpoint journal implements this to flush completed
+/// point ranges to `results/.checkpoint/<figure>.ckpt`.
+pub trait StageJournal: Send + Sync {
+    /// `completed` of `total` points of `stage` have finished (flushed
+    /// every [`EngineConfig::checkpoint_every`] points and once at stage
+    /// end).
+    fn progress(&self, _stage: &str, _completed: usize, _total: usize) {}
+    /// A stage finished and its record was appended to the stage log.
+    fn stage_done(&self, _record: &StageRecord) {}
+}
+
+/// Classify a caught panic payload: injected faults are transient
+/// (retryable), organic panics are not — deterministic code that panicked
+/// once will panic again.
+fn classify_payload(payload: &(dyn Any + Send)) -> (FaultKind, bool, String) {
+    if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        (f.kind, true, f.to_string())
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (FaultKind::Panic, false, (*s).to_string())
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        (FaultKind::Panic, false, s.clone())
+    } else {
+        (
+            FaultKind::Panic,
+            false,
+            "non-string panic payload".to_string(),
+        )
+    }
+}
+
 /// The sweep-execution engine: a worker pool plus the memoized profile
-/// cache and the stage log. See the module docs for the design.
+/// cache, the stage log, and the point-failure log. See the module docs
+/// for the design.
 pub struct Engine {
     config: EngineConfig,
     cache: Mutex<HashMap<ProfileKey, Arc<AccessProfile>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     stages: Mutex<Vec<StageRecord>>,
+    failures: Mutex<Vec<PointFailure>>,
+    current_stage: Mutex<Option<String>>,
+    journal: Mutex<Option<Arc<dyn StageJournal>>>,
 }
 
 impl Engine {
@@ -150,6 +328,9 @@ impl Engine {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stages: Mutex::new(Vec::new()),
+            failures: Mutex::new(Vec::new()),
+            current_stage: Mutex::new(None),
+            journal: Mutex::new(None),
         }
     }
 
@@ -159,8 +340,8 @@ impl Engine {
     }
 
     /// The process-wide engine, created from the environment on first use.
-    /// Set `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` before the
-    /// first sweep to take effect.
+    /// Set `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` /
+    /// `OPM_FAULT_SPEC` before the first sweep to take effect.
     pub fn global() -> &'static Engine {
         static GLOBAL: OnceLock<Engine> = OnceLock::new();
         GLOBAL.get_or_init(Engine::from_env)
@@ -169,6 +350,12 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Install (or clear) the checkpoint journal receiving stage
+    /// progress/completion events.
+    pub fn set_journal(&self, journal: Option<Arc<dyn StageJournal>>) {
+        *lock_recover(&self.journal) = journal;
     }
 
     /// Look up (or compute and memoize) the access profile for `key`.
@@ -185,7 +372,7 @@ impl Engine {
         if !self.config.cache_enabled {
             return Arc::new(compute());
         }
-        if let Some(hit) = self.cache.lock().unwrap().get(&key).cloned() {
+        if let Some(hit) = lock_recover(&self.cache).get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
@@ -193,9 +380,7 @@ impl Engine {
         // computation of the same pure function, never a wrong result.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(compute());
-        self.cache
-            .lock()
-            .unwrap()
+        lock_recover(&self.cache)
             .entry(key)
             .or_insert(fresh)
             .clone()
@@ -211,33 +396,160 @@ impl Engine {
 
     /// Distinct profiles currently memoized.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        lock_recover(&self.cache).len()
     }
 
     /// Drop every memoized profile (counters are kept).
     pub fn clear_cache(&self) {
-        self.cache.lock().unwrap().clear();
+        lock_recover(&self.cache).clear();
     }
 
-    /// Map `f` over `items` on the worker pool, preserving input order.
+    /// Record a point failure (also used by `opm-bench` for
+    /// figure-level failures).
+    pub fn record_failure(&self, failure: PointFailure) {
+        lock_recover(&self.failures).push(failure);
+    }
+
+    /// Number of failures recorded so far (use with
+    /// [`Engine::failures_since`] to attribute failures to a window).
+    pub fn failure_count(&self) -> usize {
+        lock_recover(&self.failures).len()
+    }
+
+    /// Copies of the failure records from index `from` onward.
+    pub fn failures_since(&self, from: usize) -> Vec<PointFailure> {
+        let failures = lock_recover(&self.failures);
+        failures[from.min(failures.len())..].to_vec()
+    }
+
+    /// Copies of every recorded point failure.
+    pub fn failures(&self) -> Vec<PointFailure> {
+        self.failures_since(0)
+    }
+
+    /// Drain the failure log, returning every record.
+    pub fn take_failures(&self) -> Vec<PointFailure> {
+        std::mem::take(&mut *lock_recover(&self.failures))
+    }
+
+    /// Deterministic bounded backoff before retry `attempt + 1`:
+    /// `backoff_base_us << attempt` microseconds, capped at 10 ms.
+    fn backoff(&self, attempt: usize) {
+        let base = self.config.backoff_base_us;
+        if base == 0 {
+            return;
+        }
+        let us = base
+            .checked_shl(attempt.min(16) as u32)
+            .unwrap_or(u64::MAX)
+            .min(10_000);
+        std::thread::sleep(Duration::from_micros(us));
+    }
+
+    /// Evaluate one point with panic isolation, fault injection, and
+    /// bounded retry. Recovered retries are recorded in the failure log;
+    /// exhausted/permanent failures are recorded and returned as `Err`.
     ///
-    /// Points are handed out through an atomic index (dynamic load
-    /// balancing — grid points vary widely in cost), each worker tags its
-    /// results with the point index, and the merged output is sorted by
-    /// that index. The result is therefore identical — element for
-    /// element — for every thread count, including 1.
-    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    /// The default panic hook is suppressed while the point runs: a
+    /// caught panic becomes a structured [`PointFailure`] row, so the
+    /// hook's backtrace would only flood stderr (a 10% injected fault
+    /// rate over a full sweep is thousands of panics).
+    fn eval_point<T, R>(
+        &self,
+        stage: &str,
+        index: usize,
+        item: &T,
+        f: &(impl Fn(&T) -> R + Sync),
+    ) -> Result<R, PointFailure> {
+        let plan = self.config.fault_plan.as_deref();
+        let mut attempt = 0usize;
+        let mut last: Option<(FaultKind, String)> = None;
+        loop {
+            let outcome = {
+                let _quiet = QuietPanicGuard::new();
+                catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(p) = plan {
+                        p.fire_point(stage, index, attempt);
+                    }
+                    f(item)
+                }))
+            };
+            match outcome {
+                Ok(v) => {
+                    if let Some((kind, message)) = last {
+                        self.record_failure(PointFailure {
+                            stage: stage.to_string(),
+                            index,
+                            kind,
+                            attempts: attempt + 1,
+                            transient: true,
+                            recovered: true,
+                            message,
+                        });
+                    }
+                    return Ok(v);
+                }
+                Err(payload) => {
+                    let (kind, transient, message) = classify_payload(payload.as_ref());
+                    if transient && attempt < self.config.max_retries {
+                        last = Some((kind, message));
+                        self.backoff(attempt);
+                        attempt += 1;
+                        continue;
+                    }
+                    let failure = PointFailure {
+                        stage: stage.to_string(),
+                        index,
+                        kind,
+                        attempts: attempt + 1,
+                        transient,
+                        recovered: false,
+                        message,
+                    };
+                    self.record_failure(failure.clone());
+                    return Err(failure);
+                }
+            }
+        }
+    }
+
+    /// Core parallel runner: map every item through [`Engine::eval_point`]
+    /// on the worker pool, preserving input order, flushing progress to
+    /// the journal, and never letting one point's failure take down the
+    /// pool. A worker that somehow dies outside point isolation is
+    /// recorded and the survivors drain the queue.
+    fn par_run<T, R, F>(&self, stage: &str, items: &[T], f: F) -> Vec<Result<R, PointFailure>>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        let journal = lock_recover(&self.journal).clone();
+        let every = self.config.checkpoint_every.max(1);
+        let total = items.len();
+        let done = AtomicUsize::new(0);
+        let tick = |journal: &Option<Arc<dyn StageJournal>>| {
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(j) = journal {
+                if d.is_multiple_of(every) || d == total {
+                    j.progress(stage, d, total);
+                }
+            }
+        };
         let threads = self.config.threads.clamp(1, items.len().max(1));
         if threads == 1 {
-            return items.iter().map(f).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let r = self.eval_point(stage, i, item, &f);
+                    tick(&journal);
+                    r
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
-        let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let parts: Vec<Vec<(usize, Result<R, PointFailure>)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     s.spawn(|| {
@@ -247,7 +559,8 @@ impl Engine {
                             if i >= items.len() {
                                 break;
                             }
-                            out.push((i, f(&items[i])));
+                            out.push((i, self.eval_point(stage, i, &items[i], &f)));
+                            tick(&journal);
                         }
                         out
                     })
@@ -255,12 +568,117 @@ impl Engine {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("engine worker panicked"))
+                .filter_map(|h| match h.join() {
+                    Ok(part) => Some(part),
+                    // A worker died outside per-point isolation (engine
+                    // bug or allocator abort path). Record it; the other
+                    // workers have already drained the queue.
+                    Err(_) => {
+                        self.record_failure(PointFailure {
+                            stage: stage.to_string(),
+                            index: usize::MAX,
+                            kind: FaultKind::Panic,
+                            attempts: 1,
+                            transient: false,
+                            recovered: false,
+                            message: "engine worker crashed outside point isolation".to_string(),
+                        });
+                        None
+                    }
+                })
                 .collect()
         });
-        let mut indexed: Vec<(usize, R)> = parts.into_iter().flatten().collect();
-        indexed.sort_by_key(|&(i, _)| i);
-        indexed.into_iter().map(|(_, r)| r).collect()
+        let mut slots: Vec<Option<Result<R, PointFailure>>> =
+            (0..items.len()).map(|_| None).collect();
+        for (i, r) in parts.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| {
+                    let failure = PointFailure {
+                        stage: stage.to_string(),
+                        index: i,
+                        kind: FaultKind::Panic,
+                        attempts: 1,
+                        transient: false,
+                        recovered: false,
+                        message: "result lost to a crashed worker".to_string(),
+                    };
+                    self.record_failure(failure.clone());
+                    Err(failure)
+                })
+            })
+            .collect()
+    }
+
+    /// Map `f` over `items` on the worker pool, preserving input order.
+    ///
+    /// Points are handed out through an atomic index (dynamic load
+    /// balancing — grid points vary widely in cost), each worker tags its
+    /// results with the point index, and the merged output is sorted by
+    /// that index. The result is therefore identical — element for
+    /// element — for every thread count, including 1.
+    ///
+    /// This is the *strict* variant: a point that still fails after the
+    /// transient-retry budget propagates a structured panic naming the
+    /// stage, point, and cause — but only after the surviving workers
+    /// have drained the queue, and with every failure recorded in the
+    /// failure log. Sweeps that prefer NaN placeholder rows over a panic
+    /// use [`Engine::par_map_isolated`].
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let stage = lock_recover(&self.current_stage)
+            .clone()
+            .unwrap_or_else(|| "adhoc".to_string());
+        let mut out = Vec::with_capacity(items.len());
+        let mut first_err: Option<PointFailure> = None;
+        for r in self.par_run(&stage, items, f) {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            panic!(
+                "sweep stage {:?}: point {} failed after {} attempt(s): {}",
+                e.stage, e.index, e.attempts, e.message
+            );
+        }
+        out
+    }
+
+    /// Map `f` over `items` with full panic isolation: a point that still
+    /// fails after the retry budget yields `placeholder(item, index)`
+    /// instead of panicking, and the failure is recorded for the
+    /// `run_errors.csv` manifest. Output order and length always match
+    /// `items`, at every thread count.
+    pub fn par_map_isolated<T, R, F, P>(
+        &self,
+        stage: &str,
+        items: &[T],
+        f: F,
+        placeholder: P,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        P: Fn(&T, usize) -> R,
+    {
+        self.par_run(stage, items, f)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|_| placeholder(&items[i], i)))
+            .collect()
     }
 
     /// Run `f` as a named stage, recording wall time, its reported point
@@ -269,30 +687,42 @@ impl Engine {
     /// [`Engine::par_map`]); overlapping stages would attribute each
     /// other's cache traffic.
     pub fn run_stage<R>(&self, label: &str, f: impl FnOnce(&Engine) -> (R, usize)) -> R {
+        struct StageGuard<'a>(&'a Engine);
+        impl Drop for StageGuard<'_> {
+            fn drop(&mut self) {
+                *lock_recover(&self.0.current_stage) = None;
+            }
+        }
+        *lock_recover(&self.current_stage) = Some(label.to_string());
+        let _guard = StageGuard(self);
         let (h0, m0) = self.cache_counters();
         let start = Instant::now();
         let (out, points) = f(self);
         let wall_ns = start.elapsed().as_nanos();
         let (h1, m1) = self.cache_counters();
-        self.stages.lock().unwrap().push(StageRecord {
+        let record = StageRecord {
             label: label.to_string(),
             points,
             wall_ns,
             cache_hits: h1 - h0,
             cache_misses: m1 - m0,
-        });
+        };
+        lock_recover(&self.stages).push(record.clone());
+        if let Some(journal) = lock_recover(&self.journal).clone() {
+            journal.stage_done(&record);
+        }
         out
     }
 
     /// Number of stages recorded so far (use with [`Engine::stages_since`]
     /// to attribute stages to a window, e.g. one figure).
     pub fn stage_count(&self) -> usize {
-        self.stages.lock().unwrap().len()
+        lock_recover(&self.stages).len()
     }
 
     /// Copies of the stage records from index `from` onward.
     pub fn stages_since(&self, from: usize) -> Vec<StageRecord> {
-        let stages = self.stages.lock().unwrap();
+        let stages = lock_recover(&self.stages);
         stages[from.min(stages.len())..].to_vec()
     }
 
@@ -313,16 +743,19 @@ mod tests {
         AccessProfile::single("probe", phase, 8.0 * n as f64)
     }
 
+    fn engine_with(threads: usize) -> Engine {
+        Engine::new(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        })
+    }
+
     #[test]
     fn par_map_is_order_preserving_for_every_thread_count() {
         let items: Vec<usize> = (0..257).collect();
         let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
         for threads in [1, 2, 3, 8, 64] {
-            let eng = Engine::new(EngineConfig {
-                threads,
-                cache_enabled: true,
-                reduced: false,
-            });
+            let eng = engine_with(threads);
             let got = eng.par_map(&items, |&x| x * x);
             assert_eq!(got, expect, "threads={threads}");
         }
@@ -356,7 +789,7 @@ mod tests {
         let eng = Engine::new(EngineConfig {
             threads: 1,
             cache_enabled: false,
-            reduced: false,
+            ..EngineConfig::default()
         });
         let key = ProfileKey::Stream {
             n: 1024,
@@ -406,11 +839,7 @@ mod tests {
 
     #[test]
     fn parallel_cache_converges_to_one_entry_per_key() {
-        let eng = Engine::new(EngineConfig {
-            threads: 8,
-            cache_enabled: true,
-            reduced: false,
-        });
+        let eng = engine_with(8);
         let items: Vec<usize> = (0..200).collect();
         let profs = eng.par_map(&items, |&i| {
             eng.profile(
@@ -429,5 +858,151 @@ mod tests {
         for (i, p) in profs.iter().enumerate() {
             assert_eq!(p.footprint, profs[i % 4].footprint);
         }
+    }
+
+    #[test]
+    fn lock_recover_survives_a_poisoned_mutex() {
+        let m = Mutex::new(7usize);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) += 1;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn par_map_propagates_a_structured_panic_and_engine_survives() {
+        let eng = engine_with(4);
+        let items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            eng.par_map(&items, |&x| {
+                if x == 13 {
+                    panic!("organic failure at {x}");
+                }
+                x
+            })
+        }));
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("structured message");
+        assert!(msg.contains("point 13"), "{msg}");
+        assert!(msg.contains("organic failure at 13"), "{msg}");
+        // Failure recorded; engine (and its locks) still fully usable.
+        let failures = eng.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 13);
+        assert!(!failures[0].transient);
+        assert_eq!(failures[0].attempts, 1, "organic panics are not retried");
+        let ok = eng.par_map(&items, |&x| x + 1);
+        assert_eq!(ok.len(), 64);
+    }
+
+    #[test]
+    fn par_map_isolated_substitutes_placeholders_and_records() {
+        for threads in [1, 4, 8] {
+            let eng = engine_with(threads);
+            let items: Vec<usize> = (0..40).collect();
+            let got = eng.par_map_isolated(
+                "probe_stage",
+                &items,
+                |&x| {
+                    if x % 10 == 3 {
+                        panic!("bad point {x}");
+                    }
+                    x as i64
+                },
+                |_, i| -(i as i64),
+            );
+            let expect: Vec<i64> = (0..40)
+                .map(|x| if x % 10 == 3 { -(x as i64) } else { x as i64 })
+                .collect();
+            assert_eq!(got, expect, "threads={threads}");
+            let failures = eng.failures();
+            assert_eq!(failures.len(), 4, "threads={threads}");
+            let mut failed: Vec<usize> = failures.iter().map(|f| f.index).collect();
+            failed.sort_unstable();
+            assert_eq!(failed, vec![3, 13, 23, 33]);
+            assert!(failures.iter().all(|f| f.stage == "probe_stage"));
+            assert!(failures.iter().all(|f| !f.recovered));
+        }
+    }
+
+    #[test]
+    fn transient_injected_faults_are_retried_and_recovered() {
+        let plan = FaultPlan::parse("panic@point:5").unwrap();
+        let eng = Engine::new(EngineConfig::serial().with_fault_plan(plan));
+        let items: Vec<usize> = (0..10).collect();
+        let calls = AtomicU64::new(0);
+        let got = eng.par_map_isolated(
+            "retry_stage",
+            &items,
+            |&x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                x * 2
+            },
+            |_, _| usize::MAX,
+        );
+        // The injected fault fired before f ran, was retried, and the
+        // retry produced the real value — no placeholder anywhere.
+        assert_eq!(got, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        let failures = eng.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].recovered);
+        assert!(failures[0].transient);
+        assert_eq!(failures[0].index, 5);
+        assert_eq!(failures[0].attempts, 2);
+    }
+
+    #[test]
+    fn persistent_injected_faults_exhaust_retries_and_quarantine() {
+        let plan = FaultPlan::parse("io@point:2:persist").unwrap();
+        let mut config = EngineConfig::serial().with_fault_plan(plan);
+        config.max_retries = 3;
+        config.backoff_base_us = 0;
+        let eng = Engine::new(config);
+        let items: Vec<usize> = (0..4).collect();
+        let got = eng.par_map_isolated("q_stage", &items, |&x| x, |_, _| usize::MAX);
+        assert_eq!(got, vec![0, 1, usize::MAX, 3]);
+        let failures = eng.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].attempts, 4, "1 try + 3 retries");
+        assert_eq!(failures[0].kind, FaultKind::Io);
+        assert!(!failures[0].recovered);
+        assert_eq!(failures[0].outcome(), "quarantined");
+    }
+
+    #[test]
+    fn journal_receives_progress_and_stage_done() {
+        #[derive(Default)]
+        struct Probe {
+            progress: Mutex<Vec<(usize, usize)>>,
+            done: Mutex<Vec<String>>,
+        }
+        impl StageJournal for Probe {
+            fn progress(&self, _stage: &str, completed: usize, total: usize) {
+                lock_recover(&self.progress).push((completed, total));
+            }
+            fn stage_done(&self, record: &StageRecord) {
+                lock_recover(&self.done).push(record.label.clone());
+            }
+        }
+        let mut config = EngineConfig::serial();
+        config.checkpoint_every = 8;
+        let eng = Engine::new(config);
+        let probe = Arc::new(Probe::default());
+        eng.set_journal(Some(probe.clone()));
+        let items: Vec<usize> = (0..20).collect();
+        eng.run_stage("journal_stage", |e| {
+            let v = e.par_map(&items, |&x| x);
+            let n = v.len();
+            (v, n)
+        });
+        let progress = lock_recover(&probe.progress).clone();
+        assert_eq!(progress, vec![(8, 20), (16, 20), (20, 20)]);
+        assert_eq!(lock_recover(&probe.done).clone(), vec!["journal_stage"]);
+        eng.set_journal(None);
     }
 }

@@ -3,18 +3,22 @@
 //! The kernel registry and experiment drivers of the OPM reproduction:
 //! paper Table 2 as code ([`registry`]), the Appendix A parameter sweeps
 //! evaluated through the performance model ([`sweeps`]), the shared
-//! parallel/memoizing sweep-execution engine they run on ([`engine`]), and
-//! the Table 4/5 summary machinery ([`summary`]).
+//! parallel/memoizing sweep-execution engine they run on ([`engine`]), the
+//! deterministic fault-injection harness that exercises its fault
+//! tolerance ([`faultinject`]), and the Table 4/5 summary machinery
+//! ([`summary`]).
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faultinject;
 pub mod registry;
 pub mod summary;
 pub mod sweeps;
 pub mod traces;
 
-pub use engine::{Engine, EngineConfig, StageRecord};
+pub use engine::{lock_recover, Engine, EngineConfig, PointFailure, StageJournal, StageRecord};
+pub use faultinject::{FaultKind, FaultPlan, FaultRule, InjectedFault};
 pub use registry::{IntensityClass, KernelId};
 pub use summary::{cross_kernel, summarize_pair, CrossKernelSummary, SummaryRow};
 pub use sweeps::{

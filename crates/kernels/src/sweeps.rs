@@ -8,6 +8,13 @@
 //! profiles are memoized across configurations, and each sweep is recorded
 //! as a timed stage. The `*_on` variants take an explicit engine; the
 //! original names run on [`Engine::global`].
+//!
+//! Sweeps run with **panic isolation**
+//! ([`Engine::par_map_isolated`]): a point that still fails after the
+//! transient-retry budget is quarantined — its row keeps the grid
+//! coordinates but carries NaN for the modeled values — and the failure
+//! is recorded on the engine for the `run_errors.csv` manifest, instead
+//! of aborting the whole sweep.
 
 use crate::engine::Engine;
 use crate::registry::KernelId;
@@ -105,7 +112,7 @@ fn dense_sweep_on(
         .collect();
     let label = format!("{}_sweep/{}", kernel.name(), config.label());
     engine.run_stage(&label, |eng| {
-        let pts = eng.par_map(&grid, |&(n, tile)| {
+        let eval = |&(n, tile): &(usize, usize)| {
             let prof = match kernel {
                 KernelId::Gemm => eng.profile(
                     ProfileKey::Gemm {
@@ -131,7 +138,15 @@ fn dense_sweep_on(
                 tile,
                 gflops: model.evaluate(&prof).gflops,
             }
-        });
+        };
+        // A quarantined point keeps its grid coordinates; only the
+        // modeled throughput becomes NaN.
+        let placeholder = |&(n, tile): &(usize, usize), _i: usize| HeatPoint {
+            n,
+            tile,
+            gflops: f64::NAN,
+        };
+        let pts = eng.par_map_isolated(&label, &grid, eval, placeholder);
         let n = pts.len();
         (pts, n)
     })
@@ -182,7 +197,7 @@ pub fn sparse_sweep_on(
     let threads = kernel.kernel().threads(machine);
     let label = format!("{}_sweep/{}", kernel.kernel().name(), config.label());
     engine.run_stage(&label, |eng| {
-        let pts = eng.par_map(specs, |spec| {
+        let eval = |spec: &MatrixSpec| {
             let est = spec.estimate();
             let prof = match kernel {
                 SparseKernelId::Spmv => eng.profile(
@@ -215,7 +230,13 @@ pub fn sparse_sweep_on(
                 footprint: prof.footprint,
                 gflops: model.evaluate(&prof).gflops,
             }
-        });
+        };
+        let placeholder = |spec: &MatrixSpec, _i: usize| SparsePoint {
+            spec: *spec,
+            footprint: f64::NAN,
+            gflops: f64::NAN,
+        };
+        let pts = eng.par_map_isolated(&label, specs, eval, placeholder);
         let n = pts.len();
         (pts, n)
     })
@@ -237,7 +258,7 @@ pub fn stream_curve_on(engine: &Engine, config: OpmConfig, footprints: &[f64]) -
     let threads = KernelId::Stream.threads(config.machine());
     let label = format!("stream_curve/{}", config.label());
     engine.run_stage(&label, |eng| {
-        let pts = eng.par_map(footprints, |&fp| {
+        let eval = |&fp: &f64| {
             let n = (fp / 24.0).max(64.0) as usize;
             let prof = eng.profile(
                 ProfileKey::Stream {
@@ -251,7 +272,15 @@ pub fn stream_curve_on(engine: &Engine, config: OpmConfig, footprints: &[f64]) -
                 footprint: prof.footprint,
                 gflops: model.evaluate(&prof).gflops,
             }
-        });
+        };
+        // The footprint is a pure function of the requested size (three
+        // arrays of doubles), so a quarantined point keeps its x-axis
+        // coordinate and only the throughput becomes NaN.
+        let placeholder = |&fp: &f64, _i: usize| CurvePoint {
+            footprint: 24.0 * ((fp / 24.0).max(64.0) as usize) as f64,
+            gflops: f64::NAN,
+        };
+        let pts = eng.par_map_isolated(&label, footprints, eval, placeholder);
         let n = pts.len();
         (pts, n)
     })
@@ -275,7 +304,7 @@ pub fn stencil_curve_on(
     let c = cores(machine);
     let label = format!("stencil_curve/{}", config.label());
     engine.run_stage(&label, |eng| {
-        let pts = eng.par_map(grids, |&(nx, ny, nz)| {
+        let eval = |&(nx, ny, nz): &(usize, usize, usize)| {
             let prof = eng.profile(
                 ProfileKey::Stencil {
                     grid: (nx, ny, nz),
@@ -289,7 +318,14 @@ pub fn stencil_curve_on(
                 footprint: prof.footprint,
                 gflops: model.evaluate(&prof).gflops,
             }
-        });
+        };
+        // Three grids of doubles: the footprint is derivable from the
+        // grid alone, so only the throughput becomes NaN.
+        let placeholder = |&(nx, ny, nz): &(usize, usize, usize), _i: usize| CurvePoint {
+            footprint: 24.0 * (nx * ny * nz) as f64,
+            gflops: f64::NAN,
+        };
+        let pts = eng.par_map_isolated(&label, grids, eval, placeholder);
         let n = pts.len();
         (pts, n)
     })
@@ -309,7 +345,7 @@ pub fn fft_curve_on(engine: &Engine, config: OpmConfig, sizes: &[usize]) -> Vec<
     let c = cores(machine);
     let label = format!("fft_curve/{}", config.label());
     engine.run_stage(&label, |eng| {
-        let pts = eng.par_map(sizes, |&n| {
+        let eval = |&n: &usize| {
             let prof = eng.profile(
                 ProfileKey::Fft3d {
                     n,
@@ -322,7 +358,12 @@ pub fn fft_curve_on(engine: &Engine, config: OpmConfig, sizes: &[usize]) -> Vec<
                 footprint: prof.footprint,
                 gflops: model.evaluate(&prof).gflops,
             }
-        });
+        };
+        let placeholder = |_: &usize, _i: usize| CurvePoint {
+            footprint: f64::NAN,
+            gflops: f64::NAN,
+        };
+        let pts = eng.par_map_isolated(&label, sizes, eval, placeholder);
         let n = pts.len();
         (pts, n)
     })

@@ -2,76 +2,261 @@
 //! distributes; Appendix A.2.3 feeds `.mtx` files to every sparse kernel).
 //!
 //! Supports `matrix coordinate real|integer|pattern general|symmetric`.
+//!
+//! The parser is hardened for corpus sweeps over untrusted files: every
+//! failure is a typed [`MtxError`] carrying the 1-based source line, never
+//! a panic. Dimension products are computed with checked arithmetic,
+//! dimensions and entry counts are capped below anything that could make
+//! the CSR conversion attempt an absurd allocation, zero/out-of-range
+//! indices are rejected, and an entry section longer than the declared
+//! `nnz` aborts at the first excess line instead of buffering an unbounded
+//! file. `opm-bench`'s corpus loader quarantines matrices whose load
+//! fails instead of aborting the sweep.
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use std::fmt::Write as _;
+use std::path::Path;
+
+/// Largest accepted matrix dimension (rows or cols). The UF collection
+/// tops out around 2^27 rows; anything past this cap is a corrupt size
+/// line, not data, and would make `CsrMatrix::from_coo` attempt a
+/// multi-terabyte allocation.
+pub const MAX_DIM: usize = 1 << 28;
+
+/// Largest accepted declared entry count (pre-symmetry-expansion).
+pub const MAX_NNZ: usize = 1 << 31;
+
+/// Typed MatrixMarket parse/load failure. `line` fields are 1-based
+/// source lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MtxError {
+    /// The document has no lines at all.
+    Empty,
+    /// The first line is not a `%%MatrixMarket` banner.
+    MissingBanner,
+    /// Banner present but the object/format/field/symmetry combination is
+    /// not supported.
+    Unsupported {
+        /// What was unsupported, e.g. `field type: complex`.
+        what: String,
+    },
+    /// No non-comment line follows the header.
+    MissingSizeLine,
+    /// The size line is not `rows cols nnz` with parseable integers.
+    BadSizeLine {
+        /// 1-based source line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A dimension is zero.
+    ZeroDimension {
+        /// 1-based source line of the size line.
+        line: usize,
+    },
+    /// Dimensions or entry count exceed the caps, or `rows * cols`
+    /// overflows.
+    DimensionOverflow {
+        /// Declared rows.
+        rows: usize,
+        /// Declared cols.
+        cols: usize,
+        /// Declared nnz.
+        nnz: usize,
+    },
+    /// An entry line is truncated or has unparseable fields.
+    BadEntry {
+        /// 1-based source line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A (row, col) index is zero or exceeds the declared dimensions
+    /// (MatrixMarket indices are 1-based).
+    OutOfBounds {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based row index as written.
+        row: usize,
+        /// 1-based col index as written.
+        col: usize,
+    },
+    /// Fewer entry lines than the declared `nnz`.
+    TruncatedEntries {
+        /// Declared entry count.
+        expected: usize,
+        /// Entries actually present.
+        found: usize,
+    },
+    /// More entry lines than the declared `nnz` (detected at the first
+    /// excess line; the rest of the file is not read).
+    ExcessEntries {
+        /// Declared entry count.
+        expected: usize,
+        /// 1-based source line of the first excess entry.
+        line: usize,
+    },
+    /// Reading the file itself failed.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The OS error.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Empty => write!(f, "empty file"),
+            MtxError::MissingBanner => write!(f, "missing %%MatrixMarket header"),
+            MtxError::Unsupported { what } => write!(f, "unsupported {what}"),
+            MtxError::MissingSizeLine => write!(f, "missing size line"),
+            MtxError::BadSizeLine { line, reason } => {
+                write!(f, "line {line}: bad size line ({reason})")
+            }
+            MtxError::ZeroDimension { line } => write!(f, "line {line}: zero-sized matrix"),
+            MtxError::DimensionOverflow { rows, cols, nnz } => write!(
+                f,
+                "dimensions overflow sanity caps: {rows} x {cols}, nnz {nnz}"
+            ),
+            MtxError::BadEntry { line, reason } => write!(f, "line {line}: bad entry ({reason})"),
+            MtxError::OutOfBounds { line, row, col } => {
+                write!(f, "line {line}: entry ({row}, {col}) out of bounds")
+            }
+            MtxError::TruncatedEntries { expected, found } => {
+                write!(f, "expected {expected} entries, found {found}")
+            }
+            MtxError::ExcessEntries { expected, line } => {
+                write!(f, "line {line}: more entries than the declared {expected}")
+            }
+            MtxError::Io { path, reason } => write!(f, "{path}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
 
 /// Parse a MatrixMarket coordinate document into CSR.
-pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix, String> {
-    let mut lines = text.lines();
-    let header = lines.next().ok_or("empty file")?;
+pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix, MtxError> {
+    // 1-based line numbers for every diagnostic.
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (_, header) = lines.next().ok_or(MtxError::Empty)?;
     let h: Vec<&str> = header.split_whitespace().collect();
     if h.len() < 4 || !h[0].starts_with("%%MatrixMarket") {
-        return Err("missing %%MatrixMarket header".into());
+        return Err(MtxError::MissingBanner);
     }
     if h[1] != "matrix" || h[2] != "coordinate" {
-        return Err(format!("unsupported object/format: {} {}", h[1], h[2]));
+        return Err(MtxError::Unsupported {
+            what: format!("object/format: {} {}", h[1], h[2]),
+        });
     }
     let field = h[3];
     if !matches!(field, "real" | "integer" | "pattern") {
-        return Err(format!("unsupported field type: {field}"));
+        return Err(MtxError::Unsupported {
+            what: format!("field type: {field}"),
+        });
     }
     let symmetry = h.get(4).copied().unwrap_or("general");
     if !matches!(symmetry, "general" | "symmetric") {
-        return Err(format!("unsupported symmetry: {symmetry}"));
+        return Err(MtxError::Unsupported {
+            what: format!("symmetry: {symmetry}"),
+        });
     }
 
     let mut size_line = None;
-    for line in lines.by_ref() {
+    for (no, line) in lines.by_ref() {
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
-        size_line = Some(t.to_string());
+        size_line = Some((no, t.to_string()));
         break;
     }
-    let size_line = size_line.ok_or("missing size line")?;
+    let (size_no, size_line) = size_line.ok_or(MtxError::MissingSizeLine)?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|s| s.parse().map_err(|_| format!("bad size entry {s}")))
+        .map(|s| {
+            s.parse().map_err(|_| MtxError::BadSizeLine {
+                line: size_no,
+                reason: format!("bad size entry {s}"),
+            })
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err("size line must have rows cols nnz".into());
+        return Err(MtxError::BadSizeLine {
+            line: size_no,
+            reason: "size line must have rows cols nnz".into(),
+        });
     }
     let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
     if rows == 0 || cols == 0 {
-        return Err("zero-sized matrix".into());
+        return Err(MtxError::ZeroDimension { line: size_no });
+    }
+    // Checked products and hard caps: a corrupt size line must fail here,
+    // not as an abort inside a multi-terabyte Vec allocation downstream.
+    let cells = rows.checked_mul(cols);
+    if rows > MAX_DIM || cols > MAX_DIM || nnz > MAX_NNZ || cells.is_none() {
+        return Err(MtxError::DimensionOverflow { rows, cols, nnz });
+    }
+    if nnz > cells.unwrap_or(usize::MAX) {
+        return Err(MtxError::BadSizeLine {
+            line: size_no,
+            reason: format!("nnz {nnz} exceeds rows x cols"),
+        });
     }
     let mut coo = CooMatrix::new(rows, cols);
     let mut seen = 0usize;
-    for line in lines {
+    for (no, line) in lines {
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
+        // Fail at the first excess entry instead of buffering the rest of
+        // an arbitrarily long file.
+        if seen == nnz {
+            return Err(MtxError::ExcessEntries {
+                expected: nnz,
+                line: no,
+            });
+        }
         let parts: Vec<&str> = t.split_whitespace().collect();
         if parts.len() < 2 {
-            return Err(format!("bad entry line: {t}"));
+            return Err(MtxError::BadEntry {
+                line: no,
+                reason: format!("truncated entry: {t}"),
+            });
         }
-        let r: usize = parts[0].parse().map_err(|_| format!("bad row: {t}"))?;
-        let c: usize = parts[1].parse().map_err(|_| format!("bad col: {t}"))?;
+        let r: usize = parts[0].parse().map_err(|_| MtxError::BadEntry {
+            line: no,
+            reason: format!("bad row index {}", parts[0]),
+        })?;
+        let c: usize = parts[1].parse().map_err(|_| MtxError::BadEntry {
+            line: no,
+            reason: format!("bad col index {}", parts[1]),
+        })?;
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(format!("entry out of bounds: {t}"));
+            return Err(MtxError::OutOfBounds {
+                line: no,
+                row: r,
+                col: c,
+            });
         }
         let v: f64 = if field == "pattern" {
             1.0
         } else {
             parts
                 .get(2)
-                .ok_or_else(|| format!("missing value: {t}"))?
+                .ok_or_else(|| MtxError::BadEntry {
+                    line: no,
+                    reason: format!("missing value: {t}"),
+                })?
                 .parse()
-                .map_err(|_| format!("bad value: {t}"))?
+                .map_err(|_| MtxError::BadEntry {
+                    line: no,
+                    reason: format!("bad value: {t}"),
+                })?
         };
         coo.push(r - 1, c - 1, v);
         if symmetry == "symmetric" && r != c {
@@ -80,9 +265,23 @@ pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix, String> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(format!("expected {nnz} entries, found {seen}"));
+        return Err(MtxError::TruncatedEntries {
+            expected: nnz,
+            found: seen,
+        });
     }
     Ok(CsrMatrix::from_coo(coo))
+}
+
+/// Read and parse a `.mtx` file from disk. I/O failures surface as
+/// [`MtxError::Io`], so corpus loaders see one error type for "file
+/// unreadable" and "file corrupt" and can quarantine either.
+pub fn load_matrix_market(path: &Path) -> Result<CsrMatrix, MtxError> {
+    let text = std::fs::read_to_string(path).map_err(|e| MtxError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    })?;
+    parse_matrix_market(&text)
 }
 
 /// Render a CSR matrix as a MatrixMarket coordinate document.
@@ -153,21 +352,106 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(parse_matrix_market("").is_err());
-        assert!(
-            parse_matrix_market("%%MatrixMarket matrix array real general\n1 1\n1.0\n").is_err()
-        );
-        assert!(parse_matrix_market(
-            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"
+        assert_eq!(parse_matrix_market(""), Err(MtxError::Empty));
+        assert!(matches!(
+            parse_matrix_market("%%MatrixMarket matrix array real general\n1 1\n1.0\n"),
+            Err(MtxError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"),
+            Err(MtxError::OutOfBounds {
+                line: 3,
+                row: 3,
+                col: 1
+            })
+        ));
+        assert!(matches!(
+            parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"),
+            Err(MtxError::TruncatedEntries {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert!(matches!(
+            parse_matrix_market("%%MatrixMarket matrix coordinate complex general\n1 1 0\n"),
+            Err(MtxError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_indices_with_line_numbers() {
+        let err = parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n0 2 1.0\n",
         )
-        .is_err());
-        assert!(parse_matrix_market(
-            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
-        )
-        .is_err());
-        assert!(
-            parse_matrix_market("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
-                .is_err()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            MtxError::OutOfBounds {
+                line: 4,
+                row: 0,
+                col: 2
+            }
         );
+        assert!(err.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn rejects_dimension_overflow_without_allocating() {
+        // rows * cols would overflow usize; must be a typed error, not an
+        // arithmetic panic or an allocation abort.
+        let huge = usize::MAX / 2;
+        let text = format!("%%MatrixMarket matrix coordinate real general\n{huge} {huge} 1\n");
+        assert!(matches!(
+            parse_matrix_market(&text),
+            Err(MtxError::DimensionOverflow { .. })
+        ));
+        // Past the dimension cap even when the product fits.
+        let big = MAX_DIM + 1;
+        let text = format!("%%MatrixMarket matrix coordinate real general\n{big} 2 1\n");
+        assert!(matches!(
+            parse_matrix_market(&text),
+            Err(MtxError::DimensionOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nnz_beyond_cell_count() {
+        let err = parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 9\n")
+            .unwrap_err();
+        assert!(
+            matches!(err, MtxError::BadSizeLine { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_excess_entries_at_first_excess_line() {
+        let err = parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n\
+             2 2 1\n1 1 1.0\n2 2 1.0\n2 1 1.0\n",
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            MtxError::ExcessEntries {
+                expected: 1,
+                line: 4
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_entry_lines() {
+        let err = parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MtxError::BadEntry { line: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_matrix_market(Path::new("/nonexistent/matrix.mtx")).unwrap_err();
+        assert!(matches!(err, MtxError::Io { .. }), "{err}");
     }
 }

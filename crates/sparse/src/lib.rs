@@ -28,7 +28,7 @@ pub use csc::CscMatrix;
 pub use csr::{CsrMatrix, SparseStats};
 pub use csr5::{spmv_csr5, Csr5Matrix};
 pub use gen::{corpus, MatrixKind, MatrixSpec, SpecEstimate, PAPER_CORPUS_SIZE};
-pub use io::{parse_matrix_market, to_matrix_market};
+pub use io::{load_matrix_market, parse_matrix_market, to_matrix_market, MtxError};
 pub use spmv::{spmv_parallel, spmv_profile, spmv_serial};
 pub use sptrans::{sptrans_merge, sptrans_profile, sptrans_scan};
 pub use sptrsv::{level_sets, sptrsv_levelset, sptrsv_profile, sptrsv_serial};

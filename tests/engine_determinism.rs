@@ -1,7 +1,10 @@
 //! Determinism guarantees of the sweep-execution engine: a parallel run
 //! must emit byte-identical CSVs to a serial run for every thread count,
-//! and the memoized profile cache must return exactly the profiles an
-//! uncached computation would.
+//! the memoized profile cache must return exactly the profiles an
+//! uncached computation would, and injected faults (quarantined NaN
+//! placeholders, recovered retries, the failure log itself) must land on
+//! the same points at every thread count — which is what makes a killed
+//! run resumable to byte-identical output.
 
 use opm_core::platform::{EdramMode, Machine, McdramMode, OpmConfig};
 use opm_core::profile::ProfileKey;
@@ -11,13 +14,14 @@ use opm_kernels::sweeps::{
     cholesky_sweep_on, fft_curve_on, gemm_sweep_on, paper_fft_sizes, paper_stream_footprints,
     sparse_sweep_on, stream_curve_on, CurvePoint, HeatPoint, SparseKernelId, SparsePoint,
 };
+use opm_kernels::FaultPlan;
 use opm_sparse::gen::corpus;
 
 fn engine(threads: usize, cache_enabled: bool) -> Engine {
     Engine::new(EngineConfig {
         threads,
         cache_enabled,
-        reduced: false,
+        ..EngineConfig::default()
     })
 }
 
@@ -137,6 +141,120 @@ fn curves_are_byte_identical_across_thread_counts() {
         ));
         assert_eq!(stream, stream_base, "stream threads={threads}");
         assert_eq!(fft, fft_base, "fft threads={threads}");
+    }
+}
+
+/// Engine with a fault plan and no backoff sleep (the delays are real
+/// wall time and irrelevant to determinism).
+fn faulted_engine(threads: usize, spec: &str) -> Engine {
+    let plan = FaultPlan::parse(spec).expect("valid fault spec");
+    let mut config = EngineConfig {
+        threads,
+        cache_enabled: true,
+        ..EngineConfig::default()
+    }
+    .with_fault_plan(plan);
+    config.backoff_base_us = 0;
+    Engine::new(config)
+}
+
+/// The acceptance matrix for fault tolerance: serial, small-parallel,
+/// and wider-than-the-grid parallel.
+const FAULT_THREADS: [usize; 3] = [1, 4, 8];
+
+#[test]
+fn quarantined_points_are_byte_identical_across_thread_counts() {
+    // Persistent faults exhaust the retry budget and quarantine the
+    // point as a NaN placeholder; the seeded rate rule keys on (stage,
+    // point index), never on scheduling, so the NaN rows must land on
+    // the same grid points at every thread count.
+    let footprints = paper_stream_footprints(Machine::Knl, 24);
+    let spec = "panic@rate:0.2:seed:11:persist";
+    let config = OpmConfig::Knl(McdramMode::Cache);
+    let baseline = curve_csv(&stream_curve_on(
+        &faulted_engine(1, spec),
+        config,
+        &footprints,
+    ));
+    assert!(
+        baseline.contains("NaN"),
+        "a persistent 20% panic rate must quarantine some of {} points:\n{baseline}",
+        footprints.len()
+    );
+    for threads in FAULT_THREADS {
+        let got = curve_csv(&stream_curve_on(
+            &faulted_engine(threads, spec),
+            config,
+            &footprints,
+        ));
+        assert_eq!(got, baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn recovered_faults_leave_output_identical_to_fault_free_run() {
+    // Non-persistent io faults fire once and succeed on the first
+    // retry: the output must be indistinguishable from a fault-free
+    // run, with the recoveries visible only in the failure log.
+    let footprints = paper_stream_footprints(Machine::Broadwell, 24);
+    let config = OpmConfig::Broadwell(EdramMode::On);
+    let clean = curve_csv(&stream_curve_on(&engine(1, true), config, &footprints));
+    for threads in FAULT_THREADS {
+        let eng = faulted_engine(threads, "io@rate:0.5:seed:3");
+        let got = curve_csv(&stream_curve_on(&eng, config, &footprints));
+        assert_eq!(got, clean, "threads={threads}");
+        let failures = eng.failures();
+        assert!(
+            !failures.is_empty(),
+            "a 50% fault rate must hit some of {} points",
+            footprints.len()
+        );
+        assert!(
+            failures.iter().all(|f| f.recovered && f.attempts == 2),
+            "one-shot io faults recover on the first retry: {failures:?}"
+        );
+    }
+}
+
+#[test]
+fn failure_log_is_identical_across_thread_counts() {
+    // run_errors.csv is written from this log sorted by (stage, point,
+    // message); for that file to be byte-identical at any thread count,
+    // the sorted log itself must be.
+    let footprints = paper_stream_footprints(Machine::Knl, 24);
+    let config = OpmConfig::Knl(McdramMode::Flat);
+    let spec = "panic@rate:0.3:seed:5:persist,io@point:2";
+    let render = |eng: &Engine| {
+        let mut rows: Vec<String> = eng
+            .failures()
+            .iter()
+            .map(|f| {
+                format!(
+                    "{} {} {} {} {} {} {}",
+                    f.stage,
+                    f.index,
+                    f.kind.label(),
+                    f.attempts,
+                    f.transient,
+                    f.outcome(),
+                    f.message
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    let eng1 = faulted_engine(1, spec);
+    let _ = stream_curve_on(&eng1, config, &footprints);
+    let baseline = render(&eng1);
+    assert!(
+        baseline.iter().any(|r| r.contains("quarantined")),
+        "{baseline:?}"
+    );
+    for threads in FAULT_THREADS {
+        let eng = faulted_engine(threads, spec);
+        let _ = stream_curve_on(&eng, config, &footprints);
+        assert_eq!(render(&eng), baseline, "threads={threads}");
     }
 }
 

@@ -12,8 +12,9 @@ use opm_repro::memsim::{
 };
 use opm_repro::sparse::spmv::nnz_balanced_partition;
 use opm_repro::sparse::{
-    spmv_csr5, spmv_parallel, spmv_serial, sptrans_merge, sptrans_scan, sptrsv_levelset,
-    sptrsv_serial, sptrsv_syncfree, CooMatrix, Csr5Matrix, CsrMatrix,
+    parse_matrix_market, spmv_csr5, spmv_parallel, spmv_serial, sptrans_merge, sptrans_scan,
+    sptrsv_levelset, sptrsv_serial, sptrsv_syncfree, to_matrix_market, CooMatrix, Csr5Matrix,
+    CsrMatrix,
 };
 use proptest::prelude::*;
 
@@ -428,6 +429,67 @@ proptest! {
             prop_assert!(matches!(two_way.access(a, false), Lookup::Hit));
             prop_assert!(matches!(two_way.access(b, false), Lookup::Hit));
         }
+    }
+
+    #[test]
+    fn mtx_parser_never_panics_on_mutated_files(
+        m in arb_csr(20, 100),
+        pos in 0usize..10_000,
+        kind in 0usize..6,
+        byte in 0usize..256,
+    ) {
+        // Fuzz `parse_matrix_market` with structured corruptions of a
+        // valid document: the parser must return a typed error (or a
+        // matrix) for every mutation — never panic, never overflow, never
+        // attempt an absurd allocation.
+        let text = to_matrix_market(&m);
+        let mutated = match kind {
+            0 => {
+                // Truncate mid-document (possibly mid-line).
+                let mut cut = pos % (text.len() + 1);
+                while !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                text[..cut].to_string()
+            }
+            1 => {
+                // Replace one byte with an arbitrary one.
+                let mut bytes = text.clone().into_bytes();
+                let i = pos % bytes.len();
+                bytes[i] = byte as u8;
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+            2 => {
+                // Duplicate a line (often creates excess entries).
+                let lines: Vec<&str> = text.lines().collect();
+                let i = pos % lines.len();
+                let mut out = lines.clone();
+                out.insert(i, lines[i]);
+                out.join("\n")
+            }
+            3 => {
+                // Delete a line (often truncates the entry section).
+                let mut lines: Vec<&str> = text.lines().collect();
+                lines.remove(pos % lines.len());
+                lines.join("\n")
+            }
+            4 => {
+                // Blow up every occurrence of the row count, pushing
+                // indices and dimensions out of range.
+                let big = m.rows.saturating_mul(pos.max(2));
+                text.replace(&m.rows.to_string(), &big.to_string())
+            }
+            _ => {
+                // Overwrite the size line with an overflowing one.
+                let huge = format!("{} {} {}", usize::MAX, usize::MAX, pos);
+                let mut lines: Vec<&str> = text.lines().collect();
+                lines[2] = &huge;
+                lines.join("\n")
+            }
+        };
+        let _ = parse_matrix_market(&mutated);
+        // The unmutated document still round-trips exactly.
+        prop_assert_eq!(parse_matrix_market(&text).unwrap(), m);
     }
 
     #[test]
