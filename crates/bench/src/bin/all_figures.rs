@@ -4,27 +4,48 @@
 //!
 //! ```text
 //! all_figures [--threads N] [--no-cache] [--reduced] [--only a,b,...]
-//!             [--resume] [--fault-spec SPEC] [--max-retries N] [--list]
+//!             [--resume] [--fault-spec SPEC] [--max-retries N]
+//!             [--telemetry off|summary|full] [--list]
 //! ```
 //!
-//! `--threads`, `--no-cache`, `--reduced`, `--fault-spec` and
-//! `--max-retries` set `OPM_THREADS`, `OPM_PROFILE_CACHE`, `OPM_REDUCED`,
-//! `OPM_FAULT_SPEC` and `OPM_MAX_RETRIES` before the engine starts (the
+//! `--threads`, `--no-cache`, `--reduced`, `--fault-spec`,
+//! `--max-retries` and `--telemetry` set `OPM_THREADS`,
+//! `OPM_PROFILE_CACHE`, `OPM_REDUCED`, `OPM_FAULT_SPEC`,
+//! `OPM_MAX_RETRIES` and `OPM_TELEMETRY` before the engine starts (the
 //! environment variables work too, for the per-figure binaries).
 //! `--resume` skips figures whose checkpoint journal
 //! (`results/.checkpoint/<figure>.ckpt`) marks them complete under the
 //! current configuration; the resumed run's figure CSVs are byte-identical
-//! to an uninterrupted run.
+//! to an uninterrupted run. With telemetry on, the run writes a
+//! chrome://tracing-compatible JSONL journal and a Prometheus counter dump
+//! under `results/telemetry/`; inspect a live run with `opm top`.
 
 const USAGE: &str = "usage: all_figures [--threads N] [--no-cache] [--reduced] \
                      [--only a,b,...] [--resume] [--fault-spec SPEC] \
-                     [--max-retries N] [--list]";
+                     [--max-retries N] [--telemetry off|summary|full] [--list]";
 
 fn main() {
     let mut names: Option<Vec<String>> = None;
     let mut options = opm_bench::manifest::RunOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        // Accept `--telemetry=full` as well as `--telemetry full`.
+        if let Some(mode) = arg.strip_prefix("--telemetry") {
+            let value = match mode.strip_prefix('=') {
+                Some(v) => v.to_string(),
+                None if mode.is_empty() => args.next().unwrap_or_default(),
+                None => {
+                    eprintln!("unknown argument {arg:?}\n{USAGE}");
+                    std::process::exit(2);
+                }
+            };
+            if opm_core::telemetry::TelemetryMode::parse(&value).is_none() {
+                eprintln!("--telemetry needs off|summary|full, got {value:?}");
+                std::process::exit(2);
+            }
+            std::env::set_var("OPM_TELEMETRY", value);
+            continue;
+        }
         match arg.as_str() {
             "--threads" => {
                 let n = args.next().unwrap_or_default();

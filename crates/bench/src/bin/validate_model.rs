@@ -9,7 +9,7 @@ use opm_core::platform::OpmConfig;
 use opm_core::profile::{AccessProfile, Phase, Tier};
 use opm_core::report::Series;
 use opm_core::stats::logspace;
-use opm_memsim::{HierarchySim, SimResult, SimTiming, Trace};
+use opm_memsim::{HierarchySim, SimTiming, Trace};
 
 const SCALE: u64 = 1024;
 
@@ -30,20 +30,8 @@ fn sim_bandwidth(config: OpmConfig, milli_bytes: u64, conc: f64) -> f64 {
     sim.run(&line_sweep(milli_bytes, 1));
     let before = sim.result().clone();
     sim.run(&line_sweep(milli_bytes, 3));
-    let after = sim.result().clone();
-    let delta = SimResult {
-        accesses: after.accesses - before.accesses,
-        level_hits: after
-            .level_hits
-            .iter()
-            .zip(&before.level_hits)
-            .map(|(a, b)| a - b)
-            .collect(),
-        victim_hits: after.victim_hits - before.victim_hits,
-        opm_flat: after.opm_flat - before.opm_flat,
-        dram: after.dram - before.dram,
-        dram_writebacks: after.dram_writebacks - before.dram_writebacks,
-    };
+    let delta = sim.result().delta_since(&before);
+    delta.publish(opm_core::telemetry::Telemetry::global());
     SimTiming::for_config(config).effective_bandwidth(&delta, conc)
 }
 

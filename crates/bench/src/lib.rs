@@ -335,6 +335,8 @@ pub mod extensions;
 pub mod figures;
 pub mod manifest;
 pub mod plot;
+pub mod telemetry;
+pub mod top;
 
 /// Serializes lib tests that mutate process environment (`OPM_RESULTS`).
 #[cfg(test)]

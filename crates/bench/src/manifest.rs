@@ -356,6 +356,13 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
                 total,
                 spec.name
             );
+            // Resumed figures still get a (zero-length) root span so the
+            // trace accounts for every selected figure.
+            let mut span = engine.telemetry().span("figure", spec.name);
+            span.arg("status", FigureStatus::Resumed.label());
+            span.arg("points", 0);
+            span.arg("failures", 0);
+            drop(span);
             reports.push(FigureReport {
                 name: spec.name,
                 status: FigureStatus::Resumed,
@@ -369,7 +376,7 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
         }
         let stage_mark = engine.stage_count();
         let failure_mark = engine.failure_count();
-        let (h0, m0) = engine.cache_counters();
+        let cache_before = engine.cache_stats();
         let journal = match checkpoint::FigureCheckpoint::begin(spec.name, &signature) {
             Ok(j) => {
                 let j = Arc::new(j);
@@ -381,6 +388,9 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
                 None
             }
         };
+        // The figure's root span: engine stage spans opened by the
+        // pipeline (same thread) nest under it.
+        let mut span = engine.telemetry().span("figure", spec.name);
         let start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(spec.run));
         let wall_ns = start.elapsed().as_nanos();
@@ -410,7 +420,7 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
                 FigureStatus::Failed
             }
         };
-        let (h1, m1) = engine.cache_counters();
+        let cache = engine.cache_stats().since(cache_before);
         let points: usize = engine
             .stages_since(stage_mark)
             .iter()
@@ -421,10 +431,17 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
             status,
             wall_ns,
             points,
-            cache_hits: h1 - h0,
-            cache_misses: m1 - m0,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
             failures: engine.failure_count() - failure_mark,
         };
+        span.arg("status", report.status.label());
+        span.arg("points", report.points);
+        span.arg("failures", report.failures);
+        drop(span);
+        // Counter snapshot after every figure: a trace tail (`opm top`)
+        // sees totals advance figure by figure.
+        engine.telemetry().publish_counters();
         eprintln!(
             "[{}/{}] {} [{}]: {:.2}s, {} points ({:.0} pts/s), cache {}h/{}m{}",
             i + 1,
@@ -568,7 +585,7 @@ pub fn run_and_write_opt(names: Option<&[String]>, options: &RunOptions) {
     let engine = Engine::global();
     let cfg = engine.config();
     eprintln!(
-        "engine: {} thread(s), profile cache {}, {} grids{}{}",
+        "engine: {} thread(s), profile cache {}, {} grids{}{}, telemetry {}",
         cfg.threads,
         if cfg.cache_enabled { "on" } else { "off" },
         if cfg.reduced { "reduced" } else { "full" },
@@ -578,7 +595,9 @@ pub fn run_and_write_opt(names: Option<&[String]>, options: &RunOptions) {
         } else {
             ""
         },
+        engine.telemetry().mode().label(),
     );
+    let telemetry_run = crate::telemetry::init(engine.telemetry());
     let reports = run_figures_opt(names, options);
     match write_manifest(&reports) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
@@ -594,17 +613,17 @@ pub fn run_and_write_opt(names: Option<&[String]>, options: &RunOptions) {
     if !failures.is_empty() {
         eprintln!("failures: {quarantined} quarantined, {recovered} recovered by retry");
     }
-    let (hits, misses) = engine.cache_counters();
-    let total = hits + misses;
+    let cache = engine.cache_stats();
     eprintln!(
-        "profile cache: {} distinct profiles, {hits}/{total} lookups hit ({:.1}%)",
+        "profile cache: {} distinct profiles, {}/{} lookups hit ({:.1}%)",
         engine.cache_len(),
-        if total == 0 {
-            0.0
-        } else {
-            100.0 * hits as f64 / total as f64
-        },
+        cache.hits,
+        cache.total(),
+        100.0 * cache.hit_rate(),
     );
+    if let Some(run) = telemetry_run {
+        run.finish();
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ pub mod roofline;
 pub mod sharing;
 pub mod stats;
 pub mod stepping;
+pub mod telemetry;
 pub mod units;
 
 pub use guideline::{recommend_edram, recommend_mcdram, Workload};
@@ -33,3 +34,7 @@ pub use profile::{AccessProfile, Phase, ProfileKey, Tier};
 pub use roofline::Roofline;
 pub use sharing::{evaluate_sharing, SharingOutcome, SharingPolicy};
 pub use stepping::{stepping_curve, SteppingCurve, SweepKernel};
+pub use telemetry::{
+    Aggregator, Counter, CounterSnapshot, JsonlSink, Span, SpanRecord, Telemetry, TelemetryMode,
+    TelemetrySink,
+};

@@ -1,0 +1,842 @@
+//! The unified telemetry layer: structured spans, instant events, and
+//! monotonic counters, with pluggable sinks.
+//!
+//! Every layer of the reproduction reports through this one data model:
+//!
+//! * **Spans** — timed, named, nested regions (`figure` → `stage` →
+//!   `point`). Nesting is tracked per thread through a thread-local
+//!   stack, so a span opened while another is active becomes its child;
+//!   work handed to worker threads attaches to an explicit parent path
+//!   with [`Telemetry::span_under`]. A span's *path* (`parent>child`)
+//!   identifies its position in the tree independently of timestamps or
+//!   scheduling, which is what the determinism tests compare.
+//! * **Counters** — process-lifetime monotonic `u64`s (memsim per-level
+//!   hits/misses/evictions/bytes-moved, profile-cache traffic, retries,
+//!   quarantines). Counters are plain relaxed atomics: increments
+//!   commute, so totals are exactly equal for every thread count.
+//! * **Events** — timestamped instants (sweep progress, run lifecycle
+//!   markers) that let an external tail — `opm top` — reconstruct live
+//!   run state from the trace alone.
+//!
+//! Three sinks ship with the module: [`JsonlSink`] writes a
+//! chrome://tracing-compatible JSONL journal (one Trace Event per line),
+//! [`Aggregator`] collects spans and counter snapshots in process (tests,
+//! summaries), and [`render_prom`]/[`Telemetry::render_prom`] produce a
+//! Prometheus text exposition of every counter. The hot path is
+//! lock-cheap: with no sinks attached and mode [`TelemetryMode::Off`],
+//! spans are inert no-ops and counter increments are single relaxed
+//! atomic adds.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
+use std::time::Instant;
+
+/// Separator between path segments of nested spans.
+pub const PATH_SEP: char = '>';
+
+/// Acquire a mutex, recovering from poisoning (telemetry data is plain
+/// accumulation; a panic elsewhere must not wedge the trace).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How much the telemetry layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// Spans and events are inert (counters still accumulate — they are
+    /// single atomic adds and several subsystems read them back).
+    #[default]
+    Off,
+    /// Figure/stage spans, progress events, and counters.
+    Summary,
+    /// Everything in `Summary` plus one span per evaluated sweep point.
+    Full,
+}
+
+impl TelemetryMode {
+    /// Parse a `--telemetry` / `OPM_TELEMETRY` value.
+    pub fn parse(s: &str) -> Option<TelemetryMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(TelemetryMode::Off),
+            "summary" | "1" | "on" => Some(TelemetryMode::Summary),
+            "full" | "2" => Some(TelemetryMode::Full),
+            _ => None,
+        }
+    }
+
+    /// Read `OPM_TELEMETRY` (default [`TelemetryMode::Off`]).
+    pub fn from_env() -> TelemetryMode {
+        std::env::var("OPM_TELEMETRY")
+            .ok()
+            .and_then(|v| TelemetryMode::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Canonical label (`off`/`summary`/`full`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TelemetryMode::Off => "off",
+            TelemetryMode::Summary => "summary",
+            TelemetryMode::Full => "full",
+        }
+    }
+}
+
+/// A completed span, as delivered to sinks.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (last path segment).
+    pub name: String,
+    /// Span category (`figure`, `stage`, `point`, ...).
+    pub cat: &'static str,
+    /// Full tree path, `parent>child` (see [`PATH_SEP`]).
+    pub path: String,
+    /// Start, microseconds since the telemetry epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Small per-process thread id.
+    pub tid: u64,
+    /// Key/value annotations attached while the span was open.
+    pub args: Vec<(String, String)>,
+}
+
+/// One counter with its current value, as delivered to sinks and the
+/// Prometheus renderer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name (`opm_points_total`, ...).
+    pub metric: String,
+    /// Prometheus-style label set without braces (`level="L2"`), empty
+    /// for unlabeled counters.
+    pub labels: String,
+    /// Current value.
+    pub value: u64,
+}
+
+impl CounterSnapshot {
+    /// `metric{labels}` (or bare metric when unlabeled) — the series key
+    /// used in the Prometheus dump and the JSONL counter events.
+    pub fn series(&self) -> String {
+        if self.labels.is_empty() {
+            self.metric.clone()
+        } else {
+            format!("{}{{{}}}", self.metric, self.labels)
+        }
+    }
+}
+
+/// Receiver of telemetry output. All methods have no-op defaults so a
+/// sink implements only what it consumes.
+pub trait TelemetrySink: Send + Sync {
+    /// A span opened (B phase; emitted for `figure`/`stage` categories).
+    fn span_begin(&self, _name: &str, _cat: &'static str, _path: &str, _ts_us: u64, _tid: u64) {}
+    /// A span closed.
+    fn span_end(&self, _record: &SpanRecord) {}
+    /// An instant event.
+    fn instant(&self, _name: &str, _args: &[(String, String)], _ts_us: u64, _tid: u64) {}
+    /// A counter snapshot was published.
+    fn counters(&self, _snapshot: &[CounterSnapshot], _ts_us: u64) {}
+}
+
+/// Handle to one monotonic counter; increments are relaxed atomic adds.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `v` to the counter.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    /// Per-thread span stack: (telemetry instance id, span path). Spans of
+    /// different [`Telemetry`] instances interleaved on one thread nest
+    /// only within their own instance.
+    static SPAN_STACK: RefCell<Vec<(usize, String)>> = const { RefCell::new(Vec::new()) };
+    /// Small per-process thread id (stable within a thread's lifetime).
+    static THREAD_ID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// The telemetry registry: mode, sinks, counters, and the span API.
+pub struct Telemetry {
+    id: usize,
+    mode: TelemetryMode,
+    epoch: Instant,
+    sinks: RwLock<Vec<Arc<dyn TelemetrySink>>>,
+    counters: Mutex<BTreeMap<(String, String), Arc<AtomicU64>>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("mode", &self.mode)
+            .field("counters", &lock(&self.counters).len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A fresh instance with the given mode and no sinks.
+    pub fn new(mode: TelemetryMode) -> Arc<Telemetry> {
+        static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+        Arc::new(Telemetry {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            mode,
+            epoch: Instant::now(),
+            sinks: RwLock::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// A fresh inert instance (mode [`TelemetryMode::Off`], no sinks).
+    pub fn off() -> Arc<Telemetry> {
+        Telemetry::new(TelemetryMode::Off)
+    }
+
+    /// The process-wide instance, created from `OPM_TELEMETRY` on first
+    /// use.
+    pub fn global() -> &'static Arc<Telemetry> {
+        static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Telemetry::new(TelemetryMode::from_env()))
+    }
+
+    /// The recording mode.
+    pub fn mode(&self) -> TelemetryMode {
+        self.mode
+    }
+
+    /// Whether spans/events are recorded at all.
+    pub fn enabled(&self) -> bool {
+        self.mode != TelemetryMode::Off
+    }
+
+    /// Attach a sink.
+    pub fn add_sink(&self, sink: Arc<dyn TelemetrySink>) {
+        self.sinks
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(sink);
+    }
+
+    /// Detach every sink (a harness re-initializing a run).
+    pub fn clear_sinks(&self) {
+        self.sinks
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    fn sinks(&self) -> Vec<Arc<dyn TelemetrySink>> {
+        self.sinks
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Open a span nested under this thread's innermost open span (of
+    /// this instance). Inert when the mode is `Off`.
+    pub fn span(&self, cat: &'static str, name: &str) -> Span<'_> {
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(id, _)| *id == self.id)
+                .map(|(_, p)| p.clone())
+        });
+        self.open_span(cat, name, parent.as_deref())
+    }
+
+    /// Open a span under an explicit parent path — for work dispatched to
+    /// threads that did not open the parent (sweep points on the worker
+    /// pool). An empty parent makes a root span.
+    pub fn span_under(&self, parent: &str, cat: &'static str, name: &str) -> Span<'_> {
+        let parent = if parent.is_empty() {
+            None
+        } else {
+            Some(parent)
+        };
+        self.open_span(cat, name, parent)
+    }
+
+    fn open_span(&self, cat: &'static str, name: &str, parent: Option<&str>) -> Span<'_> {
+        if !self.enabled() {
+            return Span {
+                tele: None,
+                cat,
+                name: String::new(),
+                path: String::new(),
+                start: Instant::now(),
+                start_us: 0,
+                args: Vec::new(),
+            };
+        }
+        let path = match parent {
+            Some(p) => format!("{p}{PATH_SEP}{name}"),
+            None => name.to_string(),
+        };
+        SPAN_STACK.with(|s| s.borrow_mut().push((self.id, path.clone())));
+        let start_us = self.now_us();
+        if cat != "point" {
+            for sink in self.sinks() {
+                sink.span_begin(name, cat, &path, start_us, thread_id());
+            }
+        }
+        Span {
+            tele: Some(self),
+            cat,
+            name: name.to_string(),
+            path,
+            start: Instant::now(),
+            start_us,
+            args: Vec::new(),
+        }
+    }
+
+    /// Emit an instant event to every sink (no-op when the mode is `Off`).
+    pub fn instant(&self, name: &str, args: &[(String, String)]) {
+        if !self.enabled() {
+            return;
+        }
+        let ts = self.now_us();
+        for sink in self.sinks() {
+            sink.instant(name, args, ts, thread_id());
+        }
+    }
+
+    /// Handle to the unlabeled counter `metric`.
+    pub fn counter(&self, metric: &str) -> Counter {
+        self.counter_with(metric, "")
+    }
+
+    /// Handle to `metric{labels}` (labels without braces, e.g.
+    /// `level="L2"`).
+    pub fn counter_with(&self, metric: &str, labels: &str) -> Counter {
+        let cell = lock(&self.counters)
+            .entry((metric.to_string(), labels.to_string()))
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter(cell)
+    }
+
+    /// Add `v` to `metric{labels}` (registers the counter on first use).
+    pub fn add(&self, metric: &str, labels: &str, v: u64) {
+        self.counter_with(metric, labels).add(v);
+    }
+
+    /// Snapshot of every registered counter, sorted by (metric, labels).
+    pub fn snapshot_counters(&self) -> Vec<CounterSnapshot> {
+        lock(&self.counters)
+            .iter()
+            .map(|((metric, labels), v)| CounterSnapshot {
+                metric: metric.clone(),
+                labels: labels.clone(),
+                value: v.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Push the current counter snapshot to every sink.
+    pub fn publish_counters(&self) {
+        if !self.enabled() {
+            return;
+        }
+        let snap = self.snapshot_counters();
+        let ts = self.now_us();
+        for sink in self.sinks() {
+            sink.counters(&snap, ts);
+        }
+    }
+
+    /// Render every counter as Prometheus text exposition.
+    pub fn render_prom(&self) -> String {
+        render_prom(&self.snapshot_counters())
+    }
+
+    /// Write the Prometheus exposition to `path`, creating parent
+    /// directories.
+    pub fn write_prom(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.render_prom())
+    }
+}
+
+/// An open span; closing (dropping) it delivers a [`SpanRecord`] to every
+/// sink and pops the thread-local span stack.
+pub struct Span<'a> {
+    tele: Option<&'a Telemetry>,
+    cat: &'static str,
+    name: String,
+    path: String,
+    start: Instant,
+    start_us: u64,
+    args: Vec<(String, String)>,
+}
+
+impl Span<'_> {
+    /// The span's tree path (empty for an inert span).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Attach a key/value annotation, delivered with the end record.
+    pub fn arg(&mut self, key: &str, value: impl ToString) {
+        if self.tele.is_some() {
+            self.args.push((key.to_string(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(tele) = self.tele else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|(id, p)| *id == tele.id && *p == self.path)
+            {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            path: std::mem::take(&mut self.path),
+            start_us: self.start_us,
+            dur_us: self.start.elapsed().as_micros() as u64,
+            tid: thread_id(),
+            args: std::mem::take(&mut self.args),
+        };
+        for sink in tele.sinks() {
+            sink.span_end(&record);
+        }
+    }
+}
+
+/// Render counters as Prometheus text exposition (one `# TYPE` line per
+/// metric, every series monotone `counter`).
+pub fn render_prom(counters: &[CounterSnapshot]) -> String {
+    let mut out = String::new();
+    let mut last_metric = "";
+    for c in counters {
+        if c.metric != last_metric {
+            let _ = writeln!(out, "# TYPE {} counter", c.metric);
+            last_metric = &c.metric;
+        }
+        let _ = writeln!(out, "{} {}", c.series(), c.value);
+    }
+    out
+}
+
+/// Parse a Prometheus text exposition back into `(metric, labels, value)`
+/// triples, rejecting malformed lines — the CI smoke assertion and the
+/// reconciliation tests go through this.
+pub fn parse_prom(text: &str) -> Result<Vec<(String, String, u64)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value in {line:?}", i + 1))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|e| format!("line {}: bad value {value:?}: {e}", i + 1))?;
+        let (metric, labels) = match series.split_once('{') {
+            Some((m, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unclosed labels in {series:?}", i + 1))?;
+                (m.to_string(), labels.to_string())
+            }
+            None => (series.to_string(), String::new()),
+        };
+        if metric.is_empty()
+            || !metric
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || metric.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {}: bad metric name {metric:?}", i + 1));
+        }
+        out.push((metric, labels, value));
+    }
+    Ok(out)
+}
+
+/// Minimal JSON string escaping for the JSONL sink.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_args(args: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Chrome-trace JSONL writer: one Trace Event JSON object per line,
+/// flushed per line so an external tail (`opm top`) sees events live.
+///
+/// Span begin/end become `B`/`E` pairs (same tid by construction); point
+/// spans become single `X` complete events; instants become `i`; counter
+/// snapshots become one `C` event per series. Wrap the lines in a JSON
+/// array (e.g. `jq -s .`) to load the file in chrome://tracing or
+/// Perfetto.
+pub struct JsonlSink {
+    file: Mutex<BufWriter<fs::File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the JSONL journal at `path`, creating parent
+    /// directories.
+    pub fn create(path: &Path) -> std::io::Result<Arc<JsonlSink>> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        Ok(Arc::new(JsonlSink {
+            file: Mutex::new(BufWriter::new(fs::File::create(path)?)),
+        }))
+    }
+
+    fn line(&self, s: &str) {
+        let mut f = lock(&self.file);
+        let _ = writeln!(f, "{s}");
+        let _ = f.flush();
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn span_begin(&self, name: &str, cat: &'static str, path: &str, ts_us: u64, tid: u64) {
+        self.line(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid},\"args\":{{\"path\":\"{}\"}}}}",
+            json_escape(name),
+            json_escape(cat),
+            json_escape(path),
+        ));
+    }
+
+    fn span_end(&self, r: &SpanRecord) {
+        let mut args = vec![("path".to_string(), r.path.clone())];
+        args.extend(r.args.iter().cloned());
+        let ph = if r.cat == "point" { "X" } else { "E" };
+        let ts = if r.cat == "point" {
+            r.start_us
+        } else {
+            r.start_us + r.dur_us
+        };
+        let dur = if r.cat == "point" {
+            format!(",\"dur\":{}", r.dur_us)
+        } else {
+            String::new()
+        };
+        self.line(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts}{dur},\"pid\":1,\"tid\":{},\"args\":{}}}",
+            json_escape(&r.name),
+            json_escape(r.cat),
+            r.tid,
+            render_args(&args),
+        ));
+    }
+
+    fn instant(&self, name: &str, args: &[(String, String)], ts_us: u64, tid: u64) {
+        self.line(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid},\"s\":\"g\",\"args\":{}}}",
+            json_escape(name),
+            render_args(args),
+        ));
+    }
+
+    fn counters(&self, snapshot: &[CounterSnapshot], ts_us: u64) {
+        for c in snapshot {
+            self.line(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"args\":{{\"value\":{}}}}}",
+                json_escape(&c.series()),
+                c.value,
+            ));
+        }
+    }
+}
+
+/// In-process sink: collects completed spans and the latest counter
+/// snapshot for tests and end-of-run summaries.
+#[derive(Default)]
+pub struct Aggregator {
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<Vec<CounterSnapshot>>,
+}
+
+impl Aggregator {
+    /// A fresh aggregator.
+    pub fn new() -> Arc<Aggregator> {
+        Arc::new(Aggregator::default())
+    }
+
+    /// Number of completed spans observed.
+    pub fn span_count(&self) -> usize {
+        lock(&self.spans).len()
+    }
+
+    /// Copies of every completed span.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        lock(&self.spans).clone()
+    }
+
+    /// Sorted paths of every completed span — the *shape* of the span
+    /// tree, independent of timestamps, thread ids and completion order.
+    pub fn span_paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> = lock(&self.spans).iter().map(|s| s.path.clone()).collect();
+        paths.sort();
+        paths
+    }
+
+    /// The latest published counter snapshot.
+    pub fn counter_snapshot(&self) -> Vec<CounterSnapshot> {
+        lock(&self.counters).clone()
+    }
+
+    /// Value of `metric{labels}` in the latest snapshot.
+    pub fn counter(&self, metric: &str, labels: &str) -> Option<u64> {
+        lock(&self.counters)
+            .iter()
+            .find(|c| c.metric == metric && c.labels == labels)
+            .map(|c| c.value)
+    }
+}
+
+impl TelemetrySink for Aggregator {
+    fn span_end(&self, record: &SpanRecord) {
+        lock(&self.spans).push(record.clone());
+    }
+
+    fn counters(&self, snapshot: &[CounterSnapshot], _ts_us: u64) {
+        *lock(&self.counters) = snapshot.to_vec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(TelemetryMode::parse("off"), Some(TelemetryMode::Off));
+        assert_eq!(
+            TelemetryMode::parse("Summary"),
+            Some(TelemetryMode::Summary)
+        );
+        assert_eq!(TelemetryMode::parse("FULL"), Some(TelemetryMode::Full));
+        assert_eq!(TelemetryMode::parse("bogus"), None);
+        assert_eq!(TelemetryMode::Full.label(), "full");
+    }
+
+    #[test]
+    fn spans_nest_through_the_thread_local_stack() {
+        let tele = Telemetry::new(TelemetryMode::Summary);
+        let agg = Aggregator::new();
+        tele.add_sink(agg.clone());
+        {
+            let _outer = tele.span("figure", "figA");
+            let _inner = tele.span("stage", "s1");
+        }
+        {
+            let _root = tele.span("figure", "figB");
+        }
+        assert_eq!(
+            agg.span_paths(),
+            vec![
+                "figA".to_string(),
+                "figA>s1".to_string(),
+                "figB".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn span_under_attaches_to_explicit_parent() {
+        let tele = Telemetry::new(TelemetryMode::Full);
+        let agg = Aggregator::new();
+        tele.add_sink(agg.clone());
+        {
+            let stage = tele.span("stage", "sweep");
+            let path = stage.path().to_string();
+            std::thread::scope(|s| {
+                for i in 0..3 {
+                    let tele = &tele;
+                    let path = &path;
+                    s.spawn(move || {
+                        let _p = tele.span_under(path, "point", &format!("point:{i}"));
+                    });
+                }
+            });
+        }
+        assert_eq!(
+            agg.span_paths(),
+            vec![
+                "sweep".to_string(),
+                "sweep>point:0".to_string(),
+                "sweep>point:1".to_string(),
+                "sweep>point:2".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn off_mode_spans_are_inert() {
+        let tele = Telemetry::off();
+        let agg = Aggregator::new();
+        tele.add_sink(agg.clone());
+        {
+            let mut s = tele.span("stage", "nothing");
+            s.arg("k", "v");
+            assert_eq!(s.path(), "");
+        }
+        tele.instant("nope", &[]);
+        assert_eq!(agg.span_count(), 0);
+        // Counters still work in Off mode (they are read back in-process).
+        tele.add("m_total", "", 3);
+        assert_eq!(tele.counter("m_total").get(), 3);
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let tele = Telemetry::new(TelemetryMode::Summary);
+        let c = tele.counter_with("opm_memsim_level_hits_total", "level=\"L2\"");
+        c.add(5);
+        c.inc();
+        tele.add("opm_a_total", "", 2);
+        let snap = tele.snapshot_counters();
+        assert_eq!(snap[0].metric, "opm_a_total");
+        assert_eq!(snap[1].value, 6);
+        assert_eq!(
+            snap[1].series(),
+            "opm_memsim_level_hits_total{level=\"L2\"}"
+        );
+    }
+
+    #[test]
+    fn prom_roundtrip() {
+        let tele = Telemetry::new(TelemetryMode::Summary);
+        tele.add("opm_points_total", "", 42);
+        tele.add("opm_level_hits_total", "level=\"L2\"", 7);
+        tele.add("opm_level_hits_total", "level=\"L3\"", 9);
+        let text = tele.render_prom();
+        assert!(text.contains("# TYPE opm_points_total counter"));
+        let parsed = parse_prom(&text).unwrap();
+        assert!(parsed.contains(&("opm_points_total".to_string(), String::new(), 42)));
+        assert!(parsed.contains(&(
+            "opm_level_hits_total".to_string(),
+            "level=\"L2\"".to_string(),
+            7
+        )));
+        // TYPE header appears once per metric, not per series.
+        assert_eq!(text.matches("# TYPE opm_level_hits_total").count(), 1);
+        assert!(parse_prom("bad line with no value at all ?!\n").is_err());
+        assert!(parse_prom("1bad_metric 3\n").is_err());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_chrome_trace_events() {
+        let dir = std::env::temp_dir().join(format!("opm_tele_{}", std::process::id()));
+        let path = dir.join("trace.jsonl");
+        let tele = Telemetry::new(TelemetryMode::Full);
+        let sink = JsonlSink::create(&path).unwrap();
+        tele.add_sink(sink);
+        {
+            let mut fig = tele.span("figure", "figX");
+            fig.arg("status", "ok");
+            let stage = tele.span("stage", "sweepY");
+            let _pt = tele.span_under(stage.path(), "point", "point:0");
+        }
+        tele.instant(
+            "progress",
+            &[
+                ("completed".into(), "4".into()),
+                ("total".into(), "8".into()),
+            ],
+        );
+        tele.add("opm_points_total", "", 8);
+        tele.publish_counters();
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // B figure, B stage, X point, E stage, E figure, i progress, C counter.
+        assert_eq!(lines.len(), 7, "{text}");
+        assert!(lines[0].contains("\"ph\":\"B\"") && lines[0].contains("\"figX\""));
+        assert!(lines[2].contains("\"ph\":\"X\"") && lines[2].contains("\"dur\":"));
+        assert!(lines[2].contains("figX>sweepY>point:0"));
+        assert!(lines[4].contains("\"ph\":\"E\"") && lines[4].contains("\"status\":\"ok\""));
+        assert!(lines[5].contains("\"ph\":\"i\"") && lines[5].contains("\"completed\":\"4\""));
+        assert!(lines[6].contains("\"ph\":\"C\"") && lines[6].contains("\"value\":8"));
+        // Every line is an object with balanced braces (cheap validity check).
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+            assert_eq!(
+                l.matches('{').count(),
+                l.matches('}').count(),
+                "unbalanced: {l}"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

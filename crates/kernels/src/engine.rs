@@ -44,6 +44,7 @@
 
 use crate::faultinject::{FaultKind, FaultPlan, InjectedFault};
 use opm_core::profile::{AccessProfile, ProfileKey};
+use opm_core::telemetry::{Counter, Telemetry, TelemetryMode};
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -128,6 +129,11 @@ pub struct EngineConfig {
     pub checkpoint_every: usize,
     /// Deterministic fault-injection plan (tests, CI smoke runs).
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Telemetry instance the engine reports into (`None` = the
+    /// process-wide [`Telemetry::global`], configured by
+    /// `OPM_TELEMETRY`). Tests attach a private instance to observe one
+    /// engine in isolation.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl EngineConfig {
@@ -147,6 +153,7 @@ impl EngineConfig {
             backoff_base_us: 50,
             checkpoint_every: env_usize("OPM_CKPT_EVERY", 64).max(1),
             fault_plan: FaultPlan::from_env().map(Arc::new),
+            telemetry: None,
         }
     }
 
@@ -164,6 +171,13 @@ impl EngineConfig {
         self.fault_plan = Some(Arc::new(plan));
         self
     }
+
+    /// This config reporting into an explicit telemetry instance
+    /// instead of the process-wide one.
+    pub fn with_telemetry(mut self, tele: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(tele);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -176,6 +190,7 @@ impl Default for EngineConfig {
             backoff_base_us: 50,
             checkpoint_every: 64,
             fault_plan: None,
+            telemetry: None,
         }
     }
 }
@@ -205,6 +220,43 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Lifetime profile-cache counters of one engine, with the derived
+/// ratios every consumer was previously recomputing from a bare
+/// `(u64, u64)` tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Profile lookups served from the memo cache.
+    pub hits: u64,
+    /// Profile lookups that computed a fresh profile.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+
+    /// Counter delta between two snapshots of the same engine (`self`
+    /// taken after `earlier`).
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
 }
 
 /// Timing/counter record of one completed sweep stage.
@@ -305,6 +357,33 @@ fn classify_payload(payload: &(dyn Any + Send)) -> (FaultKind, bool, String) {
     }
 }
 
+/// Telemetry counter handles the engine bumps on its hot paths,
+/// resolved once at construction so per-point work stays a relaxed
+/// atomic add.
+struct EngineCounters {
+    points: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    retries: Counter,
+    recovered: Counter,
+    quarantined: Counter,
+    stages: Counter,
+}
+
+impl EngineCounters {
+    fn resolve(tele: &Telemetry) -> Self {
+        EngineCounters {
+            points: tele.counter("opm_points_total"),
+            cache_hits: tele.counter("opm_profile_cache_hits_total"),
+            cache_misses: tele.counter("opm_profile_cache_misses_total"),
+            retries: tele.counter("opm_point_retries_total"),
+            recovered: tele.counter("opm_points_recovered_total"),
+            quarantined: tele.counter("opm_points_quarantined_total"),
+            stages: tele.counter("opm_stages_total"),
+        }
+    }
+}
+
 /// The sweep-execution engine: a worker pool plus the memoized profile
 /// cache, the stage log, and the point-failure log. See the module docs
 /// for the design.
@@ -316,12 +395,22 @@ pub struct Engine {
     stages: Mutex<Vec<StageRecord>>,
     failures: Mutex<Vec<PointFailure>>,
     current_stage: Mutex<Option<String>>,
+    /// Span path of the currently-open stage span (parent for per-point
+    /// spans opened on worker threads).
+    current_stage_path: Mutex<Option<String>>,
     journal: Mutex<Option<Arc<dyn StageJournal>>>,
+    tele: Arc<Telemetry>,
+    counters: EngineCounters,
 }
 
 impl Engine {
     /// Engine with an explicit configuration (tests, determinism checks).
     pub fn new(config: EngineConfig) -> Self {
+        let tele = config
+            .telemetry
+            .clone()
+            .unwrap_or_else(|| Telemetry::global().clone());
+        let counters = EngineCounters::resolve(&tele);
         Engine {
             config,
             cache: Mutex::new(HashMap::new()),
@@ -330,7 +419,10 @@ impl Engine {
             stages: Mutex::new(Vec::new()),
             failures: Mutex::new(Vec::new()),
             current_stage: Mutex::new(None),
+            current_stage_path: Mutex::new(None),
             journal: Mutex::new(None),
+            tele,
+            counters,
         }
     }
 
@@ -350,6 +442,11 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The telemetry instance this engine reports into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.tele
     }
 
     /// Install (or clear) the checkpoint journal receiving stage
@@ -374,11 +471,13 @@ impl Engine {
         }
         if let Some(hit) = lock_recover(&self.cache).get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.cache_hits.inc();
             return hit;
         }
         // Compute outside the lock: a concurrent duplicate costs a second
         // computation of the same pure function, never a wrong result.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.cache_misses.inc();
         let fresh = Arc::new(compute());
         lock_recover(&self.cache)
             .entry(key)
@@ -386,12 +485,19 @@ impl Engine {
             .clone()
     }
 
+    /// Lifetime profile-cache counters of this engine.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
     /// Lifetime (hits, misses) of the profile cache.
+    #[deprecated(note = "use `cache_stats()` — it names the fields and derives the ratios")]
     pub fn cache_counters(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        let s = self.cache_stats();
+        (s.hits, s.misses)
     }
 
     /// Distinct profiles currently memoized.
@@ -405,8 +511,18 @@ impl Engine {
     }
 
     /// Record a point failure (also used by `opm-bench` for
-    /// figure-level failures).
+    /// figure-level failures). Retry/recovery telemetry counters are
+    /// bumped here so every failure path — engine points and
+    /// figure-level catches alike — feeds the same metrics.
     pub fn record_failure(&self, failure: PointFailure) {
+        self.counters
+            .retries
+            .add(failure.attempts.saturating_sub(1) as u64);
+        if failure.recovered {
+            self.counters.recovered.inc();
+        } else {
+            self.counters.quarantined.inc();
+        }
         lock_recover(&self.failures).push(failure);
     }
 
@@ -457,10 +573,17 @@ impl Engine {
     fn eval_point<T, R>(
         &self,
         stage: &str,
+        span_parent: Option<&str>,
         index: usize,
         item: &T,
         f: &(impl Fn(&T) -> R + Sync),
     ) -> Result<R, PointFailure> {
+        // One span per point (mode `full` only), covering every retry;
+        // dropped on both the Ok and Err paths below.
+        let mut span = span_parent.map(|parent| {
+            self.tele
+                .span_under(parent, "point", &format!("point:{index}"))
+        });
         let plan = self.config.fault_plan.as_deref();
         let mut attempt = 0usize;
         let mut last: Option<(FaultKind, String)> = None;
@@ -477,6 +600,10 @@ impl Engine {
             match outcome {
                 Ok(v) => {
                     if let Some((kind, message)) = last {
+                        if let Some(s) = span.as_mut() {
+                            s.arg("attempts", attempt + 1);
+                            s.arg("outcome", "recovered");
+                        }
                         self.record_failure(PointFailure {
                             stage: stage.to_string(),
                             index,
@@ -496,6 +623,10 @@ impl Engine {
                         self.backoff(attempt);
                         attempt += 1;
                         continue;
+                    }
+                    if let Some(s) = span.as_mut() {
+                        s.arg("attempts", attempt + 1);
+                        s.arg("outcome", "quarantined");
                     }
                     let failure = PointFailure {
                         stage: stage.to_string(),
@@ -530,19 +661,42 @@ impl Engine {
         let done = AtomicUsize::new(0);
         let tick = |journal: &Option<Arc<dyn StageJournal>>| {
             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if let Some(j) = journal {
-                if d.is_multiple_of(every) || d == total {
+            if d.is_multiple_of(every) || d == total {
+                if let Some(j) = journal {
                     j.progress(stage, d, total);
+                }
+                if self.tele.enabled() {
+                    self.tele.instant(
+                        "progress",
+                        &[
+                            ("stage".to_string(), stage.to_string()),
+                            ("completed".to_string(), d.to_string()),
+                            ("total".to_string(), total.to_string()),
+                        ],
+                    );
                 }
             }
         };
+        // Per-point spans only in `full` mode; they attach to the stage
+        // span opened by `run_stage` (worker threads never opened it, so
+        // the parent path is passed explicitly).
+        let span_parent = if self.tele.mode() == TelemetryMode::Full {
+            Some(
+                lock_recover(&self.current_stage_path)
+                    .clone()
+                    .unwrap_or_else(|| stage.to_string()),
+            )
+        } else {
+            None
+        };
+        let span_parent = span_parent.as_deref();
         let threads = self.config.threads.clamp(1, items.len().max(1));
         if threads == 1 {
             return items
                 .iter()
                 .enumerate()
                 .map(|(i, item)| {
-                    let r = self.eval_point(stage, i, item, &f);
+                    let r = self.eval_point(stage, span_parent, i, item, &f);
                     tick(&journal);
                     r
                 })
@@ -559,7 +713,7 @@ impl Engine {
                             if i >= items.len() {
                                 break;
                             }
-                            out.push((i, self.eval_point(stage, i, &items[i], &f)));
+                            out.push((i, self.eval_point(stage, span_parent, i, &items[i], &f)));
                             tick(&journal);
                         }
                         out
@@ -691,22 +845,37 @@ impl Engine {
         impl Drop for StageGuard<'_> {
             fn drop(&mut self) {
                 *lock_recover(&self.0.current_stage) = None;
+                *lock_recover(&self.0.current_stage_path) = None;
             }
         }
+        // The span outlives the guard (declared first, dropped last), so
+        // its end event carries the final stage args even when `f`
+        // unwinds.
+        let mut span = self.tele.span("stage", label);
         *lock_recover(&self.current_stage) = Some(label.to_string());
+        *lock_recover(&self.current_stage_path) = if span.path().is_empty() {
+            None
+        } else {
+            Some(span.path().to_string())
+        };
         let _guard = StageGuard(self);
-        let (h0, m0) = self.cache_counters();
+        let before = self.cache_stats();
         let start = Instant::now();
         let (out, points) = f(self);
         let wall_ns = start.elapsed().as_nanos();
-        let (h1, m1) = self.cache_counters();
+        let delta = self.cache_stats().since(before);
         let record = StageRecord {
             label: label.to_string(),
             points,
             wall_ns,
-            cache_hits: h1 - h0,
-            cache_misses: m1 - m0,
+            cache_hits: delta.hits,
+            cache_misses: delta.misses,
         };
+        self.counters.points.add(points as u64);
+        self.counters.stages.inc();
+        span.arg("points", points);
+        span.arg("cache_hits", delta.hits);
+        span.arg("cache_misses", delta.misses);
         lock_recover(&self.stages).push(record.clone());
         if let Some(journal) = lock_recover(&self.journal).clone() {
             journal.stage_done(&record);
@@ -780,7 +949,7 @@ mod tests {
         let a = eng.profile(key, || probe_profile(64));
         let b = eng.profile(key, || panic!("must not recompute"));
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(eng.cache_counters(), (1, 1));
+        assert_eq!(eng.cache_stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(eng.cache_len(), 1);
     }
 
@@ -804,7 +973,7 @@ mod tests {
             });
         }
         assert_eq!(calls.load(Ordering::Relaxed), 3);
-        assert_eq!(eng.cache_counters(), (0, 0));
+        assert_eq!(eng.cache_stats(), CacheStats::default());
         assert_eq!(eng.cache_len(), 0);
     }
 
@@ -852,8 +1021,7 @@ mod tests {
             )
         });
         assert_eq!(eng.cache_len(), 4);
-        let (h, m) = eng.cache_counters();
-        assert_eq!(h + m, 200);
+        assert_eq!(eng.cache_stats().total(), 200);
         // Every result for the same key is the same memoized profile.
         for (i, p) in profs.iter().enumerate() {
             assert_eq!(p.footprint, profs[i % 4].footprint);
@@ -1004,5 +1172,132 @@ mod tests {
         assert_eq!(progress, vec![(8, 20), (16, 20), (20, 20)]);
         assert_eq!(lock_recover(&probe.done).clone(), vec!["journal_stage"]);
         eng.set_journal(None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_cache_counters_matches_cache_stats() {
+        let eng = Engine::new(EngineConfig::serial());
+        let key = ProfileKey::Stream {
+            n: 64,
+            unroll: 2,
+            threads: 1,
+        };
+        let _ = eng.profile(key, || probe_profile(64));
+        let _ = eng.profile(key, || probe_profile(64));
+        let s = eng.cache_stats();
+        assert_eq!(eng.cache_counters(), (s.hits, s.misses));
+    }
+
+    #[test]
+    fn cache_stats_ratios_and_delta() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.total(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let later = CacheStats {
+            hits: 10,
+            misses: 4,
+        };
+        assert_eq!(later.since(s), CacheStats { hits: 7, misses: 3 });
+    }
+
+    #[test]
+    fn points_per_sec_is_zero_for_instantaneous_stage() {
+        // A fully memoized stage can complete in 0 ns of measured wall
+        // time; the rate must degrade to 0.0, never inf/NaN.
+        let r = StageRecord {
+            label: "memoized".to_string(),
+            points: 128,
+            wall_ns: 0,
+            cache_hits: 128,
+            cache_misses: 0,
+        };
+        assert_eq!(r.wall_secs(), 0.0);
+        assert_eq!(r.points_per_sec(), 0.0);
+        assert!(r.points_per_sec().is_finite());
+        // And stays a plain rate when wall time is real.
+        let r2 = StageRecord {
+            wall_ns: 2_000_000_000,
+            ..r
+        };
+        assert!((r2.points_per_sec() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_stage_emits_a_stage_span_with_cache_args() {
+        use opm_core::telemetry::{Aggregator, Telemetry, TelemetryMode};
+        let tele = Telemetry::new(TelemetryMode::Summary);
+        let agg = Aggregator::new();
+        tele.add_sink(agg.clone());
+        let eng = Engine::new(EngineConfig::serial().with_telemetry(tele.clone()));
+        eng.run_stage("span_stage", |e| {
+            let key = ProfileKey::Gemm {
+                n: 8,
+                tile: 4,
+                threads: 1,
+                cores: 1,
+            };
+            let _ = e.profile(key, || probe_profile(8));
+            let _ = e.profile(key, || probe_profile(8));
+            ((), 2)
+        });
+        let spans = agg.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].path, "span_stage");
+        assert_eq!(spans[0].cat, "stage");
+        let args = &spans[0].args;
+        assert!(
+            args.contains(&("points".to_string(), "2".to_string())),
+            "{args:?}"
+        );
+        assert!(args.contains(&("cache_hits".to_string(), "1".to_string())));
+        assert!(args.contains(&("cache_misses".to_string(), "1".to_string())));
+        assert_eq!(tele.counter("opm_points_total").get(), 2);
+        assert_eq!(tele.counter("opm_stages_total").get(), 1);
+        assert_eq!(tele.counter("opm_profile_cache_hits_total").get(), 1);
+    }
+
+    #[test]
+    fn full_mode_emits_one_point_span_per_point_under_the_stage() {
+        use opm_core::telemetry::{Aggregator, Telemetry, TelemetryMode};
+        for threads in [1, 4] {
+            let tele = Telemetry::new(TelemetryMode::Full);
+            let agg = Aggregator::new();
+            tele.add_sink(agg.clone());
+            let mut config = EngineConfig::serial().with_telemetry(tele);
+            config.threads = threads;
+            let eng = Engine::new(config);
+            let items: Vec<usize> = (0..9).collect();
+            eng.run_stage("pts", |e| {
+                let v = e.par_map(&items, |&x| x);
+                let n = v.len();
+                (v, n)
+            });
+            let mut expect: Vec<String> = (0..9).map(|i| format!("pts>point:{i}")).collect();
+            expect.push("pts".to_string());
+            expect.sort();
+            assert_eq!(agg.span_paths(), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn failure_telemetry_counts_retries_recoveries_and_quarantines() {
+        use opm_core::telemetry::{Telemetry, TelemetryMode};
+        let tele = Telemetry::new(TelemetryMode::Summary);
+        let plan = FaultPlan::parse("panic@point:1,io@point:3:persist").unwrap();
+        let mut config = EngineConfig::serial()
+            .with_fault_plan(plan)
+            .with_telemetry(tele.clone());
+        config.max_retries = 2;
+        config.backoff_base_us = 0;
+        let eng = Engine::new(config);
+        let items: Vec<usize> = (0..5).collect();
+        let _ = eng.par_map_isolated("faulty", &items, |&x| x, |_, _| usize::MAX);
+        // Point 1: one retry, recovered. Point 3: persistent, 2 retries,
+        // quarantined.
+        assert_eq!(tele.counter("opm_points_recovered_total").get(), 1);
+        assert_eq!(tele.counter("opm_points_quarantined_total").get(), 1);
+        assert_eq!(tele.counter("opm_point_retries_total").get(), 3);
     }
 }

@@ -10,6 +10,7 @@
 use crate::cache::{CacheStats, Lookup, SetAssocCache};
 use crate::trace::{Trace, LINE_BYTES};
 use opm_core::platform::{EdramMode, McdramMode, OpmConfig, PlatformSpec};
+use opm_core::telemetry::Telemetry;
 
 /// Where an access was finally served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +23,46 @@ pub enum ServedBy {
     OpmFlat,
     /// Served by off-package DRAM.
     Dram,
+}
+
+/// Full hit/miss/eviction accounting for one cache-chain level, surfaced
+/// through [`SimResult`] so consumers never reach into the simulator's
+/// internals to recompute them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelCounters {
+    /// Level name (`L2`, `L3`, `MCDRAM`, ...).
+    pub name: String,
+    /// Lookups that hit at this level.
+    pub hits: u64,
+    /// Lookups that missed (and filled) at this level.
+    pub misses: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Dirty lines written back from this level.
+    pub writebacks: u64,
+}
+
+impl LevelCounters {
+    /// Total lookups that reached this level.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in [0, 1]; 0 for an untouched level.
+    pub fn hit_ratio(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+
+    /// Bytes moved through this level: fills (one line per miss) plus
+    /// write-backs.
+    pub fn bytes_moved(&self) -> u64 {
+        (self.misses + self.writebacks) * LINE_BYTES
+    }
 }
 
 /// Per-run traffic accounting (bytes at line granularity).
@@ -40,6 +81,11 @@ pub struct SimResult {
     /// Dirty lines written back to the backing store (evicted from the
     /// last cache level, not absorbed by a victim cache).
     pub dram_writebacks: u64,
+    /// Full per-level counters for the cache chain (synced from the
+    /// caches by [`HierarchySim::run`]/[`HierarchySim::sync_levels`];
+    /// empty until the first sync). The victim cache is not a lookup
+    /// level — its hits are `victim_hits`.
+    pub levels: Vec<LevelCounters>,
 }
 
 impl SimResult {
@@ -68,6 +114,118 @@ impl SimResult {
         } else {
             self.level_hits[i] as f64 / self.accesses as f64
         }
+    }
+
+    /// Counter deltas between two snapshots of the same simulator
+    /// (`self` taken after `earlier`). Levels are matched by position —
+    /// the configuration must not change between snapshots.
+    pub fn delta_since(&self, earlier: &SimResult) -> SimResult {
+        SimResult {
+            accesses: self.accesses - earlier.accesses,
+            level_hits: self
+                .level_hits
+                .iter()
+                .zip(&earlier.level_hits)
+                .map(|(a, b)| a - b)
+                .collect(),
+            victim_hits: self.victim_hits - earlier.victim_hits,
+            opm_flat: self.opm_flat - earlier.opm_flat,
+            dram: self.dram - earlier.dram,
+            dram_writebacks: self.dram_writebacks - earlier.dram_writebacks,
+            levels: self
+                .levels
+                .iter()
+                .zip(&earlier.levels)
+                .map(|(a, b)| LevelCounters {
+                    name: a.name.clone(),
+                    hits: a.hits - b.hits,
+                    misses: a.misses - b.misses,
+                    evictions: a.evictions - b.evictions,
+                    writebacks: a.writebacks - b.writebacks,
+                })
+                .collect(),
+        }
+    }
+
+    /// Check the internal flow invariants of a freshly-simulated result
+    /// (no stat resets between construction and sync): every access
+    /// enters the top level, each level's misses feed the next, and the
+    /// last level's misses are served by victim/flat/DRAM. Returns a
+    /// description of the first violated invariant.
+    pub fn reconcile(&self) -> Result<(), String> {
+        let served: u64 =
+            self.level_hits.iter().sum::<u64>() + self.victim_hits + self.opm_flat + self.dram;
+        if served != self.accesses {
+            return Err(format!(
+                "served {served} != accesses {}: every touch must be attributed exactly once",
+                self.accesses
+            ));
+        }
+        for (i, l) in self.levels.iter().enumerate() {
+            if l.hits != self.level_hits[i] {
+                return Err(format!(
+                    "level {}: counter hits {} != level_hits {}",
+                    l.name, l.hits, self.level_hits[i]
+                ));
+            }
+            match self.levels.get(i + 1) {
+                Some(next) => {
+                    if l.misses != next.accesses() {
+                        return Err(format!(
+                            "level {} misses {} != level {} accesses {}",
+                            l.name,
+                            l.misses,
+                            next.name,
+                            next.accesses()
+                        ));
+                    }
+                }
+                None => {
+                    let backing = self.victim_hits + self.opm_flat + self.dram;
+                    if l.misses != backing {
+                        return Err(format!(
+                            "last level {} misses {} != victim+flat+dram {backing}",
+                            l.name, l.misses
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(first) = self.levels.first() {
+            if first.accesses() != self.accesses {
+                return Err(format!(
+                    "top level {} accesses {} != total accesses {}",
+                    first.name,
+                    first.accesses(),
+                    self.accesses
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Publish the result into telemetry counters
+    /// (`opm_memsim_level_{hits,misses,evictions,bytes_moved}_total`
+    /// labeled per level, plus access/victim/flat/DRAM totals). Counters
+    /// are monotonic — call once per simulated result; repeated calls
+    /// accumulate again.
+    pub fn publish(&self, tele: &Telemetry) {
+        tele.add("opm_memsim_accesses_total", "", self.accesses);
+        for l in &self.levels {
+            let label = format!("level=\"{}\"", l.name);
+            tele.add("opm_memsim_level_hits_total", &label, l.hits);
+            tele.add("opm_memsim_level_misses_total", &label, l.misses);
+            tele.add("opm_memsim_level_evictions_total", &label, l.evictions);
+            tele.add(
+                "opm_memsim_level_bytes_moved_total",
+                &label,
+                l.bytes_moved(),
+            );
+        }
+        tele.add("opm_memsim_victim_hits_total", "", self.victim_hits);
+        tele.add("opm_memsim_flat_served_total", "", self.opm_flat);
+        tele.add("opm_memsim_dram_served_total", "", self.dram);
+        tele.add("opm_memsim_dram_writebacks_total", "", self.dram_writebacks);
     }
 }
 
@@ -144,6 +302,7 @@ impl HierarchySim {
                 self.touch(line, write);
             }
         }
+        self.sync_levels();
         &self.result
     }
 
@@ -201,12 +360,35 @@ impl HierarchySim {
         }
     }
 
-    /// Result so far.
+    /// Result so far. [`SimResult::levels`] reflects the last
+    /// [`run`](Self::run)/[`sync_levels`](Self::sync_levels); call
+    /// `sync_levels` after driving the hierarchy through
+    /// [`touch`](Self::touch) directly.
     pub fn result(&self) -> &SimResult {
         &self.result
     }
 
+    /// Refresh [`SimResult::levels`] from the chain caches' lifetime
+    /// counters.
+    pub fn sync_levels(&mut self) {
+        self.result.levels = self
+            .chain
+            .iter()
+            .map(|c| {
+                let s = c.stats();
+                LevelCounters {
+                    name: c.name().to_string(),
+                    hits: s.hits,
+                    misses: s.misses,
+                    evictions: s.evictions,
+                    writebacks: s.writebacks,
+                }
+            })
+            .collect();
+    }
+
     /// Per-level cache stats for inspection.
+    #[deprecated(note = "read the per-level counters from `result().levels` instead")]
     pub fn chain_stats(&self) -> Vec<(String, CacheStats)> {
         self.chain
             .iter()
@@ -379,5 +561,114 @@ mod tests {
         let mut sim = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::Off), SCALE);
         assert_eq!(sim.touch(0, false), ServedBy::Dram);
         assert_eq!(sim.touch(0, false), ServedBy::Cache(0));
+    }
+
+    const ALL_CONFIGS: [OpmConfig; 6] = [
+        OpmConfig::Broadwell(EdramMode::Off),
+        OpmConfig::Broadwell(EdramMode::On),
+        OpmConfig::Knl(McdramMode::Off),
+        OpmConfig::Knl(McdramMode::Cache),
+        OpmConfig::Knl(McdramMode::Flat),
+        OpmConfig::Knl(McdramMode::Hybrid),
+    ];
+
+    #[test]
+    fn levels_reconcile_on_every_config() {
+        for config in ALL_CONFIGS {
+            let mut sim = HierarchySim::for_config(config, SCALE);
+            sim.run(&line_sweep(64 * 1024, 2));
+            let r = sim.result();
+            assert!(!r.levels.is_empty());
+            r.reconcile().unwrap_or_else(|e| panic!("{config:?}: {e}"));
+            // The acceptance identity: at every level, the accesses that
+            // reached it split exactly into hits and misses.
+            assert_eq!(r.levels[0].accesses(), r.accesses, "{config:?}");
+            for w in r.levels.windows(2) {
+                assert_eq!(w[0].misses, w[1].accesses(), "{config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn touch_then_sync_levels_matches_run() {
+        let mut a = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::On), SCALE);
+        let mut b = a.clone();
+        let t = line_sweep(16 * 1024, 2);
+        a.run(&t);
+        for acc in &t.accesses {
+            for line in acc.lines() {
+                b.touch(line, false);
+            }
+        }
+        assert!(b.result().levels.is_empty(), "touch alone must stay cheap");
+        b.sync_levels();
+        assert_eq!(a.result(), b.result());
+    }
+
+    #[test]
+    fn delta_since_subtracts_every_counter() {
+        let mut sim = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::On), SCALE);
+        sim.run(&line_sweep(32 * 1024, 1));
+        let before = sim.result().clone();
+        sim.run(&line_sweep(32 * 1024, 3));
+        let delta = sim.result().delta_since(&before);
+        assert_eq!(delta.accesses, sim.result().accesses - before.accesses);
+        assert_eq!(delta.levels.len(), before.levels.len());
+        for (i, l) in delta.levels.iter().enumerate() {
+            assert_eq!(l.hits, sim.result().levels[i].hits - before.levels[i].hits);
+            assert_eq!(l.name, before.levels[i].name);
+        }
+        // A delta of a result against itself is all-zero.
+        let zero = sim.result().delta_since(sim.result());
+        assert_eq!(zero.accesses, 0);
+        assert!(zero.levels.iter().all(|l| l.accesses() == 0));
+    }
+
+    #[test]
+    fn reconcile_rejects_inconsistent_results() {
+        let mut sim = HierarchySim::for_config(OpmConfig::Broadwell(EdramMode::Off), SCALE);
+        sim.run(&line_sweep(8 * 1024, 2));
+        let mut broken = sim.result().clone();
+        broken.dram += 1;
+        assert!(broken.reconcile().is_err());
+        let mut broken = sim.result().clone();
+        broken.levels[0].hits += 1;
+        assert!(broken.reconcile().is_err());
+    }
+
+    #[test]
+    fn publish_exports_labeled_level_counters() {
+        use opm_core::telemetry::Telemetry;
+        let tele = Telemetry::off();
+        let mut sim = HierarchySim::for_config(OpmConfig::Knl(McdramMode::Cache), SCALE);
+        sim.run(&line_sweep(64 * 1024, 2));
+        let r = sim.result();
+        r.publish(&tele);
+        assert_eq!(tele.counter("opm_memsim_accesses_total").get(), r.accesses);
+        let mcdram = tele
+            .counter_with("opm_memsim_level_hits_total", "level=\"MCDRAM\"")
+            .get();
+        let last = r.levels.last().unwrap();
+        assert_eq!(mcdram, last.hits);
+        assert_eq!(
+            tele.counter_with("opm_memsim_level_bytes_moved_total", "level=\"MCDRAM\"")
+                .get(),
+            last.bytes_moved()
+        );
+    }
+
+    #[test]
+    fn level_counters_helpers() {
+        let l = LevelCounters {
+            name: "L2".into(),
+            hits: 6,
+            misses: 2,
+            evictions: 1,
+            writebacks: 1,
+        };
+        assert_eq!(l.accesses(), 8);
+        assert!((l.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(l.bytes_moved(), 3 * crate::trace::LINE_BYTES);
+        assert_eq!(LevelCounters::default().hit_ratio(), 0.0);
     }
 }

@@ -147,20 +147,7 @@ mod tests {
         sim.run(&line_sweep(bytes, 1)); // warm
         let before = sim.result().clone();
         sim.run(&line_sweep(bytes, 3));
-        let after = sim.result().clone();
-        let delta = SimResult {
-            accesses: after.accesses - before.accesses,
-            level_hits: after
-                .level_hits
-                .iter()
-                .zip(&before.level_hits)
-                .map(|(a, b)| a - b)
-                .collect(),
-            victim_hits: after.victim_hits - before.victim_hits,
-            opm_flat: after.opm_flat - before.opm_flat,
-            dram: after.dram - before.dram,
-            dram_writebacks: after.dram_writebacks - before.dram_writebacks,
-        };
+        let delta = sim.result().delta_since(&before);
         SimTiming::for_config(config).estimate_ns(&delta, conc)
     }
 

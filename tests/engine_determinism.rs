@@ -280,9 +280,11 @@ fn cached_sweep_equals_uncached_sweep() {
         let warm = sparse_sweep_on(&cached, config, SparseKernelId::Spmv, &specs);
         let cold = sparse_sweep_on(&uncached, config, SparseKernelId::Spmv, &specs);
         assert_eq!(sparse_csv(&warm), sparse_csv(&cold));
-        let (hits, _) = cached.cache_counters();
-        assert!(hits > 0, "second pass should hit the cache");
-        assert_eq!(uncached.cache_counters(), (0, 0));
+        assert!(
+            cached.cache_stats().hits > 0,
+            "second pass should hit the cache"
+        );
+        assert_eq!(uncached.cache_stats(), opm_kernels::CacheStats::default());
     }
 }
 
@@ -318,12 +320,12 @@ fn profiles_are_shared_across_configs_of_one_machine() {
     let sizes = [2304, 8448];
     let tiles = [256, 1024];
     let _ = gemm_sweep_on(&eng, OpmConfig::Broadwell(EdramMode::Off), &sizes, &tiles);
-    let (h0, m0) = eng.cache_counters();
-    assert_eq!(h0, 0);
-    assert_eq!(m0 as usize, sizes.len() * tiles.len());
+    let cold = eng.cache_stats();
+    assert_eq!(cold.hits, 0);
+    assert_eq!(cold.misses as usize, sizes.len() * tiles.len());
     // The second configuration re-uses every profile of the first.
     let _ = gemm_sweep_on(&eng, OpmConfig::Broadwell(EdramMode::On), &sizes, &tiles);
-    let (h1, m1) = eng.cache_counters();
-    assert_eq!(m1, m0, "no new profile computations");
-    assert_eq!(h1 as usize, sizes.len() * tiles.len());
+    let warm = eng.cache_stats();
+    assert_eq!(warm.misses, cold.misses, "no new profile computations");
+    assert_eq!(warm.hits as usize, sizes.len() * tiles.len());
 }

@@ -1,0 +1,186 @@
+//! Telemetry determinism and end-to-end acceptance tests.
+//!
+//! Determinism: the span *tree* (the sorted set of span paths) and every
+//! counter total must be identical at any thread count — span paths
+//! encode structure, not scheduling, and counter increments commute.
+//! Counters other than the profile-cache pair must also be identical
+//! with the cache on or off.
+//!
+//! Acceptance: a reduced `--telemetry=full` campaign over two figures
+//! must produce a JSONL trace whose every line is a readable trace
+//! event, one root span per figure, and a Prometheus dump whose memsim
+//! counters reconcile (first-level hits + misses == total accesses).
+
+use opm_core::platform::{EdramMode, McdramMode, OpmConfig};
+use opm_core::telemetry::{parse_prom, Aggregator, CounterSnapshot, Telemetry, TelemetryMode};
+use opm_kernels::sweeps::{gemm_sweep_on, stream_curve_on};
+use opm_kernels::{Engine, EngineConfig};
+use std::path::PathBuf;
+use std::sync::Once;
+
+/// A fixed two-stage workload on a private engine wired to a fresh
+/// telemetry instance; returns the sorted span paths and the counter
+/// snapshot. Every profile key in the workload is distinct, so the
+/// cache hit/miss split is deterministic at any thread count.
+fn run_workload(threads: usize, cache: bool) -> (Vec<String>, Vec<CounterSnapshot>) {
+    let tele = Telemetry::new(TelemetryMode::Full);
+    let agg = Aggregator::new();
+    tele.add_sink(agg.clone());
+    let engine = Engine::new(
+        EngineConfig {
+            threads,
+            cache_enabled: cache,
+            ..EngineConfig::default()
+        }
+        .with_telemetry(tele.clone()),
+    );
+    let _ = gemm_sweep_on(
+        &engine,
+        OpmConfig::Broadwell(EdramMode::On),
+        &[256, 4352],
+        &[128, 1152],
+    );
+    let footprints: Vec<f64> = (1..=8).map(|i| i as f64 * 64.0 * 1024.0 * 1024.0).collect();
+    let _ = stream_curve_on(&engine, OpmConfig::Knl(McdramMode::Flat), &footprints);
+    (agg.span_paths(), tele.snapshot_counters())
+}
+
+#[test]
+fn span_tree_is_identical_across_thread_counts() {
+    let (baseline, _) = run_workload(1, true);
+    // The tree is non-trivial: 2 stage roots + one point span per point.
+    assert_eq!(baseline.len(), 2 + 4 + 8, "{baseline:?}");
+    assert!(baseline
+        .iter()
+        .any(|p| p.contains('>') && p.contains("point:")));
+    for threads in [4, 8] {
+        let (paths, _) = run_workload(threads, true);
+        assert_eq!(paths, baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn counters_are_exactly_equal_across_thread_counts() {
+    let (_, baseline) = run_workload(1, true);
+    let get = |snap: &[CounterSnapshot], metric: &str| {
+        snap.iter()
+            .find(|c| c.metric == metric)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    };
+    assert_eq!(get(&baseline, "opm_points_total"), 12);
+    assert_eq!(get(&baseline, "opm_stages_total"), 2);
+    assert_eq!(get(&baseline, "opm_profile_cache_misses_total"), 12);
+    for threads in [4, 8] {
+        let (_, counters) = run_workload(threads, true);
+        assert_eq!(counters, baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn counters_match_with_cache_on_and_off_except_cache_traffic() {
+    let strip = |snap: Vec<CounterSnapshot>| {
+        snap.into_iter()
+            .filter(|c| !c.metric.starts_with("opm_profile_cache"))
+            .collect::<Vec<_>>()
+    };
+    let (paths_on, on) = run_workload(2, true);
+    let (paths_off, off) = run_workload(2, false);
+    assert_eq!(paths_on, paths_off);
+    assert_eq!(strip(on), strip(off));
+}
+
+/// Environment for the acceptance campaign — set once, before the
+/// global engine starts.
+fn acceptance_env() -> PathBuf {
+    static INIT: Once = Once::new();
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("telemetry_accept");
+    INIT.call_once(|| {
+        std::env::set_var("OPM_REDUCED", "1");
+        std::env::set_var("OPM_THREADS", "2");
+        std::env::set_var("OPM_TELEMETRY", "full");
+        std::env::set_var("OPM_RUN_ID", "itest");
+        std::env::remove_var("OPM_CORPUS");
+        std::env::remove_var("OPM_PROFILE_CACHE");
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        std::env::set_var("OPM_RESULTS", &dir);
+    });
+    dir
+}
+
+#[test]
+fn full_telemetry_campaign_writes_reconciling_trace_and_prom() {
+    let dir = acceptance_env();
+    let names = vec![
+        "fig12_stream_broadwell".to_string(),
+        "fig23_stream_knl".to_string(),
+    ];
+    opm_bench::manifest::run_and_write_opt(
+        Some(&names),
+        &opm_bench::manifest::RunOptions::default(),
+    );
+
+    // --- the JSONL trace ---
+    let trace_path = dir.join("telemetry").join("itest.jsonl");
+    let text = std::fs::read_to_string(&trace_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", trace_path.display()));
+    for (i, line) in text.lines().enumerate() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') && line.contains("\"ph\":"),
+            "line {}: not a trace event: {line:?}",
+            i + 1
+        );
+    }
+    let snap = opm_bench::top::parse_trace(&text);
+    assert_eq!(snap.run.as_deref(), Some("itest"));
+    assert!(snap.finished, "run_end marker missing");
+    // One root span per figure, ended with status + point counts.
+    let by_name = |n: &str| {
+        snap.figures
+            .iter()
+            .find(|f| f.name == n)
+            .unwrap_or_else(|| panic!("no root span for {n}"))
+    };
+    let fig12 = by_name("fig12_stream_broadwell");
+    assert_eq!((fig12.status.as_str(), fig12.points), ("ok", 42));
+    let fig23 = by_name("fig23_stream_knl");
+    assert_eq!((fig23.status.as_str(), fig23.points), ("ok", 84));
+    // Full mode: the trace carries per-point spans under each stage.
+    assert!(
+        text.contains("\"cat\":\"point\""),
+        "no point spans in a full-mode trace"
+    );
+    assert_eq!(snap.counter("opm_points_total"), 126);
+
+    // --- the Prometheus dump ---
+    let prom_path = dir.join("telemetry").join("metrics.prom");
+    let prom = std::fs::read_to_string(&prom_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", prom_path.display()));
+    let parsed = parse_prom(&prom).expect("metrics.prom must parse");
+    let value = |metric: &str, labels: &str| {
+        parsed
+            .iter()
+            .find(|(m, l, _)| m == metric && l == labels)
+            .map(|(_, _, v)| *v)
+            .unwrap_or_else(|| panic!("missing {metric}{{{labels}}}"))
+    };
+    assert_eq!(value("opm_points_total", ""), 126);
+    // The memsim reconciliation identity on the aggregated counters:
+    // every access enters the first chain level (L2 on both machines),
+    // so its hits + misses must equal the total access count.
+    let accesses = value("opm_memsim_accesses_total", "");
+    assert!(accesses > 0);
+    assert_eq!(
+        value("opm_memsim_level_hits_total", "level=\"L2\"")
+            + value("opm_memsim_level_misses_total", "level=\"L2\""),
+        accesses
+    );
+    // Every exported level was actually exercised by the probe.
+    for (m, l, v) in parsed
+        .iter()
+        .filter(|(m, _, _)| m == "opm_memsim_level_hits_total")
+    {
+        let misses = value("opm_memsim_level_misses_total", l);
+        assert!(v + misses > 0, "{m}{{{l}}}: untouched level");
+    }
+}
