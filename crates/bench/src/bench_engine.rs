@@ -1,0 +1,523 @@
+//! The memsim/engine hot-path speed program (`opm bench` /
+//! `cargo run --bin bench_engine`).
+//!
+//! Measures the four throughput surfaces behind every figure pipeline —
+//! simulated-accesses/sec through the trace-driven cache hierarchy,
+//! reuse-histogram lines/sec, sweep-stage points/sec, and reduced-campaign
+//! wall time — and writes them to a stable-schema `BENCH_engine.json` at
+//! the repo root so the perf trajectory stays visible across PRs
+//! (ROADMAP item 2). Two snapshots of the file are directly comparable
+//! field by field; the schema is validated by `tests/bench_schema.rs` and
+//! the CI `bench-smoke` job.
+//!
+//! Workloads are deterministic (fixed traces, grids, and seeds); only the
+//! wall-clock fields vary between runs. `--smoke` shrinks every workload
+//! for CI while keeping each one large enough that no wall time rounds
+//! to zero (a zero/inf/NaN throughput field is a schema violation — the
+//! same bug class as the `points_per_sec` zero-wall guard).
+
+use opm_core::platform::{EdramMode, Machine, McdramMode, OpmConfig};
+use opm_kernels::engine::{Engine, EngineConfig};
+use opm_kernels::sweeps::{gemm_sweep_on, sparse_sweep_on, stream_curve_on, SparseKernelId};
+use opm_memsim::reuse::reuse_histogram;
+use opm_memsim::synth::trace_from_tiers;
+use opm_memsim::trace::Trace;
+use opm_memsim::HierarchySim;
+use opm_sparse::gen::corpus;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Schema identifier written to (and asserted on) every report.
+pub const SCHEMA: &str = "opm-bench-engine/v1";
+
+/// Default output file, relative to the working directory (the repo root
+/// in CI and the documented invocation).
+pub const DEFAULT_OUT: &str = "BENCH_engine.json";
+
+/// Figures timed as the reduced-campaign benchmark (the golden-tested
+/// pipelines, so the measured work is exactly what the regression tests
+/// pin down).
+pub const CAMPAIGN_FIGURES: &[&str] = &[
+    "fig06_stepping_model",
+    "fig07_gemm_broadwell",
+    "fig09_spmv_broadwell",
+    "fig12_stream_broadwell",
+    "fig23_stream_knl",
+    "fig25_fft_knl",
+];
+
+/// Figures timed in `--smoke` mode.
+pub const SMOKE_FIGURES: &[&str] = &["fig12_stream_broadwell", "fig23_stream_knl"];
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Shrink every workload for CI smoke runs.
+    pub smoke: bool,
+    /// Skip the reduced-campaign section (unit/schema tests keep their
+    /// runtime bounded with the microbenchmarks alone — the campaign
+    /// section is then an empty list, not absent).
+    pub campaign: bool,
+    /// Output path (`None` = don't write, return the report only).
+    pub out: Option<PathBuf>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            smoke: false,
+            campaign: true,
+            out: Some(PathBuf::from(DEFAULT_OUT)),
+        }
+    }
+}
+
+/// One timed workload: `items` units of work in `wall_secs`.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload label, e.g. `brd-edram/seq`.
+    pub name: String,
+    /// Work units completed (line touches, histogram lines, sweep
+    /// points).
+    pub items: u64,
+    /// Measured wall time in seconds.
+    pub wall_secs: f64,
+}
+
+impl Measurement {
+    /// Items per second; degrades to 0.0 (never inf/NaN) for an
+    /// instantaneous measurement, mirroring
+    /// [`StageRecord::points_per_sec`](opm_kernels::engine::StageRecord::points_per_sec).
+    pub fn rate(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.items as f64 / self.wall_secs
+        }
+    }
+}
+
+/// Aggregate of a measurement group.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupTotal {
+    /// Summed work items.
+    pub items: u64,
+    /// Summed wall seconds.
+    pub wall_secs: f64,
+}
+
+impl GroupTotal {
+    fn of(cases: &[Measurement]) -> GroupTotal {
+        GroupTotal {
+            items: cases.iter().map(|m| m.items).sum(),
+            // `+ 0.0` normalizes the empty-group sum: an empty f64
+            // iterator sums to -0.0, which would print as "-0" in the
+            // JSON report when the campaign is skipped.
+            wall_secs: cases.iter().map(|m| m.wall_secs).sum::<f64>() + 0.0,
+        }
+    }
+
+    /// Aggregate items/sec (0.0 for an empty or instantaneous group).
+    pub fn rate(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.items as f64 / self.wall_secs
+        }
+    }
+}
+
+/// The full harness result, serializable as `BENCH_engine.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `smoke` or `full`.
+    pub mode: &'static str,
+    /// Engine worker threads used for the sweep/campaign sections.
+    pub threads: usize,
+    /// Trace-driven hierarchy simulation (line touches/sec).
+    pub hierarchy: Vec<Measurement>,
+    /// Reuse-distance histogram computation (lines/sec).
+    pub reuse: Vec<Measurement>,
+    /// Engine sweep stages (points/sec).
+    pub stages: Vec<Measurement>,
+    /// Reduced-figure pipelines (points/sec each; wall time is the
+    /// headline).
+    pub campaign: Vec<Measurement>,
+}
+
+impl BenchReport {
+    /// Headline metric: simulated line touches per second through the
+    /// hierarchy simulator.
+    pub fn simulated_accesses_per_sec(&self) -> f64 {
+        GroupTotal::of(&self.hierarchy).rate()
+    }
+
+    /// Reuse-histogram throughput in lines/sec.
+    pub fn reuse_lines_per_sec(&self) -> f64 {
+        GroupTotal::of(&self.reuse).rate()
+    }
+
+    /// Sweep-stage throughput in points/sec.
+    pub fn sweep_points_per_sec(&self) -> f64 {
+        GroupTotal::of(&self.stages).rate()
+    }
+
+    /// Total wall time of the reduced campaign in seconds.
+    pub fn campaign_wall_secs(&self) -> f64 {
+        GroupTotal::of(&self.campaign).wall_secs
+    }
+
+    /// Render the stable-schema JSON document (hand-rolled: the build is
+    /// offline, so no serde; key order is fixed so two snapshots diff
+    /// cleanly).
+    pub fn to_json(&self) -> String {
+        fn group(out: &mut String, key: &str, unit: &str, cases: &[Measurement]) {
+            let total = GroupTotal::of(cases);
+            let _ = write!(
+                out,
+                "  \"{key}\": {{\n    \"unit\": \"{unit}\",\n    \"total_items\": {},\n    \
+                 \"total_wall_secs\": {},\n    \"items_per_sec\": {},\n    \"cases\": [\n",
+                total.items,
+                json_f64(total.wall_secs),
+                json_f64(total.rate()),
+            );
+            for (i, m) in cases.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "      {{\"name\": \"{}\", \"items\": {}, \"wall_secs\": {}, \
+                     \"items_per_sec\": {}}}{}",
+                    m.name,
+                    m.items,
+                    json_f64(m.wall_secs),
+                    json_f64(m.rate()),
+                    if i + 1 == cases.len() { "" } else { "," },
+                );
+            }
+            out.push_str("    ]\n  }");
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{}\",\n  \"threads\": {},\n",
+            self.mode, self.threads
+        );
+        let _ = write!(
+            out,
+            "  \"simulated_accesses_per_sec\": {},\n  \"reuse_lines_per_sec\": {},\n  \
+             \"sweep_points_per_sec\": {},\n  \"campaign_wall_secs\": {},\n",
+            json_f64(self.simulated_accesses_per_sec()),
+            json_f64(self.reuse_lines_per_sec()),
+            json_f64(self.sweep_points_per_sec()),
+            json_f64(self.campaign_wall_secs()),
+        );
+        group(
+            &mut out,
+            "hierarchy_sim",
+            "accesses_per_sec",
+            &self.hierarchy,
+        );
+        out.push_str(",\n");
+        group(&mut out, "reuse_histogram", "lines_per_sec", &self.reuse);
+        out.push_str(",\n");
+        group(&mut out, "sweep_stages", "points_per_sec", &self.stages);
+        out.push_str(",\n");
+        group(&mut out, "campaign", "points_per_sec", &self.campaign);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write the JSON document to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// One console line per metric group (the trajectory at a glance).
+    pub fn summary(&self) -> String {
+        format!(
+            "hierarchy  {:>12.0} simulated accesses/sec\n\
+             reuse      {:>12.0} histogram lines/sec\n\
+             sweeps     {:>12.0} points/sec\n\
+             campaign   {:>12.3} s wall ({} figures)",
+            self.simulated_accesses_per_sec(),
+            self.reuse_lines_per_sec(),
+            self.sweep_points_per_sec(),
+            self.campaign_wall_secs(),
+            self.campaign.len(),
+        )
+    }
+}
+
+/// JSON-safe float rendering: finite shortest-repr, with non-finite
+/// values degraded to 0 (they would otherwise produce invalid JSON; the
+/// schema test rejects them as values, so the degradation is visible).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Time `f` and return the elapsed seconds alongside its output.
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Milli-machine scale used for the hierarchy benches (matches the scale
+/// the validation tests simulate at).
+const SCALE: u64 = 1024;
+
+/// The hierarchy benchmark traces: the access shapes the kernels
+/// produce (streaming, strided/line-granularity, random, multi-tier).
+fn bench_traces(smoke: bool) -> Vec<(&'static str, Trace)> {
+    // Workload scale: every trace yields ~`touches` line touches.
+    let k = if smoke { 1 } else { 8 };
+    vec![
+        // 8-byte streaming reads: 8 touches per line, the dominant
+        // kernel access shape (STREAM, GEMM inner loops).
+        (
+            "seq",
+            Trace::sequential(0, 512 * 1024, 2 * k), // 128 Ki accesses/pass
+        ),
+        // Line-granularity sweep: one touch per line, LRU-thrashing.
+        ("stride64", {
+            let mut t = Trace::new();
+            for pass in 0..2 * k {
+                let mut a = 0u64;
+                while a < 2 * 1024 * 1024 {
+                    t.read(a, 8);
+                    a += 64;
+                }
+                let _ = pass;
+            }
+            t
+        }),
+        // Pseudo-random single-line touches over 16 MiB.
+        ("rand", Trace::random(0, 16 << 20, 131_072 * k, 2017)),
+        // Two-tier reuse mix plus streaming remainder (the synthetic
+        // trace generator used for model cross-validation).
+        (
+            "tiered",
+            trace_from_tiers(
+                &[(32.0 * 1024.0, 0.5), (1024.0 * 1024.0, 0.3)],
+                131_072 * k,
+                7,
+            ),
+        ),
+    ]
+}
+
+/// Hierarchy configurations exercised: victim eDRAM, direct-mapped
+/// MCDRAM cache, and flat MCDRAM (every structurally distinct probe
+/// path).
+const BENCH_CONFIGS: &[OpmConfig] = &[
+    OpmConfig::Broadwell(EdramMode::On),
+    OpmConfig::Knl(McdramMode::Cache),
+    OpmConfig::Knl(McdramMode::Flat),
+];
+
+fn bench_hierarchy(smoke: bool) -> Vec<Measurement> {
+    let traces = bench_traces(smoke);
+    let mut out = Vec::new();
+    for &config in BENCH_CONFIGS {
+        for (tname, trace) in &traces {
+            let mut sim = HierarchySim::for_config(config, SCALE);
+            // Warm pass (capacity fills), then the measured passes.
+            sim.run(trace);
+            let before = sim.result().accesses;
+            let (_, wall) = timed(|| {
+                sim.run(trace);
+                sim.run(trace);
+            });
+            out.push(Measurement {
+                name: format!("{}/{}", config.label(), tname),
+                items: sim.result().accesses - before,
+                wall_secs: wall,
+            });
+        }
+    }
+    out
+}
+
+fn bench_reuse(smoke: bool) -> Vec<Measurement> {
+    let traces = bench_traces(smoke);
+    traces
+        .iter()
+        .map(|(tname, trace)| {
+            let (h, wall) = timed(|| reuse_histogram(trace));
+            Measurement {
+                name: format!("reuse/{tname}"),
+                items: h.total,
+                wall_secs: wall,
+            }
+        })
+        .collect()
+}
+
+fn bench_stages(smoke: bool, threads: usize) -> Vec<Measurement> {
+    // Each stage runs on a fresh private engine (cold profile cache) so
+    // the measurement is compute throughput, not memo-hit latency, and
+    // so the harness never perturbs the global engine's caches.
+    let engine = || {
+        Engine::new(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        })
+    };
+    let mut out = Vec::new();
+    let dense_n: Vec<usize> = if smoke {
+        vec![256, 2304, 8448, 16128]
+    } else {
+        vec![256, 1280, 2304, 4352, 8448, 12288, 16128, 20224]
+    };
+    let tiles: Vec<usize> = if smoke {
+        vec![128, 512, 1024, 4096]
+    } else {
+        vec![64, 128, 256, 512, 1024, 2048, 4096, 8192]
+    };
+    {
+        let eng = engine();
+        let config = OpmConfig::Broadwell(EdramMode::On);
+        let (pts, wall) = timed(|| gemm_sweep_on(&eng, config, &dense_n, &tiles));
+        out.push(Measurement {
+            name: "gemm_sweep".to_string(),
+            items: pts.len() as u64,
+            wall_secs: wall,
+        });
+    }
+    {
+        let eng = engine();
+        let specs = corpus(if smoke { 48 } else { 256 });
+        let config = OpmConfig::Knl(McdramMode::Cache);
+        let (pts, wall) = timed(|| sparse_sweep_on(&eng, config, SparseKernelId::Spmv, &specs));
+        out.push(Measurement {
+            name: "spmv_sweep".to_string(),
+            items: pts.len() as u64,
+            wall_secs: wall,
+        });
+    }
+    {
+        let eng = engine();
+        let config = OpmConfig::Knl(McdramMode::Flat);
+        let samples = if smoke { 24 } else { 96 };
+        let footprints = opm_kernels::sweeps::paper_stream_footprints(Machine::Knl, samples);
+        let (pts, wall) = timed(|| stream_curve_on(&eng, config, &footprints));
+        out.push(Measurement {
+            name: "stream_curve".to_string(),
+            items: pts.len() as u64,
+            wall_secs: wall,
+        });
+    }
+    out
+}
+
+fn bench_campaign(smoke: bool) -> Vec<Measurement> {
+    let names: Vec<String> = if smoke {
+        SMOKE_FIGURES
+    } else {
+        CAMPAIGN_FIGURES
+    }
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    crate::manifest::run_figures(Some(&names))
+        .into_iter()
+        .map(|r| Measurement {
+            name: r.name.to_string(),
+            items: r.points as u64,
+            wall_secs: r.wall_secs(),
+        })
+        .collect()
+}
+
+/// Run the full harness. When the campaign section is enabled this
+/// configures the process environment for a reduced run (`OPM_REDUCED`,
+/// plus a scratch `OPM_RESULTS` if unset) — it must run before anything
+/// else initializes the global engine.
+pub fn run_bench(opts: &BenchOptions) -> BenchReport {
+    if opts.campaign {
+        std::env::set_var("OPM_REDUCED", "1");
+        if std::env::var_os("OPM_RESULTS").is_none() {
+            let dir = std::env::temp_dir().join("opm_bench_results");
+            let _ = std::fs::create_dir_all(&dir);
+            std::env::set_var("OPM_RESULTS", &dir);
+        }
+    }
+    let threads = Engine::global().config().threads;
+    let report = BenchReport {
+        mode: if opts.smoke { "smoke" } else { "full" },
+        threads,
+        hierarchy: bench_hierarchy(opts.smoke),
+        reuse: bench_reuse(opts.smoke),
+        stages: bench_stages(opts.smoke, threads),
+        campaign: if opts.campaign {
+            bench_campaign(opts.smoke)
+        } else {
+            Vec::new()
+        },
+    };
+    if let Some(path) = &opts.out {
+        report
+            .write(path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f64_degrades_non_finite() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn measurement_rate_guards_zero_wall() {
+        let m = Measurement {
+            name: "x".into(),
+            items: 10,
+            wall_secs: 0.0,
+        };
+        assert_eq!(m.rate(), 0.0);
+        let m2 = Measurement {
+            wall_secs: 2.0,
+            ..m
+        };
+        assert!((m2.rate() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_json_has_schema_and_groups() {
+        let r = BenchReport {
+            mode: "smoke",
+            threads: 2,
+            hierarchy: vec![Measurement {
+                name: "a/b".into(),
+                items: 100,
+                wall_secs: 0.5,
+            }],
+            reuse: vec![],
+            stages: vec![],
+            campaign: vec![],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": \"opm-bench-engine/v1\""));
+        for key in [
+            "hierarchy_sim",
+            "reuse_histogram",
+            "sweep_stages",
+            "campaign",
+            "simulated_accesses_per_sec",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.contains("\"items_per_sec\": 200"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `bench_engine`: run the memsim/engine hot-path speed program and
+//! write `BENCH_engine.json` (see `opm_bench::bench_engine` and the
+//! "Performance tracking" section of README.md).
+//!
+//! Usage: `cargo run --release -p opm-bench --bin bench_engine --
+//! [--smoke] [--no-campaign] [--out <path>]`
+
+use opm_bench::bench_engine::{run_bench, BenchOptions, DEFAULT_OUT};
+use std::path::PathBuf;
+
+fn main() {
+    let mut opts = BenchOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--no-campaign" => opts.campaign = false,
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+                opts.out = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_engine [--smoke] [--no-campaign] [--out <path>]\n\
+                     writes {DEFAULT_OUT} (schema opm-bench-engine/v1)"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = run_bench(&opts);
+    println!("{}", report.summary());
+    if let Some(path) = &opts.out {
+        println!("wrote {}", path.display());
+    }
+}

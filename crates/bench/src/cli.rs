@@ -146,6 +146,7 @@ pub fn run(raw: &[String]) -> Result<String, String> {
         "stepping" => cmd_stepping(&args),
         "corpus" => cmd_corpus(&args),
         "top" => cmd_top(&args),
+        "bench" => cmd_bench(&args),
         "help" | "--help" => Ok(HELP.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n{HELP}")),
     }
@@ -172,6 +173,10 @@ USAGE:
       under results/telemetry by default; run `all_figures
       --telemetry full` to produce one). --follow re-renders every
       --interval-ms (default 500) until the run_end marker appears.
+  opm bench [--smoke] [--no-campaign] [--out <path>]
+      run the memsim/engine hot-path speed program and write
+      BENCH_engine.json (schema opm-bench-engine/v1; see the
+      \"Performance tracking\" section of README.md).
 ";
 
 fn cmd_model(args: &Args) -> Result<String, String> {
@@ -301,6 +306,34 @@ fn cmd_corpus(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `opm bench`: the memsim/engine hot-path speed program (see
+/// [`crate::bench_engine`]).
+fn cmd_bench(args: &Args) -> Result<String, String> {
+    // A typo'd flag must not silently run the full harness and
+    // overwrite the tracked BENCH_engine.json baseline.
+    for key in args.options.keys() {
+        if !matches!(key.as_str(), "smoke" | "no-campaign" | "out") {
+            return Err(format!("bench: unknown option --{key}\n{HELP}"));
+        }
+    }
+    let out = match args.options.get("out") {
+        // The parser stores "true" for a valueless flag, so a bare
+        // `--out` (path swallowed or missing) is indistinguishable from
+        // `--out true` — reject both rather than write a file `true`.
+        Some(v) if v == "true" => return Err("bench: --out needs a path".to_string()),
+        Some(v) => std::path::PathBuf::from(v),
+        None => std::path::PathBuf::from(crate::bench_engine::DEFAULT_OUT),
+    };
+    let opts = crate::bench_engine::BenchOptions {
+        smoke: args.get_flag("smoke"),
+        campaign: !args.get_flag("no-campaign"),
+        out: Some(out),
+    };
+    let report = crate::bench_engine::run_bench(&opts);
+    let out = opts.out.as_deref().expect("out path set above");
+    Ok(format!("{}\nwrote {}", report.summary(), out.display()))
+}
+
 /// `opm top`: render the run dashboard from a telemetry JSONL trace
 /// (see [`crate::top`]). `--follow` polls until the run finishes.
 fn cmd_top(args: &Args) -> Result<String, String> {
@@ -375,6 +408,17 @@ mod tests {
 
     fn run_str(cmd: &str) -> Result<String, String> {
         run(&cmd.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn bench_rejects_unknown_options_and_bare_out() {
+        // A typo'd flag must not run the harness and overwrite the
+        // tracked BENCH_engine.json; a valueless --out must not write a
+        // file literally named "true".
+        let err = run_str("bench --bogus").unwrap_err();
+        assert!(err.contains("unknown option --bogus"), "{err}");
+        let err = run_str("bench --out").unwrap_err();
+        assert!(err.contains("--out needs a path"), "{err}");
     }
 
     #[test]

@@ -328,6 +328,7 @@ mod tests {
 }
 
 pub mod ablation;
+pub mod bench_engine;
 pub mod checkpoint;
 pub mod cli;
 pub mod corpus;

@@ -707,7 +707,10 @@ impl Engine {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     s.spawn(|| {
-                        let mut out = Vec::new();
+                        // Every point lands in exactly one worker's bucket;
+                        // sizing for an even split avoids regrowth churn on
+                        // large sweeps (stragglers overflow at most once).
+                        let mut out = Vec::with_capacity(items.len() / threads + 1);
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {

@@ -1,6 +1,50 @@
 //! A set-associative cache with true-LRU replacement, the building block of
 //! the hierarchy simulator. Direct-mapped caches are the 1-way special case
 //! (MCDRAM in cache mode is direct-mapped, §2.2 of the paper).
+//!
+//! ## Hot-path layout
+//!
+//! This is the innermost loop of every trace-driven simulation, so the
+//! per-way state is bit-packed into flat arrays instead of a
+//! struct-per-way:
+//!
+//! * `tags`: one `u64` per way holding `tag << 2 | dirty << 1 | valid`,
+//!   contiguous per set — a 16-way set is two cache lines, and the probe
+//!   loop is a single masked compare per way with no pointer chasing.
+//! * `perm`: one `u64` per set packing the LRU **recency permutation** as
+//!   sixteen 4-bit way indices, least-recently-used in the low nibble.
+//!   Promoting a way to MRU is a dozen register ops (SWAR nibble search +
+//!   shift-merge), and the replacement victim is O(1): the low nibble,
+//!   or the first invalid way found by the probe scan. This replaces the
+//!   classic per-way LRU stamp array — half the metadata traffic and no
+//!   O(ways) victim scan. Associativities above 16 (only used by tests as
+//!   a stand-in for fully-associative caches) fall back to stamps.
+//! * `fp`: one 8-bit **fingerprint** per way (7 low tag bits + a
+//!   valid marker), packed eight ways to a `u64`. A SWAR compare against
+//!   the broadcast fingerprint of the probed line answers "definitely
+//!   absent" and "first invalid way" in a handful of register ops, so a
+//!   miss — the common case on every level below the first — usually
+//!   touches no tag words at all. Fingerprint matches are *candidates*
+//!   and are always verified against the full tag, so false positives
+//!   (1/128 per valid way) cost a compare, never correctness.
+//! * the set index is `line & set_mask` — set counts are always powers of
+//!   two, and a mask avoids the hardware divide a `%` set index costs on
+//!   every access.
+//! * a **same-line memo**: the most recently touched line and its slot.
+//!   Kernel traces touch each 64-byte line many times in a row (a
+//!   sequential 8-byte sweep touches it 8×), and a repeat access to the
+//!   memoized line is a guaranteed MRU hit — no scan, no recency update
+//!   (re-promoting the MRU way is the identity), just the hit counter and
+//!   the dirty bit. This is what amortizes the probe loop.
+//!
+//! The observable behaviour (hit/miss/eviction/writeback counts and the
+//! exact victim sequence) is bit-for-bit identical to the unpacked
+//! struct-per-way stamp implementation: the reference victim is the first
+//! way minimizing `(valid ? stamp : 0)`, i.e. the first invalid way if one
+//! exists (key 0 beats any stamp, ties break by way index) and otherwise
+//! the unique least-recently-used way — exactly what the permutation
+//! yields. `tests/memsim_equivalence.rs` keeps a copy of the reference
+//! implementation and proves the equivalence on random traces.
 
 use crate::trace::LINE_BYTES;
 
@@ -19,13 +63,18 @@ pub enum Lookup {
     },
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64, // larger = more recently used
-}
+/// `tags` bit 0: the way holds a valid line.
+const VALID: u64 = 1;
+/// `tags` bit 1: the line is dirty (needs write-back on eviction).
+const DIRTY: u64 = 2;
+/// `tags` bits 2..: the line address (tag).
+const TAG_SHIFT: u32 = 2;
+/// Sentinel for "no same-line memo" (no real line address reaches
+/// `u64::MAX`: lines are byte addresses divided by [`LINE_BYTES`]).
+const NO_LINE: u64 = u64::MAX;
+/// Largest associativity the packed recency permutation covers (16 ways ×
+/// 4 bits); wider caches fall back to LRU stamps.
+const PERM_MAX_WAYS: usize = 16;
 
 /// Hit/miss counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,14 +106,87 @@ impl CacheStats {
     }
 }
 
+/// The identity permutation `15,14,...,1,0` packed low-nibble-first: way 0
+/// is LRU, way 15 is MRU. Truncated to `ways` nibbles at construction.
+const PERM_IDENTITY: u64 = 0xFEDC_BA98_7654_3210;
+
+/// Fingerprint byte of a line: 7 low tag bits plus the 0x80 valid marker
+/// (so a valid fingerprint is never 0, and 0 always means "empty way").
+#[inline(always)]
+fn fp_byte(line: u64) -> u64 {
+    (line & 0x7F) | 0x80
+}
+
+/// SWAR marker mask: high bit set in every byte lane of `word` that equals
+/// byte `b` (exact — the `!x` term kills borrow-propagation artifacts).
+#[inline(always)]
+fn swar_eq_bytes(word: u64, b: u64) -> u64 {
+    let x = word ^ b.wrapping_mul(0x0101_0101_0101_0101);
+    x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080
+}
+
+/// SWAR marker mask of zero (empty) byte lanes in `word`.
+#[inline(always)]
+fn swar_zero_bytes(word: u64) -> u64 {
+    word.wrapping_sub(0x0101_0101_0101_0101) & !word & 0x8080_8080_8080_8080
+}
+
+/// Marker mask covering the byte lanes of fingerprint word `j` that hold
+/// real ways (for associativities that don't fill the word).
+#[inline(always)]
+fn fp_lane_mask(ways: usize, j: usize) -> u64 {
+    let lanes = (ways - j * 8).min(8);
+    if lanes == 8 {
+        0x8080_8080_8080_8080
+    } else {
+        0x8080_8080_8080_8080 & ((1u64 << (8 * lanes)) - 1)
+    }
+}
+
+/// Promote way `w` to MRU inside the packed permutation of `ways` nibbles.
+#[inline(always)]
+fn perm_promote(perm: u64, w: u64, ways: usize) -> u64 {
+    if ways == 1 {
+        return perm;
+    }
+    // SWAR search for the nibble equal to `w`: XOR makes it zero, then the
+    // classic zero-nibble detector pinpoints it.
+    let x = perm ^ (w.wrapping_mul(0x1111_1111_1111_1111));
+    let zero = x.wrapping_sub(0x1111_1111_1111_1111) & !x & 0x8888_8888_8888_8888;
+    let pos = (zero.trailing_zeros() >> 2) as usize;
+    // Splice the nibble out (higher nibbles slide down) and re-insert it
+    // at the MRU (top) position.
+    let low_mask = (1u64 << (4 * pos)) - 1;
+    let removed = (perm & low_mask) | ((perm >> 4) & !low_mask);
+    let top = 4 * (ways - 1);
+    (removed & ((1u64 << top) - 1)) | (w << top)
+}
+
 /// Set-associative write-back cache with LRU replacement.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     name: String,
     sets: usize,
     ways: usize,
-    lines: Vec<Way>, // sets * ways
+    /// `sets - 1`; set counts are powers of two, so indexing is a mask.
+    set_mask: u64,
+    /// Bit-packed per-way line state, contiguous per set (see module docs).
+    tags: Vec<u64>,
+    /// Packed per-set LRU recency permutation (ways <= 16), else empty.
+    perm: Vec<u64>,
+    /// Packed per-way fingerprint bytes, `fpw` words per set (see module
+    /// docs); empty for direct-mapped and stamp-LRU caches.
+    fp: Vec<u64>,
+    /// Fingerprint words per set (`ceil(ways / 8)`, or 0 when unused).
+    fpw: usize,
+    /// Per-way LRU stamps for ways > 16 (parallel to `tags`), else empty.
+    stamp: Vec<u64>,
+    /// Stamp clock (ways > 16 only).
     clock: u64,
+    /// Same-line memo: line of the most recent touch ([`NO_LINE`] when
+    /// empty) and the index of its word in `tags`.
+    memo_line: u64,
+    memo_slot: usize,
     stats: CacheStats,
 }
 
@@ -84,12 +206,39 @@ impl SetAssocCache {
         } else {
             sets as usize
         };
+        let (perm, stamp) = if ways <= PERM_MAX_WAYS {
+            let nib_mask = if ways == PERM_MAX_WAYS {
+                u64::MAX
+            } else {
+                (1u64 << (4 * ways)) - 1
+            };
+            (vec![PERM_IDENTITY & nib_mask; sets], Vec::new())
+        } else {
+            (Vec::new(), vec![0; sets * ways])
+        };
+        // Fingerprints pay off only on wide sets: a <=8-way set is a single
+        // cache line of tags whose compares all issue in parallel, and the
+        // fingerprint's extra serial load loses there (measured on the
+        // random-trace bench cases). Direct-mapped and the stamp fallback
+        // also keep plain tags.
+        let fpw = if (9..=PERM_MAX_WAYS).contains(&ways) {
+            ways.div_ceil(8)
+        } else {
+            0
+        };
         SetAssocCache {
             name: name.into(),
             sets,
             ways,
-            lines: vec![Way::default(); sets * ways],
+            set_mask: sets as u64 - 1,
+            tags: vec![0; sets * ways],
+            perm,
+            stamp,
+            fp: vec![0; sets * fpw],
+            fpw,
             clock: 0,
+            memo_line: NO_LINE,
+            memo_slot: 0,
             stats: CacheStats::default(),
         }
     }
@@ -129,97 +278,443 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
-    fn set_range(&self, line: u64) -> (usize, usize) {
-        let set = (line % self.sets as u64) as usize;
-        (set * self.ways, (set + 1) * self.ways)
+    /// Bytes of simulator metadata backing this cache — the footprint the
+    /// *simulation* walks, as opposed to the simulated
+    /// [`capacity`](Self::capacity). Levels whose metadata dwarfs the
+    /// CPU's own caches are worth prefetching (see
+    /// [`prefetch_set`](Self::prefetch_set)).
+    pub fn metadata_bytes(&self) -> usize {
+        (self.tags.len() + self.perm.len() + self.stamp.len() + self.fp.len())
+            * std::mem::size_of::<u64>()
+    }
+
+    /// Index of the first `tags` word of `line`'s set.
+    #[inline(always)]
+    fn set_base(&self, line: u64) -> usize {
+        ((line & self.set_mask) as usize) * self.ways
     }
 
     /// Look up `line`, filling on miss. `write` marks the line dirty.
+    #[inline]
     pub fn access(&mut self, line: u64, write: bool) -> Lookup {
-        self.clock += 1;
-        let (lo, hi) = self.set_range(line);
-        // Hit?
-        for w in &mut self.lines[lo..hi] {
-            if w.valid && w.tag == line {
-                w.lru = self.clock;
-                w.dirty |= write;
+        // Same-line fast path: the memoized line is resident and MRU in
+        // its set, so a repeat access is a hit that cannot change the
+        // LRU order — only the counters and the dirty bit move.
+        if line == self.memo_line {
+            self.tags[self.memo_slot] |= (write as u64) << 1;
+            self.stats.hits += 1;
+            return Lookup::Hit;
+        }
+        debug_assert!(line < 1 << (64 - TAG_SHIFT), "line address overflows tag");
+        let base = self.set_base(line);
+        let want = (line << TAG_SHIFT) | VALID;
+        if self.ways == 1 {
+            // Direct-mapped: one slot decides hit, victim, and fill.
+            if self.tags[base] & !DIRTY == want {
+                self.tags[base] |= (write as u64) << 1;
+                self.memo_line = line;
+                self.memo_slot = base;
                 self.stats.hits += 1;
                 return Lookup::Hit;
             }
+            self.stats.misses += 1;
+            return self.replace_slot(base, want, write);
+        }
+        if self.stamp.is_empty() {
+            match self.ways {
+                8 => self.scan_plain::<8>(base, line, want, write),
+                16 => self.scan_perm::<16>(base, line, want, write),
+                _ if self.fpw == 0 => self.scan_plain::<0>(base, line, want, write),
+                _ => self.scan_perm::<0>(base, line, want, write),
+            }
+        } else {
+            self.scan_stamp(base, line, want, write)
+        }
+    }
+
+    /// Probe loop for narrow permutation-LRU sets (no fingerprint): one
+    /// pass over the tag words finds the hit way or the first invalid way.
+    /// The victim rule matches [`fp_victim`](Self::fp_victim).
+    #[inline]
+    fn scan_plain<const W: usize>(
+        &mut self,
+        base: usize,
+        line: u64,
+        want: u64,
+        write: bool,
+    ) -> Lookup {
+        let ways = if W == 0 { self.ways } else { W };
+        let set_idx = base / ways;
+        let set = &mut self.tags[base..base + ways];
+        let mut first_invalid = usize::MAX;
+        for (w, t) in set.iter_mut().enumerate() {
+            let m = *t;
+            if m & !DIRTY == want {
+                *t = m | ((write as u64) << 1);
+                self.perm[set_idx] = perm_promote(self.perm[set_idx], w as u64, ways);
+                self.memo_line = line;
+                self.memo_slot = base + w;
+                self.stats.hits += 1;
+                return Lookup::Hit;
+            }
+            if m & VALID == 0 && first_invalid == usize::MAX {
+                first_invalid = w;
+            }
         }
         self.stats.misses += 1;
-        self.fill_internal(line, write)
+        let victim = if first_invalid != usize::MAX {
+            first_invalid
+        } else {
+            (self.perm[set_idx] & 0xF) as usize
+        };
+        self.perm[set_idx] = perm_promote(self.perm[set_idx], victim as u64, ways);
+        self.replace_slot(base + victim, want, write)
+    }
+
+    /// Find the way holding `want` in a fingerprinted set, via SWAR
+    /// candidate filtering: compare every candidate's full tag, marking
+    /// the dirty bit with `extra` on the match. `usize::MAX` if absent.
+    #[inline(always)]
+    fn fp_find(&mut self, base: usize, fbase: usize, fpw: usize, want: u64, extra: u64) -> usize {
+        let b = fp_byte(want >> TAG_SHIFT);
+        for j in 0..fpw {
+            let mut m = swar_eq_bytes(self.fp[fbase + j], b);
+            while m != 0 {
+                let way = j * 8 + (m.trailing_zeros() as usize >> 3);
+                let t = self.tags[base + way];
+                if t & !DIRTY == want {
+                    self.tags[base + way] = t | extra;
+                    return way;
+                }
+                m &= m - 1; // false positive: next candidate
+            }
+        }
+        usize::MAX
+    }
+
+    /// Replacement victim of a fingerprinted set: the first empty way
+    /// (the reference keys invalid ways at 0, ties broken by index), or
+    /// the permutation's LRU nibble when the set is full — bit-identical
+    /// to the reference `min_by_key` over stamps.
+    #[inline(always)]
+    fn fp_victim(&self, set_idx: usize, fbase: usize, ways: usize, fpw: usize) -> usize {
+        for j in 0..fpw {
+            let holes = swar_zero_bytes(self.fp[fbase + j]) & fp_lane_mask(ways, j);
+            if holes != 0 {
+                return j * 8 + (holes.trailing_zeros() as usize >> 3);
+            }
+        }
+        (self.perm[set_idx] & 0xF) as usize
+    }
+
+    /// Probe path for permutation-LRU sets. The fingerprint filter
+    /// resolves the common definite-miss without reading any tag words;
+    /// candidate matches are verified against the full tag. `W` is the
+    /// compile-time associativity (0 = dynamic), which constant-folds the
+    /// fingerprint loops.
+    #[inline]
+    fn scan_perm<const W: usize>(
+        &mut self,
+        base: usize,
+        line: u64,
+        want: u64,
+        write: bool,
+    ) -> Lookup {
+        let ways = if W == 0 { self.ways } else { W };
+        let fpw = if W == 0 { self.fpw } else { W.div_ceil(8) };
+        let set_idx = base / ways;
+        let fbase = set_idx * fpw;
+        let way = self.fp_find(base, fbase, fpw, want, (write as u64) << 1);
+        if way != usize::MAX {
+            self.perm[set_idx] = perm_promote(self.perm[set_idx], way as u64, ways);
+            self.memo_line = line;
+            self.memo_slot = base + way;
+            self.stats.hits += 1;
+            return Lookup::Hit;
+        }
+        self.stats.misses += 1;
+        let victim = self.fp_victim(set_idx, fbase, ways, fpw);
+        self.perm[set_idx] = perm_promote(self.perm[set_idx], victim as u64, ways);
+        self.fp_set(fbase, victim, want >> TAG_SHIFT);
+        self.replace_slot(base + victim, want, write)
+    }
+
+    /// Write way `way`'s fingerprint byte for `line`.
+    #[inline(always)]
+    fn fp_set(&mut self, fbase: usize, way: usize, line: u64) {
+        let sh = (way & 7) * 8;
+        let w = &mut self.fp[fbase + (way >> 3)];
+        *w = (*w & !(0xFFu64 << sh)) | (fp_byte(line) << sh);
+    }
+
+    /// Probe loop for stamp-LRU sets (ways > 16): one pass decides both
+    /// the hit way and the victim (first way minimizing
+    /// `valid ? stamp : 0`).
+    fn scan_stamp(&mut self, base: usize, line: u64, want: u64, write: bool) -> Lookup {
+        self.clock += 1;
+        let ways = self.ways;
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for w in 0..ways {
+            let m = self.tags[base + w];
+            if m & !DIRTY == want {
+                self.tags[base + w] = m | ((write as u64) << 1);
+                self.stamp[base + w] = self.clock;
+                self.memo_line = line;
+                self.memo_slot = base + w;
+                self.stats.hits += 1;
+                return Lookup::Hit;
+            }
+            let key = if m & VALID != 0 {
+                self.stamp[base + w]
+            } else {
+                0
+            };
+            if key < best {
+                best = key;
+                victim = w;
+            }
+        }
+        self.stats.misses += 1;
+        self.stamp[base + victim] = self.clock;
+        self.replace_slot(base + victim, want, write)
     }
 
     /// Insert `line` without counting a lookup (victim-cache fills from
     /// upstream evictions).
     pub fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
-        self.clock += 1;
-        match self.fill_internal(line, dirty) {
-            Lookup::Miss {
+        let base = self.set_base(line);
+        let want = (line << TAG_SHIFT) | VALID;
+        if self.ways == 1 {
+            if self.tags[base] & !DIRTY == want {
+                self.tags[base] |= (dirty as u64) << 1;
+                self.memo_line = line;
+                self.memo_slot = base;
+                return None;
+            }
+            return match self.replace_slot(base, want, dirty) {
+                Lookup::Miss {
+                    evicted: Some(v),
+                    dirty: d,
+                } => Some((v, d)),
+                _ => None,
+            };
+        }
+        let filled = if self.stamp.is_empty() {
+            match self.ways {
+                8 => self.fill_plain::<8>(base, line, want, dirty),
+                16 => self.fill_perm::<16>(base, line, want, dirty),
+                _ if self.fpw == 0 => self.fill_plain::<0>(base, line, want, dirty),
+                _ => self.fill_perm::<0>(base, line, want, dirty),
+            }
+        } else {
+            self.fill_stamp(base, line, want, dirty)
+        };
+        match filled {
+            Some(Lookup::Miss {
                 evicted: Some(v),
                 dirty: d,
-            } => Some((v, d)),
+            }) => Some((v, d)),
             _ => None,
         }
     }
 
-    /// Remove `line` if present (victim caches invalidate on re-promotion).
-    pub fn invalidate(&mut self, line: u64) -> bool {
-        let (lo, hi) = self.set_range(line);
-        for w in &mut self.lines[lo..hi] {
-            if w.valid && w.tag == line {
-                w.valid = false;
+    /// `fill` body for narrow (fingerprint-free) permutation-LRU sets;
+    /// `None` on in-place refresh.
+    #[inline]
+    fn fill_plain<const W: usize>(
+        &mut self,
+        base: usize,
+        line: u64,
+        want: u64,
+        dirty: bool,
+    ) -> Option<Lookup> {
+        let ways = if W == 0 { self.ways } else { W };
+        let set_idx = base / ways;
+        let set = &mut self.tags[base..base + ways];
+        let mut first_invalid = usize::MAX;
+        for (w, t) in set.iter_mut().enumerate() {
+            let m = *t;
+            if m & !DIRTY == want {
+                *t = m | ((dirty as u64) << 1);
+                self.perm[set_idx] = perm_promote(self.perm[set_idx], w as u64, ways);
+                self.memo_line = line;
+                self.memo_slot = base + w;
+                return None;
+            }
+            if m & VALID == 0 && first_invalid == usize::MAX {
+                first_invalid = w;
+            }
+        }
+        let victim = if first_invalid != usize::MAX {
+            first_invalid
+        } else {
+            (self.perm[set_idx] & 0xF) as usize
+        };
+        self.perm[set_idx] = perm_promote(self.perm[set_idx], victim as u64, ways);
+        Some(self.replace_slot(base + victim, want, dirty))
+    }
+
+    /// `fill` body for fingerprinted permutation-LRU sets; `None` on
+    /// in-place refresh.
+    #[inline]
+    fn fill_perm<const W: usize>(
+        &mut self,
+        base: usize,
+        line: u64,
+        want: u64,
+        dirty: bool,
+    ) -> Option<Lookup> {
+        let ways = if W == 0 { self.ways } else { W };
+        let fpw = if W == 0 { self.fpw } else { W.div_ceil(8) };
+        let set_idx = base / ways;
+        let fbase = set_idx * fpw;
+        let way = self.fp_find(base, fbase, fpw, want, (dirty as u64) << 1);
+        if way != usize::MAX {
+            self.perm[set_idx] = perm_promote(self.perm[set_idx], way as u64, ways);
+            self.memo_line = line;
+            self.memo_slot = base + way;
+            return None;
+        }
+        let victim = self.fp_victim(set_idx, fbase, ways, fpw);
+        self.perm[set_idx] = perm_promote(self.perm[set_idx], victim as u64, ways);
+        self.fp_set(fbase, victim, want >> TAG_SHIFT);
+        Some(self.replace_slot(base + victim, want, dirty))
+    }
+
+    /// `fill` body for stamp-LRU sets (ways > 16); `None` on refresh.
+    fn fill_stamp(&mut self, base: usize, line: u64, want: u64, dirty: bool) -> Option<Lookup> {
+        self.clock += 1;
+        let ways = self.ways;
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for w in 0..ways {
+            let m = self.tags[base + w];
+            if m & !DIRTY == want {
+                self.tags[base + w] = m | ((dirty as u64) << 1);
+                self.stamp[base + w] = self.clock;
+                self.memo_line = line;
+                self.memo_slot = base + w;
+                return None;
+            }
+            let key = if m & VALID != 0 {
+                self.stamp[base + w]
+            } else {
+                0
+            };
+            if key < best {
+                best = key;
+                victim = w;
+            }
+        }
+        self.stamp[base + victim] = self.clock;
+        Some(self.replace_slot(base + victim, want, dirty))
+    }
+
+    /// Hint the CPU to pull `line`'s set metadata into cache. The
+    /// hierarchy walker issues this for the levels *below* the one it is
+    /// probing, overlapping their metadata fetch with the current scan —
+    /// large direct-mapped levels (the MCDRAM cache) have tag arrays far
+    /// bigger than the CPU's own caches, so the walk otherwise stalls on
+    /// a dependent miss per level. No architectural effect; a no-op off
+    /// x86-64.
+    #[inline]
+    pub fn prefetch_set(&self, line: u64) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: both indices are always in bounds of their vectors, and
+        // prefetch has no architectural effect on the pointed-to memory.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let base = self.set_base(line);
+            _mm_prefetch(self.tags.as_ptr().add(base) as *const i8, _MM_HINT_T0);
+            if self.fpw != 0 {
+                // The fingerprint word is what the probe reads first.
+                let fbase = (base / self.ways) * self.fpw;
+                _mm_prefetch(self.fp.as_ptr().add(fbase) as *const i8, _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line;
+    }
+
+    /// Remove `line` if present, reporting whether it was — the
+    /// combination of [`contains`](Self::contains) and
+    /// [`invalidate`](Self::invalidate) in a single set scan, used on the
+    /// victim-cache promotion path where the two always travel together.
+    #[inline]
+    pub fn take(&mut self, line: u64) -> bool {
+        if line == self.memo_line {
+            self.memo_line = NO_LINE;
+        }
+        let base = self.set_base(line);
+        let want = (line << TAG_SHIFT) | VALID;
+        if self.fpw != 0 {
+            let fbase = (base / self.ways) * self.fpw;
+            let b = fp_byte(line);
+            for j in 0..self.fpw {
+                let mut m = swar_eq_bytes(self.fp[fbase + j], b);
+                while m != 0 {
+                    let tz = m.trailing_zeros() as usize;
+                    let way = j * 8 + (tz >> 3);
+                    if self.tags[base + way] & !DIRTY == want {
+                        self.tags[base + way] &= !VALID;
+                        self.fp[fbase + j] &= !(0xFFu64 << (tz & !7));
+                        return true;
+                    }
+                    m &= m - 1;
+                }
+            }
+            return false;
+        }
+        let set = &mut self.tags[base..base + self.ways];
+        for t in set.iter_mut() {
+            if *t & !DIRTY == want {
+                *t &= !VALID;
                 return true;
             }
         }
         false
     }
 
-    /// True if `line` currently resides in the cache (no LRU update).
-    pub fn contains(&self, line: u64) -> bool {
-        let (lo, hi) = self.set_range(line);
-        self.lines[lo..hi].iter().any(|w| w.valid && w.tag == line)
+    /// Remove `line` if present (victim caches invalidate on re-promotion).
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        self.take(line)
     }
 
-    fn fill_internal(&mut self, line: u64, dirty: bool) -> Lookup {
-        let (lo, hi) = self.set_range(line);
-        // If already present (fill path), just refresh.
-        for w in &mut self.lines[lo..hi] {
-            if w.valid && w.tag == line {
-                w.lru = self.clock;
-                w.dirty |= dirty;
-                return Lookup::Hit;
-            }
-        }
-        // Choose invalid way or LRU victim.
-        let clock = self.clock;
-        let victim = self.lines[lo..hi]
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru } else { 0 })
-            .expect("non-empty set");
-        let evicted = if victim.valid {
+    /// True if `line` currently resides in the cache (no LRU update).
+    #[inline]
+    pub fn contains(&self, line: u64) -> bool {
+        let base = self.set_base(line);
+        let want = (line << TAG_SHIFT) | VALID;
+        self.tags[base..base + self.ways]
+            .iter()
+            .any(|&m| m & !DIRTY == want)
+    }
+
+    /// Overwrite `slot` with the new line, accounting for any eviction.
+    /// The caller has already chosen `slot` as the reference victim and
+    /// updated the recency state.
+    #[inline]
+    fn replace_slot(&mut self, slot: usize, want: u64, dirty: bool) -> Lookup {
+        let m = self.tags[slot];
+        self.tags[slot] = want | ((dirty as u64) << 1);
+        self.memo_line = want >> TAG_SHIFT;
+        self.memo_slot = slot;
+        if m & VALID != 0 {
             self.stats.evictions += 1;
-            if victim.dirty {
+            let victim_dirty = m & DIRTY != 0;
+            if victim_dirty {
                 self.stats.writebacks += 1;
             }
-            Some((victim.tag, victim.dirty))
+            Lookup::Miss {
+                evicted: Some(m >> TAG_SHIFT),
+                dirty: victim_dirty,
+            }
         } else {
-            None
-        };
-        victim.tag = line;
-        victim.valid = true;
-        victim.dirty = dirty;
-        victim.lru = clock;
-        match evicted {
-            Some((tag, d)) => Lookup::Miss {
-                evicted: Some(tag),
-                dirty: d,
-            },
-            None => Lookup::Miss {
+            Lookup::Miss {
                 evicted: None,
                 dirty: false,
-            },
+            }
         }
     }
 }
@@ -227,6 +722,21 @@ impl SetAssocCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn perm_promote_moves_way_to_mru() {
+        // 4 ways, identity: LRU order 0,1,2,3 (0 = LRU nibble).
+        let p = PERM_IDENTITY & 0xFFFF;
+        assert_eq!(p, 0x3210);
+        assert_eq!(perm_promote(p, 0, 4), 0x0321); // 0 -> MRU
+        assert_eq!(perm_promote(p, 3, 4), 0x3210); // already MRU
+        assert_eq!(perm_promote(p, 1, 4), 0x1320);
+        // 16 ways: promoting the LRU nibble rotates the whole word.
+        let full = PERM_IDENTITY;
+        let rotated = perm_promote(full, 0, 16);
+        assert_eq!(rotated & 0xF, 1, "next LRU is way 1");
+        assert_eq!(rotated >> 60, 0, "way 0 is MRU");
+    }
 
     #[test]
     fn geometry() {
@@ -309,11 +819,50 @@ mod tests {
     }
 
     #[test]
+    fn invalid_way_is_refilled_before_valid_lines_evict() {
+        // Fill a 4-way set, invalidate way 1's line, then add a new line:
+        // it must land in the hole (no eviction), as the reference keys
+        // invalid ways at 0.
+        let mut c = SetAssocCache::new("c", 4 * 64, 4); // 1 set x 4 ways
+        for l in 0..4u64 {
+            c.access(l, false);
+        }
+        assert!(c.invalidate(1));
+        match c.access(9, false) {
+            Lookup::Miss { evicted, .. } => assert_eq!(evicted, None),
+            _ => panic!("expected miss into the invalidated hole"),
+        }
+        assert_eq!(c.stats().evictions, 0);
+        // All four original survivors plus the newcomer minus the hole.
+        for l in [0u64, 2, 3, 9] {
+            assert!(c.contains(l), "line {l}");
+        }
+    }
+
+    #[test]
     fn fill_does_not_count_lookup() {
         let mut c = SetAssocCache::new("c", 4096, 4);
         c.fill(9, false);
         assert_eq!(c.stats().accesses(), 0);
         assert!(c.contains(9));
+    }
+
+    #[test]
+    fn fill_refreshes_existing_line_without_eviction() {
+        let mut c = SetAssocCache::new("c", 4 * 64, 2);
+        c.access(0, false);
+        assert_eq!(c.fill(0, true), None);
+        assert_eq!(c.stats().evictions, 0);
+        // The refreshed line is now dirty: evicting it writes back.
+        let sets = c.sets() as u64;
+        c.access(sets, false);
+        match c.access(2 * sets, false) {
+            Lookup::Miss { evicted, dirty } => {
+                assert_eq!(evicted, Some(0));
+                assert!(dirty, "fill-refresh must set the dirty bit");
+            }
+            _ => panic!("expected miss"),
+        }
     }
 
     #[test]
@@ -343,5 +892,82 @@ mod tests {
         }
         // Classic LRU pathological case: near-zero hits.
         assert!(c.stats().hit_ratio() < 0.05, "{}", c.stats().hit_ratio());
+    }
+
+    #[test]
+    fn stamp_fallback_matches_lru_semantics_above_16_ways() {
+        // 32-way set (stamp path) behaves as LRU: refresh protects a line.
+        let mut c = SetAssocCache::new("c", 32 * 64, 32); // 1 set x 32 ways
+        for l in 0..32u64 {
+            c.access(l, false);
+        }
+        c.access(0, false); // refresh way 0 -> LRU is now line 1
+        match c.access(100, false) {
+            Lookup::Miss { evicted, .. } => assert_eq!(evicted, Some(1)),
+            _ => panic!("expected miss"),
+        }
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn same_line_fast_path_counts_hits_and_dirty() {
+        let mut c = SetAssocCache::new("c", 4096, 4);
+        c.access(5, false); // miss + fill, memoized
+        for _ in 0..7 {
+            assert_eq!(c.access(5, false), Lookup::Hit);
+        }
+        assert_eq!(c.stats().hits, 7);
+        assert_eq!(c.stats().misses, 1);
+        // A repeat write through the memo must still mark the line dirty.
+        c.access(5, true);
+        let sets = c.sets() as u64;
+        let mut evicted_dirty = false;
+        for k in 1..=4u64 {
+            if let Lookup::Miss {
+                evicted: Some(tag),
+                dirty,
+            } = c.access(5 + k * sets, false)
+            {
+                if tag == 5 {
+                    evicted_dirty = dirty;
+                }
+            }
+        }
+        assert!(evicted_dirty, "dirty bit set via the fast path must stick");
+    }
+
+    #[test]
+    fn memo_survives_interleaved_sets_and_invalidation() {
+        let mut c = SetAssocCache::new("c", 4096, 4);
+        c.access(1, false);
+        c.access(2, false); // different set; memo moves to line 2
+        assert_eq!(c.access(2, false), Lookup::Hit);
+        assert_eq!(c.access(1, false), Lookup::Hit); // still resident
+        c.invalidate(1); // memo points at line 1 now; must be dropped
+        assert!(matches!(c.access(1, false), Lookup::Miss { .. }));
+    }
+
+    #[test]
+    fn direct_mapped_fast_path_matches_semantics() {
+        let mut c = SetAssocCache::direct_mapped("dm", 4 * 64); // 4 sets
+        let sets = c.sets() as u64;
+        c.access(0, true);
+        assert_eq!(c.access(0, false), Lookup::Hit); // memo hit
+        assert_eq!(
+            c.access(1, false),
+            Lookup::Miss {
+                evicted: None,
+                dirty: false
+            }
+        );
+        // Conflict: line `sets` aliases line 0, evicting the dirty line.
+        assert_eq!(
+            c.access(sets, false),
+            Lookup::Miss {
+                evicted: Some(0),
+                dirty: true
+            }
+        );
+        assert_eq!(c.stats().writebacks, 1);
     }
 }

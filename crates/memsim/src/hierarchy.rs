@@ -238,8 +238,17 @@ pub struct HierarchySim {
     /// MCDRAM flat partition: line addresses below this byte boundary are
     /// OPM-resident (preferred allocation packs the low addresses first).
     flat_boundary: Option<u64>,
+    /// Chain levels whose simulator metadata exceeds the CPU's own caches
+    /// (the direct-mapped MCDRAM): prefetched at the top of every touch so
+    /// their tag fetch overlaps the upper-level scans.
+    prefetch_levels: Vec<usize>,
     result: SimResult,
 }
+
+/// Simulator-metadata size above which a level's set is prefetched ahead
+/// of the walk (tag arrays below this fit comfortably in the CPU's own
+/// L2, where an extra prefetch is pure overhead).
+const PREFETCH_METADATA_BYTES: usize = 256 * 1024;
 
 impl HierarchySim {
     /// Build from explicit parts.
@@ -250,10 +259,18 @@ impl HierarchySim {
     ) -> Self {
         assert!(!chain.is_empty() || victim.is_some(), "empty hierarchy");
         let levels = chain.len();
+        let prefetch_levels = chain
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, c)| c.metadata_bytes() > PREFETCH_METADATA_BYTES)
+            .map(|(i, _)| i)
+            .collect();
         HierarchySim {
             chain,
             victim,
             flat_boundary,
+            prefetch_levels,
             result: SimResult {
                 level_hits: vec![0; levels],
                 ..Default::default()
@@ -298,8 +315,17 @@ impl HierarchySim {
     pub fn run(&mut self, trace: &Trace) -> &SimResult {
         for acc in &trace.accesses {
             let write = acc.kind == crate::trace::AccessKind::Write;
-            for line in acc.lines() {
+            // Expand lines inline (most accesses touch exactly one line;
+            // the explicit bounds keep the per-access cost at two shifts).
+            let first = acc.addr / LINE_BYTES;
+            let last = (acc.addr + acc.len.max(1) as u64 - 1) / LINE_BYTES;
+            let mut line = first;
+            loop {
                 self.touch(line, write);
+                if line == last {
+                    break;
+                }
+                line += 1;
             }
         }
         self.sync_levels();
@@ -309,6 +335,13 @@ impl HierarchySim {
     /// Simulate one line touch.
     pub fn touch(&mut self, line: u64, write: bool) -> ServedBy {
         self.result.accesses += 1;
+        // Overlap the lower levels' metadata fetch with the upper levels'
+        // scans: their set locations depend only on `line`, and the big
+        // direct-mapped MCDRAM tag array in particular costs a dependent
+        // CPU-cache miss if fetched on demand.
+        for &i in &self.prefetch_levels {
+            self.chain[i].prefetch_set(line);
+        }
         for i in 0..self.chain.len() {
             match self.chain[i].access(line, write) {
                 Lookup::Hit => {
@@ -338,11 +371,10 @@ impl HierarchySim {
                 }
             }
         }
-        // Past the cache chain: check the victim cache.
+        // Past the cache chain: check the victim cache. `take` removes the
+        // line on a hit (victim semantics: it moves back to the L3 side).
         if let Some(v) = self.victim.as_mut() {
-            if v.contains(line) {
-                // Promote back up (victim semantics: line moves to L3-side).
-                v.invalidate(line);
+            if v.take(line) {
                 self.result.victim_hits += 1;
                 return ServedBy::Victim;
             }

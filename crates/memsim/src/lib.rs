@@ -24,7 +24,7 @@ pub mod trace;
 pub use cache::{CacheStats, Lookup, SetAssocCache};
 pub use hierarchy::{HierarchySim, LevelCounters, ServedBy, SimResult};
 pub use prefetch::{simulate_with_prefetcher, PrefetchStats, StreamPrefetcher};
-pub use reuse::{reuse_histogram, ReuseHistogram};
-pub use synth::{trace_from_phase, trace_from_tiers};
+pub use reuse::{reuse_histogram, reuse_histogram_reference, ReuseHistogram};
+pub use synth::{trace_from_phase, trace_from_tiers, trace_from_tiers_into};
 pub use timing::{LevelPrice, SimTiming};
 pub use trace::{Access, AccessKind, Trace, LINE_BYTES};

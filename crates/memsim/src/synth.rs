@@ -23,6 +23,15 @@ fn splitmix(state: &mut u64) -> u64 {
 /// `(working_set_bytes, fraction)` entries plus a streaming remainder.
 /// Tier regions are disjoint; the streaming region starts above them.
 pub fn trace_from_tiers(tiers: &[(f64, f64)], accesses: usize, seed: u64) -> Trace {
+    let mut t = Trace::new();
+    trace_from_tiers_into(tiers, accesses, seed, &mut t);
+    t
+}
+
+/// Arena variant of [`trace_from_tiers`]: synthesize into `out`, which is
+/// cleared first but keeps its allocation. Sweeps generating one trace per
+/// point should reuse a single buffer instead of allocating per point.
+pub fn trace_from_tiers_into(tiers: &[(f64, f64)], accesses: usize, seed: u64, out: &mut Trace) {
     let total_frac: f64 = tiers.iter().map(|t| t.1).sum();
     assert!(
         total_frac <= 1.0 + 1e-9,
@@ -48,7 +57,9 @@ pub fn trace_from_tiers(tiers: &[(f64, f64)], accesses: usize, seed: u64) -> Tra
     let mut cursors = vec![0u64; tiers.len()];
     let mut stream_cursor = 0u64;
     let mut state = seed ^ 0xd1b5_4a32_d192_ed03;
-    let mut t = Trace::new();
+    out.clear();
+    out.accesses.reserve(accesses);
+    let t = out;
     for _ in 0..accesses {
         let u = (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
         match cum.iter().position(|&c| u < c) {
@@ -66,7 +77,6 @@ pub fn trace_from_tiers(tiers: &[(f64, f64)], accesses: usize, seed: u64) -> Tra
             }
         }
     }
-    t
 }
 
 /// Synthesize a trace for a profile phase (line-granularity; byte volumes
@@ -176,5 +186,15 @@ mod tests {
     #[should_panic(expected = "sum to <= 1")]
     fn overfull_fractions_panic() {
         trace_from_tiers(&[(1024.0, 0.7), (2048.0, 0.6)], 100, 1);
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer_and_matches() {
+        let fresh = trace_from_tiers(&[(4096.0, 0.7)], 1000, 9);
+        let mut arena = trace_from_tiers(&[(65536.0, 0.2)], 2000, 4);
+        let cap_before = arena.accesses.capacity();
+        trace_from_tiers_into(&[(4096.0, 0.7)], 1000, 9, &mut arena);
+        assert_eq!(arena, fresh, "arena reuse must not change the trace");
+        assert!(arena.accesses.capacity() >= cap_before.min(2000));
     }
 }

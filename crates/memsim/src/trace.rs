@@ -67,6 +67,13 @@ impl Trace {
         Self::default()
     }
 
+    /// Drop all recorded accesses but keep the allocation, so a trace can
+    /// serve as a reusable arena across sweep points (see
+    /// [`trace_from_tiers_into`](crate::synth::trace_from_tiers_into)).
+    pub fn clear(&mut self) {
+        self.accesses.clear();
+    }
+
     /// Record a read.
     pub fn read(&mut self, addr: u64, len: u32) {
         self.accesses.push(Access::read(addr, len));

@@ -1,0 +1,117 @@
+//! Schema and sanity tests for the engine speed benchmark
+//! (`opm bench` / `bench_engine`), which writes the tracked
+//! `BENCH_engine.json` baseline. CI runs the same smoke mode; these
+//! tests pin the report shape so a schema drift fails here before it
+//! breaks the tracked baseline or the CI artifact validation.
+
+use opm_bench::bench_engine::{run_bench, BenchOptions, DEFAULT_OUT, SCHEMA, SMOKE_FIGURES};
+
+/// Smoke report without touching the filesystem. The harness drives the
+/// engine through env-configured figures, so hold the same lock the
+/// figure tests use (one process-wide engine).
+fn smoke_report() -> opm_bench::bench_engine::BenchReport {
+    run_bench(&BenchOptions {
+        smoke: true,
+        campaign: false,
+        out: None,
+    })
+}
+
+#[test]
+fn smoke_report_has_sane_throughputs_and_json_schema() {
+    let report = smoke_report();
+
+    // Every microbenchmark section is populated in smoke mode.
+    assert_eq!(report.mode, "smoke");
+    assert!(!report.hierarchy.is_empty(), "hierarchy cases");
+    assert!(!report.reuse.is_empty(), "reuse cases");
+    assert!(!report.stages.is_empty(), "sweep stages");
+    assert!(report.campaign.is_empty(), "campaign skipped when disabled");
+
+    // No zero/inf/NaN throughput anywhere: a zero rate means the timer
+    // returned nothing (broken measurement), not a slow machine.
+    for m in report
+        .hierarchy
+        .iter()
+        .chain(&report.reuse)
+        .chain(&report.stages)
+    {
+        assert!(m.items > 0, "{}: items", m.name);
+        assert!(
+            m.wall_secs.is_finite() && m.wall_secs > 0.0,
+            "{}: wall_secs {}",
+            m.name,
+            m.wall_secs
+        );
+        let rate = m.rate();
+        assert!(rate.is_finite() && rate > 0.0, "{}: rate {rate}", m.name);
+    }
+    for agg in [
+        report.simulated_accesses_per_sec(),
+        report.reuse_lines_per_sec(),
+        report.sweep_points_per_sec(),
+    ] {
+        assert!(agg.is_finite() && agg > 0.0, "aggregate rate {agg}");
+    }
+
+    // The JSON payload carries the stable schema tag, the headline keys
+    // CI's jq validation reads, and the per-group units.
+    let json = report.to_json();
+    let schema_key = format!("\"schema\": \"{SCHEMA}\"");
+    for key in [
+        schema_key.as_str(),
+        "\"mode\": \"smoke\"",
+        "\"threads\":",
+        "\"simulated_accesses_per_sec\":",
+        "\"reuse_lines_per_sec\":",
+        "\"sweep_points_per_sec\":",
+        "\"campaign_wall_secs\":",
+        "\"hierarchy_sim\":",
+        "\"reuse_histogram\":",
+        "\"sweep_stages\":",
+        "\"campaign\":",
+        "\"unit\": \"accesses_per_sec\"",
+        "\"unit\": \"lines_per_sec\"",
+        "\"unit\": \"points_per_sec\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    assert!(
+        !json.contains("NaN") && !json.contains("inf"),
+        "non-finite value leaked into the JSON:\n{json}"
+    );
+
+    // Workload naming convention: every hierarchy case is
+    // `<config>/<trace>` so baselines diff cleanly case by case.
+    for m in &report.hierarchy {
+        assert!(
+            m.name.contains('/'),
+            "hierarchy case {:?} is not config/trace",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn skipped_campaign_reports_zero_not_negative_zero_wall() {
+    // An empty f64 iterator sums to -0.0; the report must normalize it
+    // so a campaign-skipped run never serializes "-0".
+    let report = smoke_report();
+    assert_eq!(report.campaign_wall_secs().to_bits(), 0.0f64.to_bits());
+    assert!(report.to_json().contains("\"campaign_wall_secs\": 0"));
+}
+
+#[test]
+fn default_options_match_documented_contract() {
+    // README/EXPERIMENTS document `opm bench` writing BENCH_engine.json
+    // at the repo root in full mode; keep the defaults honest.
+    let d = BenchOptions::default();
+    assert!(!d.smoke);
+    assert!(d.campaign);
+    assert_eq!(d.out.as_deref(), Some(std::path::Path::new(DEFAULT_OUT)));
+    assert_eq!(DEFAULT_OUT, "BENCH_engine.json");
+    assert!(
+        !SMOKE_FIGURES.is_empty(),
+        "smoke campaign must keep at least one golden-tested figure"
+    );
+}

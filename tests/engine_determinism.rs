@@ -329,3 +329,45 @@ fn profiles_are_shared_across_configs_of_one_machine() {
     assert_eq!(warm.misses, cold.misses, "no new profile computations");
     assert_eq!(warm.hits as usize, sizes.len() * tiles.len());
 }
+
+/// Rebuild the reduced Fig. 12 CSV (Stream on Broadwell, both eDRAM
+/// modes) exactly the way `opm_bench::figures::curve_figure` does, but on
+/// an explicit engine so the thread count can vary within one process.
+fn fig12_reduced_csv(threads: usize) -> String {
+    // The reduced harness grid: `harness_stream_footprints` thins the
+    // 64-sample paper sweep to `(64 / 3).max(12)` = 21 points.
+    let footprints = paper_stream_footprints(Machine::Broadwell, 64 / 3);
+    let eng = engine(threads, true);
+    let configs = OpmConfig::broadwell_modes();
+    let curves: Vec<Vec<CurvePoint>> = configs
+        .iter()
+        .map(|&c| stream_curve_on(&eng, c, &footprints))
+        .collect();
+    let mut columns = vec!["footprint_mb".to_string()];
+    columns.extend(configs.iter().map(|c| format!("gflops_{}", c.label())));
+    let mut s = Series::new(columns);
+    for i in 0..curves[0].len() {
+        let mut row = vec![curves[0][i].footprint / opm_core::units::MIB];
+        row.extend(curves.iter().map(|cv| cv[i].gflops));
+        s.push(row);
+    }
+    s.to_csv()
+}
+
+#[test]
+fn reduced_figure_is_byte_identical_to_golden_at_every_thread_count() {
+    // The acceptance gate for the memsim hot-path optimization work: a
+    // reduced figure, serial and parallel, must reproduce the golden CSV
+    // byte for byte. Any diff here means simulator behaviour changed.
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/fig12_stream_broadwell.csv");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+    for threads in [1usize, 4, 8] {
+        assert_eq!(
+            fig12_reduced_csv(threads),
+            golden,
+            "threads={threads}: reduced fig12 CSV diverged from tests/golden/"
+        );
+    }
+}

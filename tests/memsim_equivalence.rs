@@ -1,0 +1,492 @@
+//! Differential tests proving the bit-packed memsim hot path is
+//! observation-equivalent to the straightforward implementations it
+//! replaced (see the optimization notes in `crates/memsim/src/cache.rs`).
+//!
+//! Two references are kept here, deliberately boring:
+//!
+//! * [`RefCache`] — the original struct-per-way LRU cache with per-way
+//!   stamps and a `min_by_key` victim scan. The production
+//!   `SetAssocCache` packs tags into flat words, replaces stamps with a
+//!   4-bit recency permutation, filters wide sets through SWAR
+//!   fingerprints, and memoizes same-line repeats; every one of those
+//!   tricks must be invisible in the observable behaviour (lookup
+//!   results, victim identities, counters).
+//! * [`opm_repro::memsim::reuse_histogram_reference`] — the naive
+//!   O(N·D) LRU-stack reuse-distance computation, against which the
+//!   Fenwick-tree fast path must be bin-for-bin identical.
+//!
+//! The hierarchy test replays every touch through both cache
+//! implementations under all six platform configurations and demands the
+//! same `ServedBy` at every step plus identical per-level counters.
+
+use opm_repro::core::platform::{EdramMode, McdramMode, OpmConfig, PlatformSpec};
+use opm_repro::memsim::{
+    reuse_histogram, reuse_histogram_reference, CacheStats, HierarchySim, Lookup, ServedBy,
+    SetAssocCache, Trace, LINE_BYTES,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Reference cache: one struct per way, LRU stamps, min_by_key victim.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// The retained reference implementation of a set-associative LRU cache.
+/// Replacement victim: the first way minimizing `valid ? lru : 0` —
+/// invalid ways (key 0) beat any valid stamp (stamps start at 1), ties
+/// break on the lowest way index via `min_by_key`'s first-wins rule.
+#[derive(Debug, Clone)]
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    data: Vec<Way>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl RefCache {
+    /// Identical geometry rule to `SetAssocCache::new`.
+    fn new(capacity_bytes: u64, ways: usize) -> Self {
+        assert!(ways >= 1);
+        let lines = capacity_bytes / LINE_BYTES;
+        assert!(lines >= ways as u64);
+        let sets = (lines / ways as u64).next_power_of_two() >> 1;
+        let sets = if sets == 0 {
+            1
+        } else if sets * 2 * ways as u64 <= lines {
+            (sets * 2) as usize
+        } else {
+            sets as usize
+        };
+        RefCache {
+            sets,
+            ways,
+            data: vec![Way::default(); sets * ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_of(&mut self, line: u64) -> &mut [Way] {
+        let s = (line % self.sets as u64) as usize;
+        &mut self.data[s * self.ways..(s + 1) * self.ways]
+    }
+
+    fn access(&mut self, line: u64, write: bool) -> Lookup {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
+            w.dirty |= write;
+            w.lru = clock;
+            self.stats.hits += 1;
+            return Lookup::Hit;
+        }
+        let (v, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.lru } else { 0 })
+            .expect("at least one way");
+        let victim = set[v];
+        set[v] = Way {
+            tag: line,
+            valid: true,
+            dirty: write,
+            lru: clock,
+        };
+        self.stats.misses += 1;
+        if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            Lookup::Miss {
+                evicted: Some(victim.tag),
+                dirty: victim.dirty,
+            }
+        } else {
+            Lookup::Miss {
+                evicted: None,
+                dirty: false,
+            }
+        }
+    }
+
+    fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
+            w.dirty |= dirty;
+            w.lru = clock;
+            return None;
+        }
+        let (v, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.lru } else { 0 })
+            .expect("at least one way");
+        let victim = set[v];
+        set[v] = Way {
+            tag: line,
+            valid: true,
+            dirty,
+            lru: clock,
+        };
+        if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some((victim.tag, victim.dirty))
+        } else {
+            None
+        }
+    }
+
+    fn take(&mut self, line: u64) -> bool {
+        if let Some(w) = self
+            .set_of(line)
+            .iter_mut()
+            .find(|w| w.valid && w.tag == line)
+        {
+            w.valid = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn contains(&mut self, line: u64) -> bool {
+        self.set_of(line).iter().any(|w| w.valid && w.tag == line)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-level differential: every operation, every associativity class.
+// ---------------------------------------------------------------------------
+
+/// Associativities covering every production code path: direct-mapped,
+/// narrow plain scans (2/4/8), the dynamic fingerprint path (13), the
+/// specialized 16-way fingerprint path, and the stamp fallback (32).
+const WAYS_UNDER_TEST: [usize; 7] = [1, 2, 4, 8, 13, 16, 32];
+
+/// One cache operation drawn by proptest: selector, line, flag.
+type Op = (u32, u64, bool);
+
+fn apply(fast: &mut SetAssocCache, refc: &mut RefCache, ops: &[Op]) {
+    for (i, &(sel, line, flag)) in ops.iter().enumerate() {
+        match sel % 5 {
+            0 | 1 => {
+                // Access is twice as likely as the maintenance ops, and
+                // repeated lines exercise the same-line memo.
+                let a = fast.access(line, flag);
+                let b = refc.access(line, flag);
+                assert_eq!(a, b, "op {i}: access({line}, {flag})");
+            }
+            2 => {
+                let a = fast.fill(line, flag);
+                let b = refc.fill(line, flag);
+                assert_eq!(a, b, "op {i}: fill({line}, {flag})");
+            }
+            3 => {
+                assert_eq!(fast.take(line), refc.take(line), "op {i}: take({line})");
+            }
+            _ => {
+                assert_eq!(
+                    fast.contains(line),
+                    refc.contains(line),
+                    "op {i}: contains({line})"
+                );
+                assert_eq!(
+                    fast.invalidate(line),
+                    refc.take(line),
+                    "op {i}: invalidate({line})"
+                );
+            }
+        }
+    }
+    assert_eq!(fast.stats(), refc.stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_matches_reference_on_random_op_streams(
+        ways_idx in 0usize..WAYS_UNDER_TEST.len(),
+        sets_pow in 0u32..4,
+        ops in proptest::collection::vec((0u32..5, 0u64..96, (0u32..2).prop_map(|b| b == 1)), 64..512),
+    ) {
+        let ways = WAYS_UNDER_TEST[ways_idx];
+        // Small caches + a 96-line universe force constant conflicts.
+        let capacity = (ways as u64) * (1 << sets_pow) * LINE_BYTES;
+        let mut fast = SetAssocCache::new("dut", capacity, ways);
+        let mut refc = RefCache::new(capacity, ways);
+        prop_assert_eq!(fast.sets(), refc.sets, "geometry must match");
+        apply(&mut fast, &mut refc, &ops);
+    }
+
+    #[test]
+    fn cache_matches_reference_on_line_sweeps(
+        ways_idx in 0usize..WAYS_UNDER_TEST.len(),
+        span in 8u64..200,
+        passes in 1usize..4,
+    ) {
+        // Cyclic sweeps are LRU's pathological case: every access on an
+        // overflowing set evicts, so victim selection is exercised on
+        // every step (the random stream above leaves sets half-warm).
+        let ways = WAYS_UNDER_TEST[ways_idx];
+        let capacity = (ways as u64) * 2 * LINE_BYTES;
+        let mut fast = SetAssocCache::new("dut", capacity, ways);
+        let mut refc = RefCache::new(capacity, ways);
+        for _ in 0..passes {
+            for line in 0..span {
+                prop_assert_eq!(
+                    fast.access(line, line % 3 == 0),
+                    refc.access(line, line % 3 == 0),
+                    "sweep line {}", line
+                );
+            }
+        }
+        prop_assert_eq!(fast.stats(), refc.stats);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy-level differential: all six configurations, per-touch.
+// ---------------------------------------------------------------------------
+
+/// Reference hierarchy: the `HierarchySim::touch` control flow verbatim,
+/// driving [`RefCache`]s. Geometry replicates `HierarchySim::for_config`.
+struct RefHierarchy {
+    chain: Vec<RefCache>,
+    victim: Option<RefCache>,
+    flat_boundary: Option<u64>,
+    level_hits: Vec<u64>,
+    victim_hits: u64,
+    opm_flat: u64,
+    dram: u64,
+    dram_writebacks: u64,
+    accesses: u64,
+}
+
+impl RefHierarchy {
+    fn for_config(config: OpmConfig, scale: u64) -> Self {
+        let p = PlatformSpec::for_machine(config.machine());
+        let mut chain = Vec::new();
+        for (i, c) in p.caches.iter().enumerate() {
+            let ways = if i == 0 { 8 } else { 16 };
+            let cap = ((c.capacity as u64) / scale).max(64 * ways as u64);
+            chain.push(RefCache::new(cap, ways));
+        }
+        let opm_cap = ((p.opm.capacity as u64) / scale).max(64 * 16);
+        let (victim, flat_boundary) = match config {
+            OpmConfig::Broadwell(EdramMode::On) => (Some(RefCache::new(opm_cap, 16)), None),
+            OpmConfig::Broadwell(EdramMode::Off) | OpmConfig::Knl(McdramMode::Off) => (None, None),
+            OpmConfig::Knl(McdramMode::Cache) => {
+                chain.push(RefCache::new(opm_cap, 1));
+                (None, None)
+            }
+            OpmConfig::Knl(McdramMode::Flat) => (None, Some(opm_cap)),
+            OpmConfig::Knl(McdramMode::Hybrid) => {
+                chain.push(RefCache::new(opm_cap / 2, 1));
+                (None, Some(opm_cap / 2))
+            }
+        };
+        let levels = chain.len();
+        RefHierarchy {
+            chain,
+            victim,
+            flat_boundary,
+            level_hits: vec![0; levels],
+            victim_hits: 0,
+            opm_flat: 0,
+            dram: 0,
+            dram_writebacks: 0,
+            accesses: 0,
+        }
+    }
+
+    fn touch(&mut self, line: u64, write: bool) -> ServedBy {
+        self.accesses += 1;
+        for i in 0..self.chain.len() {
+            match self.chain[i].access(line, write) {
+                Lookup::Hit => {
+                    self.level_hits[i] += 1;
+                    return ServedBy::Cache(i);
+                }
+                Lookup::Miss { evicted, dirty } => {
+                    if i == self.chain.len() - 1 {
+                        match (self.victim.as_mut(), evicted) {
+                            (Some(v), Some(tag)) => {
+                                if let Some((_, victim_dirty)) = v.fill(tag, dirty) {
+                                    if victim_dirty {
+                                        self.dram_writebacks += 1;
+                                    }
+                                }
+                            }
+                            (None, Some(_)) if dirty => self.dram_writebacks += 1,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(v) = self.victim.as_mut() {
+            if v.take(line) {
+                self.victim_hits += 1;
+                return ServedBy::Victim;
+            }
+        }
+        match self.flat_boundary {
+            Some(b) if line * LINE_BYTES < b => {
+                self.opm_flat += 1;
+                ServedBy::OpmFlat
+            }
+            _ => {
+                self.dram += 1;
+                ServedBy::Dram
+            }
+        }
+    }
+}
+
+const ALL_CONFIGS: [OpmConfig; 6] = [
+    OpmConfig::Broadwell(EdramMode::Off),
+    OpmConfig::Broadwell(EdramMode::On),
+    OpmConfig::Knl(McdramMode::Off),
+    OpmConfig::Knl(McdramMode::Cache),
+    OpmConfig::Knl(McdramMode::Flat),
+    OpmConfig::Knl(McdramMode::Hybrid),
+];
+
+/// Drive both hierarchies through `trace` and demand the same serving
+/// level at every touch, then identical per-level counters.
+fn assert_hierarchy_equivalent(config: OpmConfig, scale: u64, trace: &Trace) {
+    let mut sim = HierarchySim::for_config(config, scale);
+    let mut reference = RefHierarchy::for_config(config, scale);
+    let mut step = 0u64;
+    for acc in &trace.accesses {
+        let write = !matches!(acc.kind, opm_repro::memsim::AccessKind::Read);
+        for line in acc.lines() {
+            let got = sim.touch(line, write);
+            let want = reference.touch(line, write);
+            assert_eq!(got, want, "{config:?}: touch #{step} of line {line}");
+            step += 1;
+        }
+    }
+    sim.sync_levels();
+    let r = sim.result();
+    assert_eq!(r.accesses, reference.accesses, "{config:?}");
+    assert_eq!(r.level_hits, reference.level_hits, "{config:?}");
+    assert_eq!(r.victim_hits, reference.victim_hits, "{config:?}");
+    assert_eq!(r.opm_flat, reference.opm_flat, "{config:?}");
+    assert_eq!(r.dram, reference.dram, "{config:?}");
+    assert_eq!(r.dram_writebacks, reference.dram_writebacks, "{config:?}");
+    for (l, c) in r.levels.iter().zip(&reference.chain) {
+        assert_eq!(
+            (l.hits, l.misses, l.evictions, l.writebacks),
+            (
+                c.stats.hits,
+                c.stats.misses,
+                c.stats.evictions,
+                c.stats.writebacks
+            ),
+            "{config:?}: level {} counters",
+            l.name
+        );
+    }
+    r.reconcile().unwrap_or_else(|e| panic!("{config:?}: {e}"));
+}
+
+#[test]
+fn hierarchy_matches_reference_on_structured_traces() {
+    // Floor-scale hierarchies (single-set levels) plus milli-machines,
+    // against the access patterns the bench suite uses.
+    for scale in [1 << 20, 4096] {
+        for config in ALL_CONFIGS {
+            assert_hierarchy_equivalent(config, scale, &Trace::random(0, 4 << 20, 20_000, 2017));
+            assert_hierarchy_equivalent(config, scale, &Trace::sequential(0, 96 * 1024, 3));
+            assert_hierarchy_equivalent(config, scale, &Trace::strided(0, 1 << 20, 4096));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn hierarchy_matches_reference_on_random_traces(
+        cfg_idx in 0usize..ALL_CONFIGS.len(),
+        seed in 0u64..1 << 20,
+        footprint_kib in 64u64..8192,
+    ) {
+        let trace = Trace::random(0, footprint_kib * 1024, 15_000, seed);
+        assert_hierarchy_equivalent(ALL_CONFIGS[cfg_idx], 1 << 14, &trace);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reuse-distance differential: Fenwick fast path vs LRU-stack reference.
+// ---------------------------------------------------------------------------
+
+fn assert_reuse_equivalent(trace: &Trace) {
+    let fast = reuse_histogram(trace);
+    let slow = reuse_histogram_reference(trace);
+    assert_eq!(fast.finite, slow.finite, "finite bins must be identical");
+    assert_eq!(fast.cold, slow.cold, "cold misses");
+    assert_eq!(fast.total, slow.total, "total lines");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reuse_histogram_matches_naive_reference(
+        accs in proptest::collection::vec(
+            (0u64..1 << 18, 1u32..300, (0u32..2).prop_map(|b| b == 1)),
+            1..2048,
+        ),
+    ) {
+        // Multi-byte accesses expand to several lines, including repeats
+        // of the same line back-to-back (the run-collapsing fast path).
+        let mut t = Trace::new();
+        for (addr, len, write) in accs {
+            if write {
+                t.write(addr, len);
+            } else {
+                t.read(addr, len);
+            }
+        }
+        assert_reuse_equivalent(&t);
+    }
+
+    #[test]
+    fn reuse_histogram_matches_reference_on_dense_universes(
+        lines in proptest::collection::vec(0u64..48, 1..1024),
+    ) {
+        // A tiny line universe maximizes finite reuse distances, which is
+        // where the Fenwick prefix arithmetic can go wrong.
+        let mut t = Trace::new();
+        for l in lines {
+            t.read(l * LINE_BYTES, 8);
+        }
+        assert_reuse_equivalent(&t);
+    }
+}
+
+#[test]
+fn reuse_histogram_matches_reference_on_structured_traces() {
+    assert_reuse_equivalent(&Trace::sequential(0, 256 * 1024, 2));
+    assert_reuse_equivalent(&Trace::strided(64, 1 << 20, 4096));
+    assert_reuse_equivalent(&Trace::random(0, 1 << 20, 4000, 99));
+    assert_reuse_equivalent(&Trace::new());
+}
