@@ -147,6 +147,9 @@ pub fn run(raw: &[String]) -> Result<String, String> {
         "corpus" => cmd_corpus(&args),
         "top" => cmd_top(&args),
         "bench" => cmd_bench(&args),
+        "campaign" => cmd_campaign(&args),
+        "shard-worker" => crate::shard::run_worker(&args),
+        "merge-shards" => cmd_merge_shards(&args),
         "help" | "--help" => Ok(HELP.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n{HELP}")),
     }
@@ -168,16 +171,91 @@ USAGE:
       results/quarantine_manifest.csv (with the parse reason) instead of
       aborting the sweep. OPM_FAULT_SPEC=io@matrix:<stem> injects load
       faults for testing.
-  opm top [--dir <path>] [--run <id>] [--follow] [--interval-ms <n>]
+  opm top [--dir <path>] [--run <id>] [--campaign <dir>] [--follow]
+          [--interval-ms <n>]
       inspect a figure campaign from its telemetry trace (newest .jsonl
       under results/telemetry by default; run `all_figures
       --telemetry full` to produce one). --follow re-renders every
       --interval-ms (default 500) until the run_end marker appears.
+      --campaign <dir> instead renders the shard liveness table of a
+      supervised `opm campaign` (state, attempt, restarts, heartbeat
+      age per shard) from <dir>/shards/supervisor.status.
   opm bench [--smoke] [--no-campaign] [--out <path>]
       run the memsim/engine hot-path speed program and write
       BENCH_engine.json (schema opm-bench-engine/v1; see the
       \"Performance tracking\" section of README.md).
+  opm campaign --shards <n> [--only <figs>] [--resume] [--out <dir>]
+              [--reduced] [--threads <n>] [--fault-spec <spec>]
+              [--watchdog-ms <n>] [--heartbeat-ms <n>]
+              [--max-restarts <n>] [--backoff-ms <n>] [--no-merge]
+              [--worker-exe <path>]
+      run the figure campaign split across <n> supervised worker
+      processes. Crashed or hung workers (stale heartbeat beyond the
+      watchdog) are restarted from their checkpoints with exponential
+      backoff; after --max-restarts failures a shard is quarantined and
+      the campaign exits nonzero. Shard outputs are merged into --out
+      (default results/) unless --no-merge.
+  opm shard-worker --shard <i>/<n> [--only <figs>] [--resume]
+      run one shard slice in-process (the supervisor's child command;
+      --shard 0/1 reproduces the whole single-process campaign).
+  opm merge-shards [--dir <path>]
+      reconcile <dir>/shards/shard-*/ outputs into <dir>: figure CSVs
+      unioned, run_manifest.csv reordered with TOTAL recomputed,
+      run_errors.csv merged with supervisor shard rows, metrics.prom
+      counters summed.
 ";
+
+/// `opm campaign`: supervised multi-process shard execution (see
+/// [`crate::supervisor`]).
+fn cmd_campaign(args: &Args) -> Result<String, String> {
+    let figures = args
+        .options
+        .get("only")
+        .map(|list| list.split(',').map(str::to_string).collect::<Vec<String>>());
+    // Campaign-wide engine settings propagate to workers through the
+    // environment (children inherit it).
+    if args.get_flag("reduced") {
+        std::env::set_var("OPM_REDUCED", "1");
+    }
+    if let Some(threads) = args.options.get("threads") {
+        std::env::set_var("OPM_THREADS", threads);
+    }
+    if let Some(spec) = args.options.get("fault-spec") {
+        std::env::set_var("OPM_FAULT_SPEC", spec);
+    }
+    let defaults = crate::supervisor::CampaignOptions::default();
+    let opts = crate::supervisor::CampaignOptions {
+        shards: args.get_usize("shards", 2),
+        figures,
+        resume: args.get_flag("resume"),
+        dir: args
+            .options
+            .get("out")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(crate::out_dir),
+        watchdog: std::time::Duration::from_millis(
+            args.get_usize("watchdog-ms", defaults.watchdog.as_millis() as usize) as u64,
+        ),
+        heartbeat_ms: args.get_usize("heartbeat-ms", defaults.heartbeat_ms as usize) as u64,
+        max_restarts: args.get_usize("max-restarts", defaults.max_restarts),
+        backoff_base: std::time::Duration::from_millis(
+            args.get_usize("backoff-ms", defaults.backoff_base.as_millis() as usize) as u64,
+        ),
+        merge: !args.get_flag("no-merge"),
+        worker_exe: args.options.get("worker-exe").map(std::path::PathBuf::from),
+    };
+    crate::supervisor::run_campaign(&opts)
+}
+
+/// `opm merge-shards`: reconcile shard outputs (see [`crate::merge`]).
+fn cmd_merge_shards(args: &Args) -> Result<String, String> {
+    let dir = args
+        .options
+        .get("dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(crate::out_dir);
+    crate::merge::merge_shards(&dir)
+}
 
 fn cmd_model(args: &Args) -> Result<String, String> {
     let kernel = parse_kernel(
@@ -335,8 +413,24 @@ fn cmd_bench(args: &Args) -> Result<String, String> {
 }
 
 /// `opm top`: render the run dashboard from a telemetry JSONL trace
-/// (see [`crate::top`]). `--follow` polls until the run finishes.
+/// (see [`crate::top`]), or — with `--campaign <dir>` — the shard
+/// liveness table of a supervised campaign. `--follow` polls until the
+/// run finishes.
 fn cmd_top(args: &Args) -> Result<String, String> {
+    let follow = args.get_flag("follow");
+    let interval = args.get_usize("interval-ms", 500).max(50) as u64;
+    if let Some(campaign) = args.options.get("campaign") {
+        let campaign = std::path::PathBuf::from(campaign);
+        loop {
+            let view = crate::top::campaign_view(&campaign)?;
+            if !follow || view.finished() {
+                return Ok(crate::top::render_campaign(&view));
+            }
+            print!("\x1b[2J\x1b[H{}", crate::top::render_campaign(&view));
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            std::thread::sleep(std::time::Duration::from_millis(interval));
+        }
+    }
     let dir = args
         .options
         .get("dir")
@@ -347,8 +441,6 @@ fn cmd_top(args: &Args) -> Result<String, String> {
         None => crate::top::latest_trace(&dir)
             .ok_or_else(|| format!("no .jsonl traces under {}", dir.display()))?,
     };
-    let follow = args.get_flag("follow");
-    let interval = args.get_usize("interval-ms", 500).max(50) as u64;
     loop {
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;

@@ -335,7 +335,10 @@ pub mod corpus;
 pub mod extensions;
 pub mod figures;
 pub mod manifest;
+pub mod merge;
 pub mod plot;
+pub mod shard;
+pub mod supervisor;
 pub mod telemetry;
 pub mod top;
 

@@ -398,7 +398,13 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
         let status = match outcome {
             Ok(()) => {
                 if let Some(j) = &journal {
-                    j.mark_done();
+                    // A done marker that failed to land is not durable:
+                    // the figure completed (its CSVs are written), but a
+                    // later --resume will re-run it rather than trust a
+                    // half-written journal.
+                    if let Err(e) = j.mark_done() {
+                        eprintln!("checkpoint for {}: done marker failed: {e}", spec.name);
+                    }
                 }
                 FigureStatus::Completed
             }

@@ -288,6 +288,123 @@ pub fn render(snap: &TopSnapshot) -> String {
     out
 }
 
+/// One shard's liveness as reconstructed from the supervisor status
+/// file and its heartbeat file's modification time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRow {
+    /// Shard label (`0of2`).
+    pub label: String,
+    /// Supervisor state: `running`, `backoff`, `done`, `quarantined`.
+    pub state: String,
+    /// Current restart generation (`OPM_SHARD_ATTEMPT`).
+    pub attempt: u64,
+    /// Restarts consumed so far.
+    pub restarts: u64,
+    /// Milliseconds since the heartbeat file last changed, when it
+    /// exists (stale ages well beyond the watchdog mean a dead shard).
+    pub heartbeat_age_ms: Option<u64>,
+}
+
+/// Campaign-level shard view for `opm top --campaign`.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignView {
+    /// Shard count from the `campaign` line.
+    pub shards: u64,
+    /// `running` or `finished`.
+    pub state: String,
+    /// Per-shard rows in index order.
+    pub rows: Vec<ShardRow>,
+}
+
+impl CampaignView {
+    /// True once the supervisor has written its final status.
+    pub fn finished(&self) -> bool {
+        self.state == "finished"
+    }
+}
+
+/// Parse `shards/supervisor.status` text (see [`crate::supervisor`]).
+/// Unknown lines are skipped so the format can grow.
+pub fn parse_supervisor_status(text: &str) -> CampaignView {
+    let mut view = CampaignView::default();
+    let kv = |word: &str, key: &str| -> Option<String> {
+        word.strip_prefix(key)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::to_string)
+    };
+    for line in text.lines() {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.first().copied() {
+            Some("campaign") => {
+                for w in &words[1..] {
+                    if let Some(v) = kv(w, "shards") {
+                        view.shards = v.parse().unwrap_or(0);
+                    } else if let Some(v) = kv(w, "state") {
+                        view.state = v;
+                    }
+                }
+            }
+            Some("shard") if words.len() >= 2 => {
+                let mut row = ShardRow {
+                    label: words[1].to_string(),
+                    state: String::new(),
+                    attempt: 0,
+                    restarts: 0,
+                    heartbeat_age_ms: None,
+                };
+                for w in &words[2..] {
+                    if let Some(v) = kv(w, "state") {
+                        row.state = v;
+                    } else if let Some(v) = kv(w, "attempt") {
+                        row.attempt = v.parse().unwrap_or(0);
+                    } else if let Some(v) = kv(w, "restarts") {
+                        row.restarts = v.parse().unwrap_or(0);
+                    }
+                }
+                view.rows.push(row);
+            }
+            _ => {}
+        }
+    }
+    view
+}
+
+/// Build the campaign shard view for `campaign_dir`: supervisor status
+/// plus heartbeat ages from the `hb-*` file modification times.
+pub fn campaign_view(campaign_dir: &Path) -> Result<CampaignView, String> {
+    let status = crate::shard::status_path(campaign_dir);
+    let text = std::fs::read_to_string(&status)
+        .map_err(|e| format!("no supervisor status at {}: {e}", status.display()))?;
+    let mut view = parse_supervisor_status(&text);
+    for row in &mut view.rows {
+        let hb = crate::shard::shards_dir(campaign_dir).join(format!("hb-{}", row.label));
+        if let Ok(modified) = std::fs::metadata(&hb).and_then(|m| m.modified()) {
+            if let Ok(age) = modified.elapsed() {
+                row.heartbeat_age_ms = Some(age.as_millis() as u64);
+            }
+        }
+    }
+    Ok(view)
+}
+
+/// Render the campaign shard table.
+pub fn render_campaign(view: &CampaignView) -> String {
+    let mut out = format!("campaign: {} shard(s) — {}\n", view.shards, view.state);
+    for row in &view.rows {
+        let hb = match row.heartbeat_age_ms {
+            Some(ms) if row.state == "running" => {
+                format!("  heartbeat {:.1}s ago", ms as f64 / 1e3)
+            }
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "  shard {}  {:11} attempt {}  restarts {}{hb}\n",
+            row.label, row.state, row.attempt, row.restarts
+        ));
+    }
+    out
+}
+
 /// The most recently modified `.jsonl` trace under `dir`, if any.
 pub fn latest_trace(dir: &Path) -> Option<PathBuf> {
     let mut best: Option<(std::time::SystemTime, PathBuf)> = None;
@@ -413,6 +530,61 @@ mod tests {
         );
         assert_eq!(str_field(r#"{"name":"x"}"#, "missing"), None);
         assert_eq!(str_field("{\"name\":\"trunc", "name"), None);
+    }
+
+    #[test]
+    fn supervisor_status_parses_and_renders() {
+        let text = "campaign shards=2 state=running\n\
+                    shard 0of2 state=running attempt=1 restarts=1\n\
+                    shard 1of2 state=quarantined attempt=3 restarts=3\n\
+                    future-line we=ignore\n";
+        let view = parse_supervisor_status(text);
+        assert_eq!(view.shards, 2);
+        assert!(!view.finished());
+        assert_eq!(view.rows.len(), 2);
+        assert_eq!(
+            view.rows[0],
+            ShardRow {
+                label: "0of2".into(),
+                state: "running".into(),
+                attempt: 1,
+                restarts: 1,
+                heartbeat_age_ms: None,
+            }
+        );
+        assert_eq!(view.rows[1].state, "quarantined");
+        let rendered = render_campaign(&view);
+        assert!(
+            rendered.contains("campaign: 2 shard(s) — running"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("shard 1of2  quarantined"), "{rendered}");
+        assert!(parse_supervisor_status("campaign shards=4 state=finished\n").finished());
+    }
+
+    #[test]
+    fn campaign_view_reads_status_and_heartbeat_age() {
+        let dir = std::env::temp_dir().join(format!("opm_top_camp_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(campaign_view(&dir).is_err());
+        let shards = crate::shard::shards_dir(&dir);
+        std::fs::create_dir_all(&shards).unwrap();
+        std::fs::write(
+            crate::shard::status_path(&dir),
+            "campaign shards=1 state=running\nshard 0of1 state=running attempt=0 restarts=0\n",
+        )
+        .unwrap();
+        std::fs::write(shards.join("hb-0of1"), "seq 3 pid 42\n").unwrap();
+        let view = campaign_view(&dir).unwrap();
+        assert_eq!(view.rows.len(), 1);
+        let age = view.rows[0].heartbeat_age_ms.expect("heartbeat age");
+        assert!(age < 60_000, "{age}");
+        assert!(
+            render_campaign(&view).contains("heartbeat"),
+            "{}",
+            render_campaign(&view)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

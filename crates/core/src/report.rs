@@ -1,10 +1,76 @@
 //! Result reporting: CSV series files and aligned text tables, written under
 //! `results/` by the figure/table harness binaries.
+//!
+//! Every file this module writes goes through [`atomic_write`]
+//! (write-tmp / fsync / rename), so a `kill -9` mid-write can never leave
+//! a half-written CSV behind — a file either has its complete old
+//! contents or its complete new contents. [`crc32`] is the shared
+//! integrity primitive for the checkpoint journal's length+checksum line
+//! trailers.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+/// Used for the checkpoint journal's per-line trailers and anywhere else
+/// cheap corruption detection is needed.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Write `bytes` to `path` atomically: write a sibling
+/// `.<name>.<pid>.tmp`, fsync it, then rename over the target. Readers
+/// (and a crash at any instant) see either the complete old file or the
+/// complete new one, never a torn write. Parent directories are created.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir)?;
+    }
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "atomic_write needs a file"))?;
+    let tmp = path.with_file_name(format!(
+        ".{}.{}.tmp",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
 
 /// A rectangular data series with named columns, writable as CSV.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,12 +115,10 @@ impl Series {
         out
     }
 
-    /// Write CSV to `dir/name.csv`, creating `dir` if needed.
+    /// Write CSV to `dir/name.csv` atomically, creating `dir` if needed.
     pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<PathBuf> {
-        let dir = dir.as_ref();
-        fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{name}.csv"));
-        fs::write(&path, self.to_csv())?;
+        let path = dir.as_ref().join(format!("{name}.csv"));
+        atomic_write(&path, self.to_csv().as_bytes())?;
         Ok(path)
     }
 
@@ -140,12 +204,10 @@ impl RecordTable {
         out
     }
 
-    /// Write CSV to `dir/name.csv`, creating `dir` if needed.
+    /// Write CSV to `dir/name.csv` atomically, creating `dir` if needed.
     pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<PathBuf> {
-        let dir = dir.as_ref();
-        fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{name}.csv"));
-        fs::write(&path, self.to_csv())?;
+        let path = dir.as_ref().join(format!("{name}.csv"));
+        atomic_write(&path, self.to_csv().as_bytes())?;
         Ok(path)
     }
 }
@@ -214,12 +276,10 @@ impl TextTable {
         out
     }
 
-    /// Write the rendered table to `dir/name.txt`.
+    /// Write the rendered table to `dir/name.txt` atomically.
     pub fn write(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<PathBuf> {
-        let dir = dir.as_ref();
-        fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{name}.txt"));
-        fs::write(&path, self.render())?;
+        let path = dir.as_ref().join(format!("{name}.txt"));
+        atomic_write(&path, self.render().as_bytes())?;
         Ok(path)
     }
 }
@@ -301,6 +361,33 @@ mod tests {
     fn record_table_rejects_ragged_rows() {
         let mut t = RecordTable::new(vec!["a", "b"]);
         t.push(vec!["only one"]);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The IEEE check value, and the empty-input identity.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("opm_atomic_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("out.csv");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

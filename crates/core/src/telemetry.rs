@@ -381,13 +381,11 @@ impl Telemetry {
         render_prom(&self.snapshot_counters())
     }
 
-    /// Write the Prometheus exposition to `path`, creating parent
-    /// directories.
+    /// Write the Prometheus exposition to `path` atomically, creating
+    /// parent directories. A scraper (or `opm merge-shards`) polling the
+    /// file can never observe a torn write.
     pub fn write_prom(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        fs::write(path, self.render_prom())
+        crate::report::atomic_write(path, self.render_prom().as_bytes())
     }
 }
 
