@@ -321,16 +321,19 @@ const BENCH_CONFIGS: &[OpmConfig] = &[
 
 fn bench_hierarchy(smoke: bool) -> Vec<Measurement> {
     let traces = bench_traces(smoke);
+    // Honors OPM_TRACE_SHARDS (default 1 = serial); results are
+    // bit-identical at any shard count, only wall time may change.
+    let shards = opm_memsim::trace_shards_from_env();
     let mut out = Vec::new();
     for &config in BENCH_CONFIGS {
         for (tname, trace) in &traces {
             let mut sim = HierarchySim::for_config(config, SCALE);
             // Warm pass (capacity fills), then the measured passes.
-            sim.run(trace);
+            sim.run_sharded(trace, shards);
             let before = sim.result().accesses;
             let (_, wall) = timed(|| {
-                sim.run(trace);
-                sim.run(trace);
+                sim.run_sharded(trace, shards);
+                sim.run_sharded(trace, shards);
             });
             out.push(Measurement {
                 name: format!("{}/{}", config.label(), tname),

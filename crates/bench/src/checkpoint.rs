@@ -118,19 +118,34 @@ pub fn config_signature(engine: &Engine) -> String {
 /// `done` line fails its checksum trailer is treated as incomplete, so
 /// a corrupt journal can never silently skip a figure.
 pub fn figure_is_done(figure: &str, signature: &str) -> bool {
-    let Ok(text) = fs::read_to_string(ckpt_path(figure)) else {
-        return false;
-    };
+    figure_done_points(figure, signature).is_some()
+}
+
+/// Like [`figure_is_done`], but returning the work-item count the
+/// completed incarnation recorded in its `done` marker, so a resumed
+/// figure reports the same points as the run it stands in for. A legacy
+/// bare `done` (pre-points journals) counts as completed with 0 points.
+pub fn figure_done_points(figure: &str, signature: &str) -> Option<usize> {
+    let text = fs::read_to_string(ckpt_path(figure)).ok()?;
     let mut sig_ok = false;
-    let mut done = false;
+    let mut done = None;
     for payload in valid_lines(&text) {
         if let Some(sig) = payload.strip_prefix("config ") {
             sig_ok = sig == signature;
-        } else if payload.trim() == "done" {
-            done = true;
+        } else {
+            let t = payload.trim();
+            if t == "done" {
+                done = Some(0);
+            } else if let Some(n) = t.strip_prefix("done ") {
+                done = Some(n.trim().parse().unwrap_or(0));
+            }
         }
     }
-    sig_ok && done
+    if sig_ok {
+        done
+    } else {
+        None
+    }
 }
 
 /// Delete every journal (start of a fresh, non-resume run).
@@ -177,9 +192,11 @@ impl FigureCheckpoint {
 
     /// Append the `done` marker: every CSV of the figure is on disk. The
     /// caller must treat an `Err` as "not checkpointed" — a done marker
-    /// that failed to land must not be assumed durable.
-    pub fn mark_done(&self) -> std::io::Result<()> {
-        self.append("done")?;
+    /// that failed to land must not be assumed durable. `points` is the
+    /// figure's emitted work-item count, persisted so a resumed run can
+    /// report the same number ([`figure_done_points`]).
+    pub fn mark_done(&self, points: usize) -> std::io::Result<()> {
+        self.append(&format!("done {points}"))?;
         // Deliberate damage under `corrupt-ckpt`/`partial-write`
         // injection: exactly the torn/rotten journal the resume path
         // must survive.
@@ -275,10 +292,15 @@ mod tests {
             });
             // In-progress journal is not "done".
             assert!(!figure_is_done("figx", sig));
-            ck.mark_done().unwrap();
+            ck.mark_done(128).unwrap();
             assert!(figure_is_done("figx", sig));
+            assert_eq!(figure_done_points("figx", sig), Some(128));
             // A different signature invalidates the checkpoint.
             assert!(!figure_is_done("figx", "reduced=false corpus=968 fault="));
+            assert_eq!(
+                figure_done_points("figx", "reduced=false corpus=968 fault="),
+                None
+            );
             let text = fs::read_to_string(ckpt_path("figx")).unwrap();
             let payloads = valid_lines(&text);
             assert!(payloads.contains(&"begin figx"));
@@ -344,11 +366,34 @@ mod tests {
     }
 
     #[test]
+    fn legacy_sealed_bare_done_still_counts_as_complete() {
+        with_tmp_results("legacydone", || {
+            let sig = "reduced=true corpus=48 fault=";
+            fs::create_dir_all(ckpt_dir()).unwrap();
+            // Journals written before the done marker carried a point
+            // count end in a sealed bare `done`: still complete, with
+            // an unknown (0) point count.
+            fs::write(
+                ckpt_path("figd"),
+                format!(
+                    "{}\n{}\n{}\n",
+                    seal("begin figd"),
+                    seal(&format!("config {sig}")),
+                    seal("done")
+                ),
+            )
+            .unwrap();
+            assert!(figure_is_done("figd", sig));
+            assert_eq!(figure_done_points("figd", sig), Some(0));
+        });
+    }
+
+    #[test]
     fn corrupted_done_marker_is_rejected() {
         with_tmp_results("corrupt", || {
             let sig = "reduced=true corpus=48 fault=";
             let ck = FigureCheckpoint::begin("figc", sig).unwrap();
-            ck.mark_done().unwrap();
+            ck.mark_done(0).unwrap();
             assert!(figure_is_done("figc", sig));
             // Tear the tail off the journal (what `partial-write`
             // injection does): done no longer counts, header still
@@ -377,7 +422,7 @@ mod tests {
                 let n = v.len();
                 (v, n)
             });
-            ck.mark_done().unwrap();
+            ck.mark_done(10).unwrap();
             engine.set_journal(None);
             let text = fs::read_to_string(ckpt_path("figy")).unwrap();
             let payloads = valid_lines(&text);

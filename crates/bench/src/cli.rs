@@ -181,9 +181,12 @@ USAGE:
       supervised `opm campaign` (state, attempt, restarts, heartbeat
       age per shard) from <dir>/shards/supervisor.status.
   opm bench [--smoke] [--no-campaign] [--out <path>]
+           [--compare <baseline.json>] [--fail-on-regression]
       run the memsim/engine hot-path speed program and write
       BENCH_engine.json (schema opm-bench-engine/v1; see the
-      \"Performance tracking\" section of README.md).
+      \"Performance tracking\" section of README.md). --compare prints
+      per-metric deltas vs a committed baseline report; with the opt-in
+      --fail-on-regression, any metric >20% worse exits nonzero.
   opm campaign --shards <n> [--only <figs>] [--resume] [--out <dir>]
               [--reduced] [--threads <n>] [--fault-spec <spec>]
               [--watchdog-ms <n>] [--heartbeat-ms <n>]
@@ -390,7 +393,10 @@ fn cmd_bench(args: &Args) -> Result<String, String> {
     // A typo'd flag must not silently run the full harness and
     // overwrite the tracked BENCH_engine.json baseline.
     for key in args.options.keys() {
-        if !matches!(key.as_str(), "smoke" | "no-campaign" | "out") {
+        if !matches!(
+            key.as_str(),
+            "smoke" | "no-campaign" | "out" | "compare" | "fail-on-regression"
+        ) {
             return Err(format!("bench: unknown option --{key}\n{HELP}"));
         }
     }
@@ -402,6 +408,23 @@ fn cmd_bench(args: &Args) -> Result<String, String> {
         Some(v) => std::path::PathBuf::from(v),
         None => std::path::PathBuf::from(crate::bench_engine::DEFAULT_OUT),
     };
+    // Parse (and read) the baseline before the harness runs: a bad path
+    // should fail in milliseconds, not after minutes of measurement.
+    let baseline = match args.options.get("compare") {
+        Some(v) if v == "true" => return Err("bench: --compare needs a baseline path".to_string()),
+        Some(v) => {
+            let text = std::fs::read_to_string(v)
+                .map_err(|e| format!("bench: reading baseline {v}: {e}"))?;
+            Some((
+                v.clone(),
+                crate::compare::parse_baseline(&text).map_err(|e| format!("bench: {v}: {e}"))?,
+            ))
+        }
+        None => None,
+    };
+    if args.get_flag("fail-on-regression") && baseline.is_none() {
+        return Err("bench: --fail-on-regression needs --compare <baseline.json>".to_string());
+    }
     let opts = crate::bench_engine::BenchOptions {
         smoke: args.get_flag("smoke"),
         campaign: !args.get_flag("no-campaign"),
@@ -409,7 +432,21 @@ fn cmd_bench(args: &Args) -> Result<String, String> {
     };
     let report = crate::bench_engine::run_bench(&opts);
     let out = opts.out.as_deref().expect("out path set above");
-    Ok(format!("{}\nwrote {}", report.summary(), out.display()))
+    let mut text = format!("{}\nwrote {}", report.summary(), out.display());
+    if let Some((path, baseline)) = baseline {
+        let deltas = crate::compare::compare(&report, &baseline);
+        let (table, regressions) = crate::compare::render(&deltas);
+        text.push_str(&format!("\n\nvs baseline {path}:\n{table}"));
+        if !regressions.is_empty() && args.get_flag("fail-on-regression") {
+            return Err(format!(
+                "{text}\nbench: {} metric(s) regressed >{:.0}%: {}",
+                regressions.len(),
+                100.0 * crate::compare::REGRESSION_THRESHOLD,
+                regressions.join(", ")
+            ));
+        }
+    }
+    Ok(text)
 }
 
 /// `opm top`: render the run dashboard from a telemetry JSONL trace
@@ -511,6 +548,23 @@ mod tests {
         assert!(err.contains("unknown option --bogus"), "{err}");
         let err = run_str("bench --out").unwrap_err();
         assert!(err.contains("--out needs a path"), "{err}");
+    }
+
+    #[test]
+    fn bench_compare_validates_before_running() {
+        // All of these must fail fast, without running the harness.
+        let err = run_str("bench --compare").unwrap_err();
+        assert!(err.contains("--compare needs a baseline path"), "{err}");
+        let err = run_str("bench --compare /nonexistent/baseline.json").unwrap_err();
+        assert!(err.contains("reading baseline"), "{err}");
+        let err = run_str("bench --fail-on-regression").unwrap_err();
+        assert!(err.contains("needs --compare"), "{err}");
+        // A non-bench JSON document is rejected as a baseline.
+        let p = std::env::temp_dir().join(format!("opm_cli_baseline_{}.json", std::process::id()));
+        std::fs::write(&p, "{\"schema\": \"something-else\"}").unwrap();
+        let err = run_str(&format!("bench --compare {}", p.display())).unwrap_err();
+        assert!(err.contains("not an opm-bench-engine/v1"), "{err}");
+        let _ = std::fs::remove_file(&p);
     }
 
     #[test]

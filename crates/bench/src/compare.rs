@@ -1,0 +1,301 @@
+//! `opm bench --compare`: per-metric deltas of a fresh [`BenchReport`]
+//! against a committed `BENCH_engine.json` baseline, so perf changes are
+//! self-reporting. Comparison is informational by default; the CLI's
+//! opt-in `--fail-on-regression` turns any >20% regression into a
+//! nonzero exit.
+//!
+//! The baseline reader is a minimal extractor for the harness's own
+//! stable schema (`opm-bench-engine/v1`, fixed key order, hand-rolled
+//! writer in [`crate::bench_engine`]) — not a general JSON parser; the
+//! build is offline, so no serde.
+
+use crate::bench_engine::BenchReport;
+use std::fmt::Write as _;
+
+/// Regression threshold: a metric that moves more than this fraction in
+/// the bad direction fails an opt-in gated comparison.
+pub const REGRESSION_THRESHOLD: f64 = 0.20;
+
+/// The headline metrics extracted from a committed `BENCH_engine.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineMetrics {
+    /// Hierarchy-simulation line touches per second.
+    pub simulated_accesses_per_sec: f64,
+    /// Reuse-histogram lines per second.
+    pub reuse_lines_per_sec: f64,
+    /// Engine sweep points per second.
+    pub sweep_points_per_sec: f64,
+    /// Reduced-campaign wall seconds (lower is better).
+    pub campaign_wall_secs: f64,
+    /// Reduced-campaign items per second (0 when the baseline was
+    /// written with `--no-campaign`).
+    pub campaign_items_per_sec: f64,
+}
+
+/// Find the number following `"key":` at or after byte offset `from`.
+fn number_after(text: &str, from: usize, key: &str) -> Option<(f64, usize)> {
+    let anchor = format!("\"{key}\":");
+    let at = text.get(from..)?.find(&anchor)? + from + anchor.len();
+    let rest = text.get(at..)?;
+    let start = rest.find(|c: char| !c.is_whitespace())?;
+    let tail = &rest[start..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok().map(|v| (v, at + start + end))
+}
+
+/// Extract the baseline metrics from a `BENCH_engine.json` document.
+pub fn parse_baseline(text: &str) -> Result<BaselineMetrics, String> {
+    if !text.contains("\"schema\": \"opm-bench-engine/v1\"") {
+        return Err("baseline is not an opm-bench-engine/v1 report".to_string());
+    }
+    let top = |key: &str| {
+        number_after(text, 0, key)
+            .map(|(v, _)| v)
+            .ok_or_else(|| format!("baseline is missing \"{key}\""))
+    };
+    // The campaign *section* rate lives after the `"campaign": {` group
+    // header (`campaign_wall_secs` is a distinct top-level key).
+    let campaign_items_per_sec = match text.find("\"campaign\": {") {
+        Some(at) => number_after(text, at, "items_per_sec")
+            .map(|(v, _)| v)
+            .ok_or("baseline campaign group is missing \"items_per_sec\"")?,
+        None => 0.0,
+    };
+    Ok(BaselineMetrics {
+        simulated_accesses_per_sec: top("simulated_accesses_per_sec")?,
+        reuse_lines_per_sec: top("reuse_lines_per_sec")?,
+        sweep_points_per_sec: top("sweep_points_per_sec")?,
+        campaign_wall_secs: top("campaign_wall_secs")?,
+        campaign_items_per_sec,
+    })
+}
+
+/// One metric's delta against the baseline.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Metric name as in the JSON schema.
+    pub name: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `true` when larger values are better (throughputs); `false` for
+    /// wall time.
+    pub higher_is_better: bool,
+}
+
+impl MetricDelta {
+    /// Signed change in the *good* direction: +0.10 = 10% better,
+    /// -0.25 = 25% regression. 0 when the baseline is zero/absent (a
+    /// missing campaign section must not fail the gate).
+    pub fn gain(&self) -> f64 {
+        if self.baseline <= 0.0 {
+            return 0.0;
+        }
+        let ratio = self.current / self.baseline - 1.0;
+        if self.higher_is_better {
+            ratio
+        } else {
+            -ratio
+        }
+    }
+
+    /// Whether this metric regressed beyond `threshold`.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.gain() < -threshold
+    }
+}
+
+/// Deltas of every headline metric vs the baseline.
+pub fn compare(report: &BenchReport, baseline: &BaselineMetrics) -> Vec<MetricDelta> {
+    let campaign_rate = {
+        let t = report
+            .campaign
+            .iter()
+            .fold((0u64, 0.0), |(i, w), m| (i + m.items, w + m.wall_secs));
+        if t.1 <= 0.0 {
+            0.0
+        } else {
+            t.0 as f64 / t.1
+        }
+    };
+    vec![
+        MetricDelta {
+            name: "simulated_accesses_per_sec",
+            baseline: baseline.simulated_accesses_per_sec,
+            current: report.simulated_accesses_per_sec(),
+            higher_is_better: true,
+        },
+        MetricDelta {
+            name: "reuse_lines_per_sec",
+            baseline: baseline.reuse_lines_per_sec,
+            current: report.reuse_lines_per_sec(),
+            higher_is_better: true,
+        },
+        MetricDelta {
+            name: "sweep_points_per_sec",
+            baseline: baseline.sweep_points_per_sec,
+            current: report.sweep_points_per_sec(),
+            higher_is_better: true,
+        },
+        MetricDelta {
+            name: "campaign_wall_secs",
+            baseline: baseline.campaign_wall_secs,
+            current: report.campaign_wall_secs(),
+            higher_is_better: false,
+        },
+        MetricDelta {
+            name: "campaign.items_per_sec",
+            baseline: baseline.campaign_items_per_sec,
+            current: campaign_rate,
+            higher_is_better: true,
+        },
+    ]
+}
+
+/// Render the delta table. Returns the text and the list of metrics that
+/// regressed beyond [`REGRESSION_THRESHOLD`].
+pub fn render(deltas: &[MetricDelta]) -> (String, Vec<&'static str>) {
+    let mut out =
+        String::from("metric                          baseline       current     change\n");
+    let mut regressions = Vec::new();
+    for d in deltas {
+        let marker = if d.regressed(REGRESSION_THRESHOLD) {
+            regressions.push(d.name);
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        let change = if d.baseline <= 0.0 {
+            "   n/a".to_string()
+        } else {
+            format!("{:+6.1}%", 100.0 * (d.current / d.baseline - 1.0))
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>13.1} {:>13.1}    {change}{marker}",
+            d.name, d.baseline, d.current,
+        );
+    }
+    (out, regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_engine::Measurement;
+
+    fn report(rate_scale: f64) -> BenchReport {
+        let m = |name: &str, items: u64, wall: f64| Measurement {
+            name: name.to_string(),
+            items,
+            wall_secs: wall,
+        };
+        BenchReport {
+            mode: "smoke",
+            threads: 2,
+            hierarchy: vec![m("h", (1000.0 * rate_scale) as u64, 1.0)],
+            reuse: vec![m("r", (2000.0 * rate_scale) as u64, 1.0)],
+            stages: vec![m("s", (3000.0 * rate_scale) as u64, 1.0)],
+            campaign: vec![m("c", (400.0 * rate_scale) as u64, 1.0)],
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_the_writer_has_zero_deltas() {
+        let r = report(1.0);
+        let base = parse_baseline(&r.to_json()).unwrap();
+        let deltas = compare(&r, &base);
+        assert_eq!(deltas.len(), 5);
+        for d in &deltas {
+            assert!(d.gain().abs() < 1e-9, "{d:?}");
+            assert!(!d.regressed(REGRESSION_THRESHOLD), "{d:?}");
+        }
+        let (text, regressions) = render(&deltas);
+        assert!(regressions.is_empty(), "{text}");
+        assert!(text.contains("sweep_points_per_sec"), "{text}");
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_is_a_regression() {
+        let base = parse_baseline(&report(1.0).to_json()).unwrap();
+        // 50% slower everywhere: all four throughputs regress; the wall
+        // metric *improves* (same wall, fewer items is invisible to it).
+        let deltas = compare(&report(0.5), &base);
+        let (text, regressions) = render(&deltas);
+        assert!(regressions.contains(&"sweep_points_per_sec"), "{text}");
+        assert!(regressions.contains(&"campaign.items_per_sec"), "{text}");
+        assert!(!regressions.contains(&"campaign_wall_secs"), "{text}");
+        assert!(text.contains("REGRESSION"), "{text}");
+        // 10% slower stays inside the 20% gate.
+        let (_, ok) = render(&compare(&report(0.9), &base));
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn wall_time_increase_is_a_regression() {
+        let mut slow = report(1.0);
+        let base = parse_baseline(&slow.to_json()).unwrap();
+        for m in &mut slow.campaign {
+            m.wall_secs *= 2.0;
+        }
+        let deltas = compare(&slow, &base);
+        let wall = deltas
+            .iter()
+            .find(|d| d.name == "campaign_wall_secs")
+            .unwrap();
+        assert!(wall.regressed(REGRESSION_THRESHOLD));
+    }
+
+    #[test]
+    fn missing_campaign_baseline_is_not_a_regression() {
+        let mut no_campaign = report(1.0);
+        no_campaign.campaign.clear();
+        let base = parse_baseline(&no_campaign.to_json()).unwrap();
+        assert_eq!(base.campaign_items_per_sec, 0.0);
+        let deltas = compare(&report(1.0), &base);
+        let (_, regressions) = render(&deltas);
+        assert!(regressions.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("not json").is_err());
+        let truncated = "{\n  \"schema\": \"opm-bench-engine/v1\"\n}";
+        assert!(parse_baseline(truncated).is_err());
+    }
+
+    #[test]
+    fn parse_reads_the_committed_baseline_shape() {
+        let doc = r#"{
+  "schema": "opm-bench-engine/v1",
+  "mode": "full",
+  "threads": 2,
+  "simulated_accesses_per_sec": 27820912.5,
+  "reuse_lines_per_sec": 6070284.1,
+  "sweep_points_per_sec": 1833907.9,
+  "campaign_wall_secs": 12.5,
+  "hierarchy_sim": {
+    "unit": "accesses_per_sec",
+    "total_items": 100,
+    "total_wall_secs": 1,
+    "items_per_sec": 100,
+    "cases": []
+  },
+  "campaign": {
+    "unit": "points_per_sec",
+    "total_items": 2161188,
+    "total_wall_secs": 12.5,
+    "items_per_sec": 172895,
+    "cases": []
+  }
+}"#;
+        let b = parse_baseline(doc).unwrap();
+        assert!((b.sweep_points_per_sec - 1833907.9).abs() < 1e-6);
+        assert!((b.campaign_items_per_sec - 172895.0).abs() < 1e-6);
+        assert!((b.campaign_wall_secs - 12.5).abs() < 1e-6);
+    }
+}

@@ -22,6 +22,7 @@ use opm_kernels::sweeps::{
 };
 use opm_sparse::gen::{corpus, MatrixSpec, PAPER_CORPUS_SIZE};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Output directory for results (`OPM_RESULTS` env override, default
 /// `results/`).
@@ -31,8 +32,21 @@ pub fn out_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
+/// Monotonic count of CSV rows written through [`emit`] by this process.
+/// Figures that never run an engine stage (pure model evaluations like
+/// `fig06_stepping_model`) are measured by the rows they produce:
+/// [`manifest::run_figures`] snapshots this counter around each figure so
+/// every campaign case reports a real item count.
+static EMITTED_ROWS: AtomicU64 = AtomicU64::new(0);
+
+/// Current [`emit`] row-count snapshot (monotonic within the process).
+pub fn emitted_rows() -> u64 {
+    EMITTED_ROWS.load(Ordering::Relaxed)
+}
+
 /// Write a series and report the path on stdout.
 pub fn emit(series: &Series, name: &str) {
+    EMITTED_ROWS.fetch_add(series.rows.len() as u64, Ordering::Relaxed);
     let path = series
         .write_csv(out_dir(), name)
         .unwrap_or_else(|e| panic!("writing {name}: {e}"));
@@ -331,6 +345,7 @@ pub mod ablation;
 pub mod bench_engine;
 pub mod checkpoint;
 pub mod cli;
+pub mod compare;
 pub mod corpus;
 pub mod extensions;
 pub mod figures;

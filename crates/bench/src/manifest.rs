@@ -274,7 +274,9 @@ pub struct FigureReport {
     pub status: FigureStatus,
     /// Wall-clock time of the whole pipeline.
     pub wall_ns: u128,
-    /// Sweep points evaluated (summed over the pipeline's engine stages).
+    /// Work items attributed to the figure: sweep points evaluated
+    /// (summed over the pipeline's engine stages), or — for stage-less
+    /// model-evaluation figures — the CSV rows produced.
     pub points: usize,
     /// Profile-cache hits during the pipeline.
     pub cache_hits: u64,
@@ -349,32 +351,37 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
     let total = selected.len();
     let mut reports = Vec::with_capacity(total);
     for (i, spec) in selected.iter().enumerate() {
-        if options.resume && checkpoint::figure_is_done(spec.name, &signature) {
-            eprintln!(
-                "[{}/{}] {}: resumed (checkpoint done)",
-                i + 1,
-                total,
-                spec.name
-            );
-            // Resumed figures still get a (zero-length) root span so the
-            // trace accounts for every selected figure.
-            let mut span = engine.telemetry().span("figure", spec.name);
-            span.arg("status", FigureStatus::Resumed.label());
-            span.arg("points", 0);
-            span.arg("failures", 0);
-            drop(span);
-            reports.push(FigureReport {
-                name: spec.name,
-                status: FigureStatus::Resumed,
-                wall_ns: 0,
-                points: 0,
-                cache_hits: 0,
-                cache_misses: 0,
-                failures: 0,
-            });
-            continue;
+        if options.resume {
+            if let Some(done_points) = checkpoint::figure_done_points(spec.name, &signature) {
+                eprintln!(
+                    "[{}/{}] {}: resumed (checkpoint done)",
+                    i + 1,
+                    total,
+                    spec.name
+                );
+                // Resumed figures still get a (zero-length) root span so
+                // the trace accounts for every selected figure. The point
+                // count comes from the completed incarnation's journal so
+                // a resumed manifest row matches the original run's.
+                let mut span = engine.telemetry().span("figure", spec.name);
+                span.arg("status", FigureStatus::Resumed.label());
+                span.arg("points", done_points);
+                span.arg("failures", 0);
+                drop(span);
+                reports.push(FigureReport {
+                    name: spec.name,
+                    status: FigureStatus::Resumed,
+                    wall_ns: 0,
+                    points: done_points,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    failures: 0,
+                });
+                continue;
+            }
         }
         let stage_mark = engine.stage_count();
+        let rows_mark = crate::emitted_rows();
         let failure_mark = engine.failure_count();
         let cache_before = engine.cache_stats();
         let journal = match checkpoint::FigureCheckpoint::begin(spec.name, &signature) {
@@ -395,6 +402,20 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
         let outcome = catch_unwind(AssertUnwindSafe(spec.run));
         let wall_ns = start.elapsed().as_nanos();
         engine.set_journal(None);
+        let cache = engine.cache_stats().since(cache_before);
+        let stage_points: usize = engine
+            .stages_since(stage_mark)
+            .iter()
+            .map(|s| s.points)
+            .sum();
+        // Stage-less figures (pure model evaluations such as
+        // fig06_stepping_model) do real work too: count the CSV rows
+        // they produced so their throughput is never reported as 0.
+        let points = if stage_points != 0 {
+            stage_points
+        } else {
+            (crate::emitted_rows() - rows_mark) as usize
+        };
         let status = match outcome {
             Ok(()) => {
                 if let Some(j) = &journal {
@@ -402,7 +423,7 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
                     // the figure completed (its CSVs are written), but a
                     // later --resume will re-run it rather than trust a
                     // half-written journal.
-                    if let Err(e) = j.mark_done() {
+                    if let Err(e) = j.mark_done(points) {
                         eprintln!("checkpoint for {}: done marker failed: {e}", spec.name);
                     }
                 }
@@ -426,12 +447,6 @@ pub fn run_figures_opt(names: Option<&[String]>, options: &RunOptions) -> Vec<Fi
                 FigureStatus::Failed
             }
         };
-        let cache = engine.cache_stats().since(cache_before);
-        let points: usize = engine
-            .stages_since(stage_mark)
-            .iter()
-            .map(|s| s.points)
-            .sum();
         let report = FigureReport {
             name: spec.name,
             status,

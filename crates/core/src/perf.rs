@@ -24,7 +24,7 @@
 //! straddle cliff past 16 GB, and the hybrid 8 GB + 8 GB split.
 
 use crate::platform::{EdramMode, LevelKind, McdramMode, MemLevel, OpmConfig, PlatformSpec};
-use crate::profile::{AccessProfile, Phase};
+use crate::profile::AccessProfile;
 use crate::units::CACHE_LINE;
 
 /// Fraction of capacity below which a larger working set gets no hits
@@ -366,6 +366,102 @@ pub struct Estimate {
     pub components: Vec<Component>,
 }
 
+/// Folded per-profile evaluation state: per-tier prefetch/MLP resolution
+/// against the phase defaults, per-tier byte counts, the streaming
+/// remainder, and the profile aggregates are all computed once, so a sweep
+/// can evaluate the same profile under many configurations (or many points
+/// of an axis against one [`EvalPlan`]) without re-walking `Vec<Tier>` per
+/// point.
+///
+/// Tier order is preserved exactly as authored: the evaluator accumulates
+/// `memory_ns` in tier order and float addition is order-sensitive, so
+/// reordering here would drift results at the ULP level (the golden figure
+/// CSVs pin the current bits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilePlan {
+    phases: Vec<PhasePlan>,
+    footprint: f64,
+    total_flops: f64,
+    total_bytes: f64,
+}
+
+/// One tier with its service parameters resolved and its byte count folded.
+#[derive(Debug, Clone, PartialEq)]
+struct PlannedTier {
+    working_set: f64,
+    bytes: f64,
+    p_max: f64,
+    mlp: f64,
+}
+
+/// One phase with every profile-only constant folded.
+#[derive(Debug, Clone, PartialEq)]
+struct PhasePlan {
+    flops: f64,
+    threads: usize,
+    compute_eff: f64,
+    tiers: Vec<PlannedTier>,
+    stream_bytes: f64,
+    stream_prefetch: f64,
+    stream_mlp: f64,
+}
+
+impl ProfilePlan {
+    /// Validate `profile` and fold its evaluation constants.
+    pub fn new(profile: &AccessProfile) -> Result<Self, String> {
+        profile.validate()?;
+        let phases = profile
+            .phases
+            .iter()
+            .map(|phase| {
+                let tiers = phase
+                    .tiers
+                    .iter()
+                    .filter_map(|tier| {
+                        let bytes = phase.bytes * tier.fraction;
+                        (bytes > 0.0).then_some(PlannedTier {
+                            working_set: tier.working_set,
+                            bytes,
+                            p_max: tier.prefetch.unwrap_or(phase.prefetch),
+                            mlp: tier.mlp.unwrap_or(phase.mlp),
+                        })
+                    })
+                    .collect();
+                PhasePlan {
+                    flops: phase.flops,
+                    threads: phase.threads,
+                    compute_eff: phase.compute_eff,
+                    tiers,
+                    stream_bytes: phase.bytes * phase.streaming_fraction(),
+                    stream_prefetch: phase.stream_prefetch,
+                    stream_mlp: phase.mlp,
+                }
+            })
+            .collect();
+        Ok(ProfilePlan {
+            phases,
+            footprint: profile.footprint,
+            total_flops: profile.total_flops(),
+            total_bytes: profile.total_bytes(),
+        })
+    }
+
+    /// The profile's allocation footprint (bytes).
+    pub fn footprint(&self) -> f64 {
+        self.footprint
+    }
+
+    /// Total flops across phases (folded).
+    pub fn total_flops(&self) -> f64 {
+        self.total_flops
+    }
+
+    /// Total hierarchy traffic across phases (folded).
+    pub fn total_bytes(&self) -> f64 {
+        self.total_bytes
+    }
+}
+
 /// The performance model.
 ///
 /// ```
@@ -433,33 +529,125 @@ impl PerfModel {
     }
 
     /// Evaluate a full profile: phases run back to back.
+    ///
+    /// Equivalent to `self.plan().evaluate(profile)`; sweeps evaluating
+    /// many points under one configuration should build the [`EvalPlan`]
+    /// once and reuse it.
     pub fn evaluate(&self, profile: &AccessProfile) -> Estimate {
-        profile
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid profile for {}: {e}", profile.kernel));
-        let hier =
-            EffHierarchy::build_with(&self.platform, self.config, profile.footprint, &self.params);
-        let mut time_ns = 0.0;
-        let mut compute_ns = 0.0;
-        let mut memory_ns = 0.0;
-        let mut dram_bytes = 0.0;
-        let mut opm_bytes = 0.0;
-        let mut components = Vec::new();
-        for phase in &profile.phases {
-            let r = self.evaluate_phase(phase, &hier);
-            time_ns += r.time_ns;
-            compute_ns += r.compute_ns;
-            memory_ns += r.memory_ns;
-            dram_bytes += r.dram_bytes;
-            opm_bytes += r.opm_bytes;
-            components.extend(r.components);
+        self.plan().evaluate(profile)
+    }
+
+    /// Build a reusable evaluation plan for this model: the effective
+    /// hierarchy is constructed once and shared across every point of a
+    /// sweep axis; only the footprint-dependent parts of KNL flat/hybrid
+    /// mode are resolved per point.
+    pub fn plan(&self) -> EvalPlan<'_> {
+        let kind = match self.config {
+            OpmConfig::Knl(McdramMode::Flat) => PlanKind::KnlFlat {
+                capacity: self.platform.opm.capacity,
+            },
+            OpmConfig::Knl(McdramMode::Hybrid) => PlanKind::KnlHybrid {
+                half: self.platform.opm.capacity / 2.0,
+            },
+            _ => PlanKind::Fixed,
+        };
+        let proto = EffHierarchy::build_with(&self.platform, self.config, 0.0, &self.params);
+        EvalPlan {
+            model: self,
+            proto,
+            kind,
         }
-        let flops = profile.total_flops();
-        let bytes = profile.total_bytes();
+    }
+}
+
+/// A reusable evaluation plan for one [`PerfModel`] (see
+/// [`PerfModel::plan`]). Holds the prebuilt effective hierarchy so a sweep
+/// axis is evaluated in a batched loop without rebuilding per point.
+#[derive(Debug, Clone)]
+pub struct EvalPlan<'m> {
+    model: &'m PerfModel,
+    proto: EffHierarchy,
+    kind: PlanKind,
+}
+
+/// How much of the prebuilt hierarchy is footprint-independent.
+#[derive(Debug, Clone, Copy)]
+enum PlanKind {
+    /// Hierarchy identical for every footprint.
+    Fixed,
+    /// KNL flat mode: `proto` is valid while the allocation fits in
+    /// MCDRAM; past capacity the straddle backing is built per point.
+    KnlFlat {
+        /// MCDRAM capacity in bytes.
+        capacity: f64,
+    },
+    /// KNL hybrid mode: `proto` is valid except `flat_share`, recomputed
+    /// per point from the footprint.
+    KnlHybrid {
+        /// Flat-partition capacity (half the MCDRAM) in bytes.
+        half: f64,
+    },
+}
+
+impl EvalPlan<'_> {
+    /// The model this plan was built from.
+    pub fn model(&self) -> &PerfModel {
+        self.model
+    }
+
+    /// Plan-and-evaluate in one call (validates like
+    /// [`PerfModel::evaluate`]).
+    pub fn evaluate(&self, profile: &AccessProfile) -> Estimate {
+        let plan = ProfilePlan::new(profile)
+            .unwrap_or_else(|e| panic!("invalid profile for {}: {e}", profile.kernel));
+        self.evaluate_planned(&plan)
+    }
+
+    /// Evaluate a pre-folded profile, producing the full per-component
+    /// breakdown.
+    pub fn evaluate_planned(&self, plan: &ProfilePlan) -> Estimate {
+        let mut components = Vec::new();
+        let sums = self.accumulate(plan, Some(&mut components));
+        self.finish(plan, sums, components)
+    }
+
+    /// Lean path for sweeps: the modeled GFlop/s only, with no component
+    /// allocation. Bit-identical to `evaluate_planned(plan).gflops` (the
+    /// accumulation order is shared).
+    pub fn gflops_planned(&self, plan: &ProfilePlan) -> f64 {
+        let (time_ns, ..) = self.accumulate(plan, None);
+        if time_ns > 0.0 {
+            plan.total_flops / time_ns
+        } else {
+            0.0
+        }
+    }
+
+    /// Evaluate a whole sweep axis of pre-folded profiles against this one
+    /// plan in a batched loop, returning the modeled GFlop/s per point.
+    pub fn gflops_axis<'a>(&self, plans: impl IntoIterator<Item = &'a ProfilePlan>) -> Vec<f64> {
+        plans.into_iter().map(|p| self.gflops_planned(p)).collect()
+    }
+
+    fn finish(
+        &self,
+        plan: &ProfilePlan,
+        sums: (f64, f64, f64, f64, f64),
+        components: Vec<Component>,
+    ) -> Estimate {
+        let (time_ns, compute_ns, memory_ns, dram_bytes, opm_bytes) = sums;
         Estimate {
             time_ns,
-            gflops: if time_ns > 0.0 { flops / time_ns } else { 0.0 },
-            bandwidth_gbs: if time_ns > 0.0 { bytes / time_ns } else { 0.0 },
+            gflops: if time_ns > 0.0 {
+                plan.total_flops / time_ns
+            } else {
+                0.0
+            },
+            bandwidth_gbs: if time_ns > 0.0 {
+                plan.total_bytes / time_ns
+            } else {
+                0.0
+            },
             compute_ns,
             memory_ns,
             dram_bytes,
@@ -468,166 +656,247 @@ impl PerfModel {
         }
     }
 
-    fn evaluate_phase(&self, phase: &Phase, hier: &EffHierarchy) -> Estimate {
-        let p = &self.platform;
-        // Compute side: threads beyond the core count (SMT) add no FLOP
-        // throughput, only memory-level parallelism.
-        let core_scale = (phase.threads.min(p.cores) as f64) / p.cores as f64;
-        let peak = p.dp_peak_gflops() * phase.compute_eff * core_scale;
-        let compute_ns = if phase.flops > 0.0 {
-            phase.flops / peak
-        } else {
-            0.0
+    /// Accumulate (time, compute, memory, dram_bytes, opm_bytes) over the
+    /// phases, resolving the footprint-dependent hierarchy parts once per
+    /// profile.
+    fn accumulate(
+        &self,
+        plan: &ProfilePlan,
+        mut components: Option<&mut Vec<Component>>,
+    ) -> (f64, f64, f64, f64, f64) {
+        let straddle;
+        let (hier, flat_share) = match self.kind {
+            PlanKind::Fixed => (&self.proto, self.proto.flat_share),
+            PlanKind::KnlFlat { capacity } => {
+                if plan.footprint <= capacity {
+                    (&self.proto, self.proto.flat_share)
+                } else {
+                    straddle = EffHierarchy::build_with(
+                        &self.model.platform,
+                        self.model.config,
+                        plan.footprint,
+                        &self.model.params,
+                    );
+                    let share = straddle.flat_share;
+                    (&straddle, share)
+                }
+            }
+            PlanKind::KnlHybrid { half } => (&self.proto, (half / plan.footprint).min(1.0)),
         };
-
-        let threads_mem = phase.threads.min(p.max_threads) as f64;
+        let mut time_ns = 0.0;
+        let mut compute_ns = 0.0;
         let mut memory_ns = 0.0;
         let mut dram_bytes = 0.0;
         let mut opm_bytes = 0.0;
-        let mut components = Vec::new();
+        for phase in &plan.phases {
+            let r = eval_phase_core(
+                &self.model.platform,
+                &self.model.params,
+                phase,
+                hier,
+                flat_share,
+                &mut components,
+            );
+            time_ns += r.0;
+            compute_ns += r.1;
+            memory_ns += r.2;
+            dram_bytes += r.3;
+            opm_bytes += r.4;
+        }
+        (time_ns, compute_ns, memory_ns, dram_bytes, opm_bytes)
+    }
+}
 
-        // (bytes, working set, prefetch, mlp, upper sharp-cache capacity)
-        let mut backing_traffic: Vec<(f64, f64, f64, f64, f64)> = Vec::new();
+/// `(bytes, working set, prefetch, mlp, upper sharp-cache capacity)` of one
+/// chunk of backing traffic.
+type BackingTier = (f64, f64, f64, f64, f64);
 
-        // Distribute each tier across the cache chain.
-        for tier in &phase.tiers {
-            let p_max = tier.prefetch.unwrap_or(phase.prefetch);
-            let mlp = tier.mlp.unwrap_or(phase.mlp);
-            let bytes = phase.bytes * tier.fraction;
-            if bytes <= 0.0 {
-                continue;
-            }
-            let mut served_below = 1.0; // fraction not yet absorbed
-            let mut absorbed_cum = 0.0;
-            // The concurrency/prefetch ramp (cache-valley effect) is driven
-            // by the last *on-die* cache the working set outgrew: memory-side
-            // OPM caches are transparent to the core-side prefetchers, so
-            // missing them does not re-expose latency (this is also why
-            // eDRAM never makes things worse, §5.1).
-            let mut upper_sharp_cap = 0.0;
-            for lvl in &hier.caches {
-                let cap = lvl.capacity.expect("cache level has capacity");
-                let a = lvl.absorb_fraction_with(tier.working_set, self.params.thrash);
-                let here = (a - absorbed_cum).max(0.0).min(served_below);
-                if here > 0.0 {
-                    let b = bytes * here;
-                    let t = service_time(
-                        b,
-                        lvl,
-                        tier.working_set,
-                        upper_sharp_cap,
-                        threads_mem,
-                        mlp,
-                        p_max,
-                        &self.params,
-                    );
-                    memory_ns += t;
-                    if lvl.name.starts_with("MCDRAM") || lvl.name == "eDRAM" {
-                        opm_bytes += b;
-                    }
-                    components.push(Component {
+/// Inline capacity for per-phase backing traffic: real profiles carry at
+/// most a handful of tiers plus the streaming remainder, so the hot path
+/// never heap-allocates.
+const BACKING_INLINE: usize = 8;
+
+/// Stack-first buffer of backing-traffic entries, preserving push order.
+struct BackingBuf {
+    inline: [BackingTier; BACKING_INLINE],
+    len: usize,
+    spill: Vec<BackingTier>,
+}
+
+impl BackingBuf {
+    fn new() -> Self {
+        BackingBuf {
+            inline: [(0.0, 0.0, 0.0, 0.0, 0.0); BACKING_INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, t: BackingTier) {
+        if self.len < BACKING_INLINE {
+            self.inline[self.len] = t;
+            self.len += 1;
+        } else {
+            self.spill.push(t);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &BackingTier> {
+        self.inline[..self.len].iter().chain(self.spill.iter())
+    }
+}
+
+/// Evaluate one folded phase against a resolved hierarchy, returning
+/// `(time, compute, memory, dram_bytes, opm_bytes)` and optionally pushing
+/// the per-component breakdown.
+fn eval_phase_core(
+    p: &PlatformSpec,
+    params: &ModelParams,
+    phase: &PhasePlan,
+    hier: &EffHierarchy,
+    flat_share: f64,
+    components: &mut Option<&mut Vec<Component>>,
+) -> (f64, f64, f64, f64, f64) {
+    // Compute side: threads beyond the core count (SMT) add no FLOP
+    // throughput, only memory-level parallelism.
+    let core_scale = (phase.threads.min(p.cores) as f64) / p.cores as f64;
+    let peak = p.dp_peak_gflops() * phase.compute_eff * core_scale;
+    let compute_ns = if phase.flops > 0.0 {
+        phase.flops / peak
+    } else {
+        0.0
+    };
+
+    let threads_mem = phase.threads.min(p.max_threads) as f64;
+    let mut memory_ns = 0.0;
+    let mut dram_bytes = 0.0;
+    let mut opm_bytes = 0.0;
+    let mut backing_traffic = BackingBuf::new();
+
+    // Distribute each tier across the cache chain.
+    for tier in &phase.tiers {
+        let mut served_below = 1.0; // fraction not yet absorbed
+        let mut absorbed_cum = 0.0;
+        // The concurrency/prefetch ramp (cache-valley effect) is driven
+        // by the last *on-die* cache the working set outgrew: memory-side
+        // OPM caches are transparent to the core-side prefetchers, so
+        // missing them does not re-expose latency (this is also why
+        // eDRAM never makes things worse, §5.1).
+        let mut upper_sharp_cap = 0.0;
+        for lvl in &hier.caches {
+            let cap = lvl.capacity.expect("cache level has capacity");
+            let a = lvl.absorb_fraction_with(tier.working_set, params.thrash);
+            let here = (a - absorbed_cum).max(0.0).min(served_below);
+            if here > 0.0 {
+                let b = tier.bytes * here;
+                let t = service_time(
+                    b,
+                    lvl,
+                    tier.working_set,
+                    upper_sharp_cap,
+                    threads_mem,
+                    tier.mlp,
+                    tier.p_max,
+                    params,
+                );
+                memory_ns += t;
+                if lvl.name.starts_with("MCDRAM") || lvl.name == "eDRAM" {
+                    opm_bytes += b;
+                }
+                if let Some(c) = components.as_deref_mut() {
+                    c.push(Component {
                         level: lvl.name,
                         bytes: b,
                         time_ns: t,
                     });
-                    served_below -= here;
-                    absorbed_cum += here;
                 }
-                if lvl.absorb == AbsorbKind::Sharp {
-                    upper_sharp_cap = cap;
-                }
+                served_below -= here;
+                absorbed_cum += here;
             }
-            if served_below > 1e-12 {
-                backing_traffic.push((
-                    bytes * served_below,
-                    tier.working_set,
-                    p_max,
-                    mlp,
-                    upper_sharp_cap,
-                ));
+            if lvl.absorb == AbsorbKind::Sharp {
+                upper_sharp_cap = cap;
             }
         }
-        // Streaming remainder: compulsory traffic with a working set far
-        // larger than any cache (use the footprint-equivalent: infinite).
-        let stream_bytes = phase.bytes * phase.streaming_fraction();
-        if stream_bytes > 0.0 {
+        if served_below > 1e-12 {
             backing_traffic.push((
-                stream_bytes,
-                f64::INFINITY,
-                phase.stream_prefetch,
-                phase.mlp,
-                0.0,
+                tier.bytes * served_below,
+                tier.working_set,
+                tier.p_max,
+                tier.mlp,
+                upper_sharp_cap,
             ));
         }
+    }
+    // Streaming remainder: compulsory traffic with a working set far
+    // larger than any cache (use the footprint-equivalent: infinite).
+    if phase.stream_bytes > 0.0 {
+        backing_traffic.push((
+            phase.stream_bytes,
+            f64::INFINITY,
+            phase.stream_prefetch,
+            phase.stream_mlp,
+            0.0,
+        ));
+    }
 
-        for (bytes, w, p_max, mlp, sharp_cap) in backing_traffic {
-            // Hybrid mode: a share of backing traffic is served by the flat
-            // OPM partition.
-            let (flat_b, back_b) = match &hier.flat_spec {
-                Some(_) => (bytes * hier.flat_share, bytes * (1.0 - hier.flat_share)),
-                None => (0.0, bytes),
-            };
-            if flat_b > 0.0 {
-                let spec = hier.flat_spec.as_ref().unwrap();
-                let t = service_time(
-                    flat_b,
-                    spec,
-                    w,
-                    sharp_cap,
-                    threads_mem,
-                    mlp,
-                    p_max,
-                    &self.params,
-                );
-                memory_ns += t;
-                opm_bytes += flat_b;
-                components.push(Component {
+    for &(bytes, w, p_max, mlp, sharp_cap) in backing_traffic.iter() {
+        // Hybrid mode: a share of backing traffic is served by the flat
+        // OPM partition.
+        let (flat_b, back_b) = match &hier.flat_spec {
+            Some(_) => (bytes * flat_share, bytes * (1.0 - flat_share)),
+            None => (0.0, bytes),
+        };
+        if flat_b > 0.0 {
+            let spec = hier.flat_spec.as_ref().unwrap();
+            let t = service_time(flat_b, spec, w, sharp_cap, threads_mem, mlp, p_max, params);
+            memory_ns += t;
+            opm_bytes += flat_b;
+            if let Some(c) = components.as_deref_mut() {
+                c.push(Component {
                     level: spec.name,
                     bytes: flat_b,
                     time_ns: t,
                 });
             }
-            if back_b > 0.0 {
-                let t = service_time(
-                    back_b,
-                    &hier.backing,
-                    w,
-                    sharp_cap,
-                    threads_mem,
-                    mlp,
-                    p_max,
-                    &self.params,
-                );
-                memory_ns += t;
-                if hier.backing.name.starts_with("MCDRAM") {
-                    // Flat mode: backing *is* the OPM (plus straddle DDR).
-                    opm_bytes += back_b;
-                    if hier.backing.name.contains("straddle") {
-                        dram_bytes += back_b * 0.3;
-                    }
-                } else {
-                    dram_bytes += back_b;
+        }
+        if back_b > 0.0 {
+            let t = service_time(
+                back_b,
+                &hier.backing,
+                w,
+                sharp_cap,
+                threads_mem,
+                mlp,
+                p_max,
+                params,
+            );
+            memory_ns += t;
+            if hier.backing.name.starts_with("MCDRAM") {
+                // Flat mode: backing *is* the OPM (plus straddle DDR).
+                opm_bytes += back_b;
+                if hier.backing.name.contains("straddle") {
+                    dram_bytes += back_b * 0.3;
                 }
-                components.push(Component {
+            } else {
+                dram_bytes += back_b;
+            }
+            if let Some(c) = components.as_deref_mut() {
+                c.push(Component {
                     level: hier.backing.name,
                     bytes: back_b,
                     time_ns: t,
                 });
             }
         }
-
-        let time_ns = compute_ns.max(memory_ns);
-        Estimate {
-            time_ns,
-            gflops: 0.0,
-            bandwidth_gbs: 0.0,
-            compute_ns,
-            memory_ns,
-            dram_bytes,
-            opm_bytes,
-            components,
-        }
     }
+
+    (
+        compute_ns.max(memory_ns),
+        compute_ns,
+        memory_ns,
+        dram_bytes,
+        opm_bytes,
+    )
 }
 
 /// Time (ns) for `bytes` served by `lvl`, given the working set `w` and the
@@ -667,7 +936,7 @@ fn service_time(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::Tier;
+    use crate::profile::{Phase, Tier};
     use crate::units::{GIB, MIB};
 
     fn stream_profile(footprint: f64) -> AccessProfile {
@@ -882,5 +1151,84 @@ mod tests {
     #[should_panic(expected = "config/platform mismatch")]
     fn mismatched_platform_panics() {
         PerfModel::new(PlatformSpec::broadwell(), OpmConfig::Knl(McdramMode::Cache));
+    }
+
+    /// Every OPM configuration of both machines.
+    fn all_configs() -> Vec<OpmConfig> {
+        vec![
+            OpmConfig::Broadwell(EdramMode::Off),
+            OpmConfig::Broadwell(EdramMode::On),
+            OpmConfig::Knl(McdramMode::Off),
+            OpmConfig::Knl(McdramMode::Cache),
+            OpmConfig::Knl(McdramMode::Flat),
+            OpmConfig::Knl(McdramMode::Hybrid),
+        ]
+    }
+
+    #[test]
+    fn planned_evaluation_is_bit_identical_to_direct() {
+        // The plan path must reproduce PerfModel::evaluate to the last
+        // bit for every configuration, including KNL flat past capacity
+        // (straddle rebuild) and hybrid (per-footprint flat share): the
+        // golden figure CSVs pin these exact values.
+        for config in all_configs() {
+            let model = PerfModel::for_config(config);
+            let plan = model.plan();
+            for mb in [1.0, 6.0, 64.0, 512.0, 4096.0, 20480.0] {
+                let prof = stream_profile(mb * MIB);
+                let direct = model.evaluate(&prof);
+                let pp = ProfilePlan::new(&prof).unwrap();
+                let planned = plan.evaluate_planned(&pp);
+                assert_eq!(
+                    direct.time_ns.to_bits(),
+                    planned.time_ns.to_bits(),
+                    "{config:?} at {mb} MiB"
+                );
+                assert_eq!(direct.gflops.to_bits(), planned.gflops.to_bits());
+                assert_eq!(direct.dram_bytes.to_bits(), planned.dram_bytes.to_bits());
+                assert_eq!(direct.opm_bytes.to_bits(), planned.opm_bytes.to_bits());
+                assert_eq!(direct.components, planned.components);
+                assert_eq!(
+                    planned.gflops.to_bits(),
+                    plan.gflops_planned(&pp).to_bits(),
+                    "lean path must share the accumulation order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gflops_axis_matches_pointwise_evaluation() {
+        let model = PerfModel::for_config(OpmConfig::Knl(McdramMode::Hybrid));
+        let plan = model.plan();
+        let profs: Vec<AccessProfile> = [2.0, 64.0, 2048.0, 32768.0]
+            .iter()
+            .map(|mb| stream_profile(mb * MIB))
+            .collect();
+        let plans: Vec<ProfilePlan> = profs.iter().map(|p| ProfilePlan::new(p).unwrap()).collect();
+        let axis = plan.gflops_axis(plans.iter());
+        for (i, p) in profs.iter().enumerate() {
+            assert_eq!(axis[i].to_bits(), model.evaluate(p).gflops.to_bits());
+        }
+    }
+
+    #[test]
+    fn profile_plan_folds_aggregates_and_rejects_invalid() {
+        let prof = stream_profile(64.0 * MIB);
+        let plan = ProfilePlan::new(&prof).unwrap();
+        assert_eq!(plan.footprint(), prof.footprint);
+        assert_eq!(plan.total_flops(), prof.total_flops());
+        assert_eq!(plan.total_bytes(), prof.total_bytes());
+        let mut bad = prof.clone();
+        bad.footprint = -1.0;
+        assert!(ProfilePlan::new(&bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid profile for")]
+    fn evaluate_still_panics_on_invalid_profile() {
+        let mut prof = stream_profile(64.0 * MIB);
+        prof.phases[0].bytes = 0.0;
+        PerfModel::for_config(OpmConfig::Broadwell(EdramMode::Off)).evaluate(&prof);
     }
 }

@@ -43,14 +43,17 @@
 //! fault injection; see [`crate::faultinject`]).
 
 use crate::faultinject::{FaultKind, FaultPlan, InjectedFault};
+use opm_core::perf::ProfilePlan;
 use opm_core::profile::{AccessProfile, ProfileKey};
 use opm_core::telemetry::{Counter, Telemetry, TelemetryMode};
 use std::any::Any;
 use std::cell::Cell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Acquire a mutex, recovering the guard if a previous holder panicked.
@@ -127,6 +130,10 @@ pub struct EngineConfig {
     /// Completed-point interval between [`StageJournal::progress`]
     /// flushes.
     pub checkpoint_every: usize,
+    /// Shard count of the profile cache (rounded up to a power of two,
+    /// minimum 1). More shards means less lock contention between
+    /// concurrent workers missing on different keys.
+    pub cache_shards: usize,
     /// Deterministic fault-injection plan (tests, CI smoke runs).
     pub fault_plan: Option<Arc<FaultPlan>>,
     /// Telemetry instance the engine reports into (`None` = the
@@ -152,6 +159,7 @@ impl EngineConfig {
             max_retries: env_usize("OPM_MAX_RETRIES", 2),
             backoff_base_us: 50,
             checkpoint_every: env_usize("OPM_CKPT_EVERY", 64).max(1),
+            cache_shards: env_usize("OPM_CACHE_SHARDS", DEFAULT_CACHE_SHARDS),
             fault_plan: FaultPlan::from_env().map(Arc::new),
             telemetry: None,
         }
@@ -189,6 +197,7 @@ impl Default for EngineConfig {
             max_retries: 2,
             backoff_base_us: 50,
             checkpoint_every: 64,
+            cache_shards: DEFAULT_CACHE_SHARDS,
             fault_plan: None,
             telemetry: None,
         }
@@ -384,12 +393,276 @@ impl EngineCounters {
     }
 }
 
+/// Default shard count of the profile cache. 16 shards keep the odds of
+/// two of 8–64 workers colliding on one lock low while the whole shard
+/// array still fits two cache lines of mutex headers.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// A memoized access profile together with its folded evaluation plan.
+///
+/// The plan ([`ProfilePlan`]) is configuration-independent, so one fold is
+/// reused across eDRAM on/off and all four MCDRAM modes exactly like the
+/// profile itself; sweeps pair it with a per-configuration
+/// [`opm_core::perf::EvalPlan`] to evaluate points without re-walking the
+/// tier vectors.
+///
+/// Profile and plan share one allocation: the cache's cold-miss path pays
+/// a single `Arc::new`, a clone is one refcount bump, and a cache slot is
+/// pointer-sized. Dereferences to the profile, so existing
+/// `AccessProfile` call sites read fields and pass `&pp` unchanged.
+#[derive(Clone)]
+pub struct PlannedProfile {
+    inner: Arc<PlannedInner>,
+}
+
+struct PlannedInner {
+    profile: AccessProfile,
+    plan: ProfilePlan,
+}
+
+impl PlannedProfile {
+    fn compute(compute: impl FnOnce() -> AccessProfile) -> Self {
+        let profile = compute();
+        let plan = ProfilePlan::new(&profile)
+            .unwrap_or_else(|e| panic!("invalid profile for {}: {e}", profile.kernel));
+        PlannedProfile {
+            inner: Arc::new(PlannedInner { profile, plan }),
+        }
+    }
+
+    /// The computed access profile.
+    pub fn profile(&self) -> &AccessProfile {
+        &self.inner.profile
+    }
+
+    /// Its folded evaluation plan.
+    pub fn plan(&self) -> &ProfilePlan {
+        &self.inner.plan
+    }
+
+    /// Whether two handles share the one memoized allocation (the
+    /// contention proptest pins that every caller of a coalesced compute
+    /// receives the same memoized value, not an equal copy).
+    pub fn ptr_eq(&self, other: &PlannedProfile) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::ops::Deref for PlannedProfile {
+    type Target = AccessProfile;
+
+    fn deref(&self) -> &AccessProfile {
+        &self.inner.profile
+    }
+}
+
+/// State of one in-flight profile computation, shared between the
+/// computing caller and any coalesced waiters.
+enum InFlight {
+    /// The first caller is still running `compute`.
+    Computing,
+    /// The computation finished; every waiter receives this value.
+    Done(PlannedProfile),
+    /// The computing caller panicked; waiters must retry from scratch
+    /// (one of them becomes the new computer).
+    Abandoned,
+}
+
+/// The condvar pair coalesced waiters block on. Allocated *lazily* by
+/// the first waiter, not by the computing caller: the common cold-sweep
+/// case (every key missed exactly once, no concurrent lookups of the
+/// same key) then pays neither the allocation nor the `notify_all`
+/// futex wake on its miss path.
+type FlightPair = Arc<(Mutex<InFlight>, Condvar)>;
+
+/// One pending-entry slot in a cache shard.
+enum Slot {
+    /// Memoized profile, served lock-free of any compute.
+    Ready(PlannedProfile),
+    /// A computation for this key is in flight; arrivals coalesce onto
+    /// it instead of duplicating the work. `None` until the first
+    /// waiter installs the [`FlightPair`] it wants to block on.
+    Pending(Option<FlightPair>),
+}
+
+/// Deterministic multiply-rotate hasher (FxHash-style) used both for
+/// shard selection and inside the shard `HashMap`s, replacing the two
+/// independent SipHash passes a `DefaultHasher` + default map hasher
+/// would cost per lookup. `ProfileKey` is a small fixed enum of
+/// integers, far from adversarial input, so DoS-resistant hashing buys
+/// nothing on this path.
+#[derive(Default)]
+struct FastHasher(u64);
+
+impl FastHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] (fixed seed — placement is
+/// deterministic across runs and processes).
+#[derive(Clone, Default)]
+struct FastBuild;
+
+impl std::hash::BuildHasher for FastBuild {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+type ShardMap = HashMap<ProfileKey, Slot, FastBuild>;
+
+/// N-way sharded, compute-coalescing profile cache.
+///
+/// Keys are distributed over `shards` independent `Mutex<HashMap>`s by
+/// key hash, so concurrent workers touching different keys almost never
+/// contend on a lock. A miss installs a [`Slot::Pending`] marker and
+/// computes *outside* the shard lock; concurrent lookups of the same key
+/// block on the marker's condvar and receive the one computed value —
+/// `compute` runs at most once per key, at every thread count.
+///
+/// Counter semantics (pinned by the engine tests and the contention
+/// proptest): every lookup increments exactly one of hits/misses — the
+/// caller that runs `compute` counts a miss, a caller served a memoized
+/// or coalesced value counts a hit. A panicking `compute` counts as the
+/// miss it started and wakes its waiters to retry.
+struct ShardedCache {
+    shards: Box<[Mutex<ShardMap>]>,
+    mask: usize,
+}
+
+impl ShardedCache {
+    /// Initial per-shard capacity. A cold sweep inserts tens of keys per
+    /// shard back to back; pre-sizing keeps the miss path free of the
+    /// incremental grow-and-rehash steps a default-capacity map would
+    /// take right in the measured loop.
+    const SHARD_CAPACITY: usize = 64;
+
+    fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedCache {
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(ShardMap::with_capacity_and_hasher(
+                        Self::SHARD_CAPACITY,
+                        FastBuild,
+                    ))
+                })
+                .collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, key: &ProfileKey) -> &Mutex<ShardMap> {
+        // One FastHasher pass; bits 32.. select the shard so the map's
+        // own bucket index (low bits of the same hash) stays uncorrelated
+        // with shard placement. Placement is deterministic (not that
+        // determinism depends on it — every shard holds the same
+        // (key, profile) pairs a single map would).
+        let mut h = FastHasher::default();
+        key.hash(&mut h);
+        &self.shards[((h.finish() >> 32) as usize) & self.mask]
+    }
+
+    /// Memoized entries (in-flight computations are not counted).
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock_recover(s)
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            lock_recover(s).retain(|_, v| matches!(v, Slot::Pending(_)));
+        }
+    }
+}
+
+/// Removes the pending marker and wakes waiters if `compute` unwinds, so
+/// a panicking profile constructor can never wedge coalesced callers.
+///
+/// While the computer runs, the slot for `key` is always *its* pending
+/// entry (only waiters touch it, and only to install a [`FlightPair`]),
+/// so the guard may remove unconditionally on unwind.
+struct PendingGuard<'a> {
+    shard: &'a Mutex<ShardMap>,
+    key: ProfileKey,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let removed = lock_recover(self.shard).remove(&self.key);
+        if let Some(Slot::Pending(Some(flight))) = removed {
+            *lock_recover(&flight.0) = InFlight::Abandoned;
+            flight.1.notify_all();
+        }
+    }
+}
+
 /// The sweep-execution engine: a worker pool plus the memoized profile
 /// cache, the stage log, and the point-failure log. See the module docs
 /// for the design.
 pub struct Engine {
     config: EngineConfig,
-    cache: Mutex<HashMap<ProfileKey, Arc<AccessProfile>>>,
+    cache: ShardedCache,
     hits: AtomicU64,
     misses: AtomicU64,
     stages: Mutex<Vec<StageRecord>>,
@@ -411,9 +684,10 @@ impl Engine {
             .clone()
             .unwrap_or_else(|| Telemetry::global().clone());
         let counters = EngineCounters::resolve(&tele);
+        let cache = ShardedCache::new(config.cache_shards);
         Engine {
             config,
-            cache: Mutex::new(HashMap::new()),
+            cache,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stages: Mutex::new(Vec::new()),
@@ -455,34 +729,102 @@ impl Engine {
         *lock_recover(&self.journal) = journal;
     }
 
-    /// Look up (or compute and memoize) the access profile for `key`.
+    /// Look up (or compute and memoize) the access profile for `key`,
+    /// returned with its folded evaluation plan ([`PlannedProfile`] —
+    /// the plan is computed once per key and shared across every
+    /// configuration sweeping the same grid).
     ///
     /// `compute` must be the pure profile constructor matching `key`; it
-    /// runs at most once per key while the cache is enabled. With the
+    /// runs at most once per key while the cache is enabled — concurrent
+    /// lookups of a key whose computation is in flight coalesce onto it
+    /// instead of duplicating the work (see [`ShardedCache`]). With the
     /// cache disabled every call computes afresh, which is what the
     /// determinism tests compare against.
     pub fn profile(
         &self,
         key: ProfileKey,
         compute: impl FnOnce() -> AccessProfile,
-    ) -> Arc<AccessProfile> {
+    ) -> PlannedProfile {
         if !self.config.cache_enabled {
-            return Arc::new(compute());
+            return PlannedProfile::compute(compute);
         }
-        if let Some(hit) = lock_recover(&self.cache).get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.counters.cache_hits.inc();
-            return hit;
+        let shard = self.cache.shard(&key);
+        loop {
+            let flight = {
+                let mut map = lock_recover(shard);
+                // One hash-and-probe covers hit, coalesce, and
+                // pending-marker install (the miss path's only other map
+                // op is publishing the Ready slot after compute).
+                match map.entry(key) {
+                    Entry::Occupied(mut occ) => match occ.get_mut() {
+                        Slot::Ready(p) => {
+                            let p = p.clone();
+                            drop(map);
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            self.counters.cache_hits.inc();
+                            return p;
+                        }
+                        // First waiter on this computation installs the
+                        // pair everyone (computer included) synchronizes
+                        // through; later waiters share it.
+                        Slot::Pending(opt) => match opt {
+                            Some(f) => f.clone(),
+                            None => {
+                                let f: FlightPair =
+                                    Arc::new((Mutex::new(InFlight::Computing), Condvar::new()));
+                                *opt = Some(f.clone());
+                                f
+                            }
+                        },
+                    },
+                    Entry::Vacant(vac) => {
+                        vac.insert(Slot::Pending(None));
+                        drop(map);
+                        // This caller owns the computation: count the miss
+                        // (even if `compute` unwinds — the work was
+                        // started) and run it outside every lock.
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.counters.cache_misses.inc();
+                        let mut guard = PendingGuard {
+                            shard,
+                            key,
+                            armed: true,
+                        };
+                        let fresh = PlannedProfile::compute(compute);
+                        guard.armed = false;
+                        let prev = lock_recover(shard).insert(key, Slot::Ready(fresh.clone()));
+                        // Only wake (and only then pay the futex syscall)
+                        // if a waiter actually coalesced while we computed.
+                        if let Some(Slot::Pending(Some(flight))) = prev {
+                            *lock_recover(&flight.0) = InFlight::Done(fresh.clone());
+                            flight.1.notify_all();
+                        }
+                        return fresh;
+                    }
+                }
+            };
+            // Coalesced path: block until the in-flight computation
+            // resolves. `Done` serves this lookup (a hit — the profile
+            // was not recomputed); `Abandoned` means the computer
+            // panicked, so retry from the top (at most one counter
+            // increment per lookup, attributed at resolution).
+            let mut state = lock_recover(&flight.0);
+            loop {
+                match &*state {
+                    InFlight::Done(p) => {
+                        let p = p.clone();
+                        drop(state);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.cache_hits.inc();
+                        return p;
+                    }
+                    InFlight::Abandoned => break,
+                    InFlight::Computing => {
+                        state = flight.1.wait(state).unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
         }
-        // Compute outside the lock: a concurrent duplicate costs a second
-        // computation of the same pure function, never a wrong result.
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.counters.cache_misses.inc();
-        let fresh = Arc::new(compute());
-        lock_recover(&self.cache)
-            .entry(key)
-            .or_insert(fresh)
-            .clone()
     }
 
     /// Lifetime profile-cache counters of this engine.
@@ -493,21 +835,16 @@ impl Engine {
         }
     }
 
-    /// Lifetime (hits, misses) of the profile cache.
-    #[deprecated(note = "use `cache_stats()` — it names the fields and derives the ratios")]
-    pub fn cache_counters(&self) -> (u64, u64) {
-        let s = self.cache_stats();
-        (s.hits, s.misses)
-    }
-
-    /// Distinct profiles currently memoized.
+    /// Distinct profiles currently memoized (in-flight computations are
+    /// not counted).
     pub fn cache_len(&self) -> usize {
-        lock_recover(&self.cache).len()
+        self.cache.len()
     }
 
-    /// Drop every memoized profile (counters are kept).
+    /// Drop every memoized profile (counters are kept; in-flight
+    /// computations complete and re-memoize normally).
     pub fn clear_cache(&self) {
-        lock_recover(&self.cache).clear();
+        self.cache.clear();
     }
 
     /// Record a point failure (also used by `opm-bench` for
@@ -951,7 +1288,7 @@ mod tests {
         };
         let a = eng.profile(key, || probe_profile(64));
         let b = eng.profile(key, || panic!("must not recompute"));
-        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.ptr_eq(&b));
         assert_eq!(eng.cache_stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(eng.cache_len(), 1);
     }
@@ -1178,18 +1515,99 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_cache_counters_matches_cache_stats() {
-        let eng = Engine::new(EngineConfig::serial());
+    fn coalescing_runs_compute_once_per_key_under_contention() {
+        // Many threads hammer the same hot key: the sharded cache must
+        // coalesce them onto one computation, with exactly one miss (the
+        // computer) and a hit for every other lookup.
+        let eng = engine_with(8);
+        let items: Vec<usize> = (0..400).collect();
+        let calls = AtomicU64::new(0);
         let key = ProfileKey::Stream {
-            n: 64,
-            unroll: 2,
-            threads: 1,
+            n: 4096,
+            unroll: 8,
+            threads: 8,
         };
-        let _ = eng.profile(key, || probe_profile(64));
-        let _ = eng.profile(key, || probe_profile(64));
+        let _ = eng.par_map(&items, |_| {
+            eng.profile(key, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                // Widen the in-flight window so concurrent lookups really
+                // do arrive while the computation is running.
+                std::thread::sleep(Duration::from_millis(20));
+                probe_profile(4096)
+            })
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "compute ran once");
+        assert_eq!(
+            eng.cache_stats(),
+            CacheStats {
+                hits: 399,
+                misses: 1
+            }
+        );
+        assert_eq!(eng.cache_len(), 1);
+    }
+
+    #[test]
+    fn panicking_compute_wakes_coalesced_waiters_for_retry() {
+        // The first computation of a key panics while waiters are
+        // coalesced on it: the pending marker must be removed and the
+        // waiters retried, so one of them recomputes and everyone gets a
+        // value — nobody deadlocks on an abandoned marker.
+        let eng = engine_with(4);
+        let items: Vec<usize> = (0..16).collect();
+        let failed_once = AtomicU64::new(0);
+        let key = ProfileKey::Fft3d {
+            n: 77,
+            threads: 1,
+            cores: 1,
+        };
+        let got = eng.par_map_isolated(
+            "poison_probe",
+            &items,
+            |_| {
+                eng.profile(key, || {
+                    if failed_once.fetch_add(1, Ordering::Relaxed) == 0 {
+                        std::thread::sleep(Duration::from_millis(10));
+                        panic!("first compute dies");
+                    }
+                    probe_profile(77)
+                })
+                .footprint
+            },
+            |_, _| f64::NAN,
+        );
+        // Every point except the one that owned the panicking compute
+        // resolves to the real profile.
+        assert!(got.iter().filter(|v| v.is_nan()).count() <= 1);
+        assert!(got.iter().any(|v| !v.is_nan()));
         let s = eng.cache_stats();
-        assert_eq!(eng.cache_counters(), (s.hits, s.misses));
+        assert_eq!(s.total(), 16, "each lookup counted exactly once");
+        assert_eq!(eng.cache_len(), 1);
+    }
+
+    #[test]
+    fn cache_shards_knob_is_normalized_and_preserves_behavior() {
+        for shards in [1usize, 3, 16, 64] {
+            let eng = Engine::new(EngineConfig {
+                threads: 4,
+                cache_shards: shards,
+                ..EngineConfig::default()
+            });
+            let items: Vec<usize> = (0..64).collect();
+            let _ = eng.par_map(&items, |&i| {
+                eng.profile(
+                    ProfileKey::Fft3d {
+                        n: i % 8,
+                        threads: 1,
+                        cores: 1,
+                    },
+                    || probe_profile(i % 8 + 1),
+                )
+            });
+            assert_eq!(eng.cache_len(), 8, "shards={shards}");
+            assert_eq!(eng.cache_stats().total(), 64, "shards={shards}");
+            assert_eq!(eng.cache_stats().misses, 8, "shards={shards}");
+        }
     }
 
     #[test]

@@ -111,9 +111,10 @@ fn dense_sweep_on(
         .flat_map(|&n| tiles.iter().map(move |&tile| (n, tile)))
         .collect();
     let label = format!("{}_sweep/{}", kernel.name(), config.label());
+    let plan = model.plan();
     engine.run_stage(&label, |eng| {
         let eval = |&(n, tile): &(usize, usize)| {
-            let prof = match kernel {
+            let pp = match kernel {
                 KernelId::Gemm => eng.profile(
                     ProfileKey::Gemm {
                         n,
@@ -136,7 +137,7 @@ fn dense_sweep_on(
             HeatPoint {
                 n,
                 tile,
-                gflops: model.evaluate(&prof).gflops,
+                gflops: plan.gflops_planned(pp.plan()),
             }
         };
         // A quarantined point keeps its grid coordinates; only the
@@ -196,10 +197,11 @@ pub fn sparse_sweep_on(
     let machine = config.machine();
     let threads = kernel.kernel().threads(machine);
     let label = format!("{}_sweep/{}", kernel.kernel().name(), config.label());
+    let plan = model.plan();
     engine.run_stage(&label, |eng| {
         let eval = |spec: &MatrixSpec| {
             let est = spec.estimate();
-            let prof = match kernel {
+            let pp = match kernel {
                 SparseKernelId::Spmv => eng.profile(
                     ProfileKey::spmv(est.rows, est.nnz, est.avg_col_span, threads),
                     || opm_sparse::spmv_profile(est.rows, est.nnz, est.avg_col_span, threads),
@@ -227,8 +229,8 @@ pub fn sparse_sweep_on(
             };
             SparsePoint {
                 spec: *spec,
-                footprint: prof.footprint,
-                gflops: model.evaluate(&prof).gflops,
+                footprint: pp.footprint,
+                gflops: plan.gflops_planned(pp.plan()),
             }
         };
         let placeholder = |spec: &MatrixSpec, _i: usize| SparsePoint {
@@ -257,10 +259,11 @@ pub fn stream_curve_on(engine: &Engine, config: OpmConfig, footprints: &[f64]) -
     let model = PerfModel::for_config(config);
     let threads = KernelId::Stream.threads(config.machine());
     let label = format!("stream_curve/{}", config.label());
+    let plan = model.plan();
     engine.run_stage(&label, |eng| {
         let eval = |&fp: &f64| {
             let n = (fp / 24.0).max(64.0) as usize;
-            let prof = eng.profile(
+            let pp = eng.profile(
                 ProfileKey::Stream {
                     n,
                     unroll: 4,
@@ -269,8 +272,8 @@ pub fn stream_curve_on(engine: &Engine, config: OpmConfig, footprints: &[f64]) -
                 || opm_stencil::stream_profile(n, 4, threads),
             );
             CurvePoint {
-                footprint: prof.footprint,
-                gflops: model.evaluate(&prof).gflops,
+                footprint: pp.footprint,
+                gflops: plan.gflops_planned(pp.plan()),
             }
         };
         // The footprint is a pure function of the requested size (three
@@ -303,9 +306,10 @@ pub fn stencil_curve_on(
     let threads = KernelId::Stencil.threads(machine);
     let c = cores(machine);
     let label = format!("stencil_curve/{}", config.label());
+    let plan = model.plan();
     engine.run_stage(&label, |eng| {
         let eval = |&(nx, ny, nz): &(usize, usize, usize)| {
-            let prof = eng.profile(
+            let pp = eng.profile(
                 ProfileKey::Stencil {
                     grid: (nx, ny, nz),
                     block: (64, 64, 96),
@@ -315,8 +319,8 @@ pub fn stencil_curve_on(
                 || opm_stencil::stencil_profile(nx, ny, nz, (64, 64, 96), threads, c),
             );
             CurvePoint {
-                footprint: prof.footprint,
-                gflops: model.evaluate(&prof).gflops,
+                footprint: pp.footprint,
+                gflops: plan.gflops_planned(pp.plan()),
             }
         };
         // Three grids of doubles: the footprint is derivable from the
@@ -344,9 +348,10 @@ pub fn fft_curve_on(engine: &Engine, config: OpmConfig, sizes: &[usize]) -> Vec<
     let threads = KernelId::Fft.threads(machine);
     let c = cores(machine);
     let label = format!("fft_curve/{}", config.label());
+    let plan = model.plan();
     engine.run_stage(&label, |eng| {
         let eval = |&n: &usize| {
-            let prof = eng.profile(
+            let pp = eng.profile(
                 ProfileKey::Fft3d {
                     n,
                     threads,
@@ -355,8 +360,8 @@ pub fn fft_curve_on(engine: &Engine, config: OpmConfig, sizes: &[usize]) -> Vec<
                 || opm_fft::fft3d_profile(n, threads, c),
             );
             CurvePoint {
-                footprint: prof.footprint,
-                gflops: model.evaluate(&prof).gflops,
+                footprint: pp.footprint,
+                gflops: plan.gflops_planned(pp.plan()),
             }
         };
         let placeholder = |_: &usize, _i: usize| CurvePoint {

@@ -333,11 +333,11 @@ fn profiles_are_shared_across_configs_of_one_machine() {
 /// Rebuild the reduced Fig. 12 CSV (Stream on Broadwell, both eDRAM
 /// modes) exactly the way `opm_bench::figures::curve_figure` does, but on
 /// an explicit engine so the thread count can vary within one process.
-fn fig12_reduced_csv(threads: usize) -> String {
+fn fig12_reduced_csv(threads: usize, cache_enabled: bool) -> String {
     // The reduced harness grid: `harness_stream_footprints` thins the
     // 64-sample paper sweep to `(64 / 3).max(12)` = 21 points.
     let footprints = paper_stream_footprints(Machine::Broadwell, 64 / 3);
-    let eng = engine(threads, true);
+    let eng = engine(threads, cache_enabled);
     let configs = OpmConfig::broadwell_modes();
     let curves: Vec<Vec<CurvePoint>> = configs
         .iter()
@@ -364,10 +364,37 @@ fn reduced_figure_is_byte_identical_to_golden_at_every_thread_count() {
     let golden = std::fs::read_to_string(&golden_path)
         .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
     for threads in [1usize, 4, 8] {
-        assert_eq!(
-            fig12_reduced_csv(threads),
-            golden,
-            "threads={threads}: reduced fig12 CSV diverged from tests/golden/"
-        );
+        for cache_enabled in [true, false] {
+            assert_eq!(
+                fig12_reduced_csv(threads, cache_enabled),
+                golden,
+                "threads={threads} cache={cache_enabled}: reduced fig12 CSV diverged from tests/golden/"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_sharding_cannot_perturb_simulated_counters() {
+    // Figure CSVs are analytic, so OPM_TRACE_SHARDS cannot touch them by
+    // construction; what it *could* perturb is any simulator-backed
+    // validation path. Pin the guarantee end to end: the full per-level
+    // counter set of a sharded milli-machine run is identical to the
+    // serial run at every shard count the acceptance matrix names.
+    use opm_memsim::{HierarchySim, Trace};
+    for config in [
+        OpmConfig::Broadwell(EdramMode::On),
+        OpmConfig::Knl(McdramMode::Cache),
+        OpmConfig::Knl(McdramMode::Flat),
+    ] {
+        let mut serial = HierarchySim::for_config(config, 1024);
+        let t = Trace::strided(0, 4 * 1024 * 1024, 192);
+        serial.run(&t);
+        let want = serial.result().clone();
+        for shards in [1usize, 2, 4] {
+            let mut sim = HierarchySim::for_config(config, 1024);
+            sim.run_sharded(&t, shards);
+            assert_eq!(*sim.result(), want, "{config:?} shards={shards}");
+        }
     }
 }

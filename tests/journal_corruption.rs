@@ -43,7 +43,7 @@ fn journal() -> &'static (String, String) {
         for completed in [16usize, 32, 48] {
             j.progress("sweep", completed, 48);
         }
-        j.mark_done().expect("mark done");
+        j.mark_done(48).expect("mark done");
         let text =
             std::fs::read_to_string(checkpoint::ckpt_path("prop_source")).expect("read journal");
         assert!(

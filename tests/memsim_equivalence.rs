@@ -434,6 +434,67 @@ proptest! {
     }
 }
 
+/// Run the trace serially, then sharded at `shards` — both via the
+/// production `HierarchySim`, and the serial side also re-validated
+/// against the struct-per-way reference. All three must agree on every
+/// counter, and the merged shard *state* must behave identically on a
+/// follow-up trace.
+fn assert_sharded_equivalent(config: OpmConfig, scale: u64, trace: &Trace, shards: usize) {
+    assert_hierarchy_equivalent(config, scale, trace);
+    let mut serial = HierarchySim::for_config(config, scale);
+    let mut sharded = serial.clone();
+    serial.run(trace);
+    sharded.run_sharded(trace, shards);
+    assert_eq!(
+        serial.result(),
+        sharded.result(),
+        "{config:?} scale={scale} shards={shards}"
+    );
+    let followup = Trace::random(0, 1 << 20, 4_000, 0xC0FFEE);
+    serial.run(&followup);
+    sharded.run(&followup);
+    assert_eq!(
+        serial.result(),
+        sharded.result(),
+        "{config:?} scale={scale} shards={shards}: merged state diverged"
+    );
+}
+
+#[test]
+fn sharded_hierarchy_matches_serial_and_reference_on_structured_traces() {
+    for scale in [1 << 20, 4096] {
+        for config in ALL_CONFIGS {
+            for shards in [2, 4] {
+                assert_sharded_equivalent(
+                    config,
+                    scale,
+                    &Trace::random(0, 4 << 20, 20_000, 2017),
+                    shards,
+                );
+                assert_sharded_equivalent(config, scale, &Trace::strided(0, 1 << 20, 4096), shards);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_hierarchy_matches_serial_on_random_traces(
+        cfg_idx in 0usize..ALL_CONFIGS.len(),
+        seed in 0u64..1 << 20,
+        shards in 2usize..9,
+    ) {
+        let trace = Trace::random(0, 2 << 20, 10_000, seed);
+        let mut serial = HierarchySim::for_config(ALL_CONFIGS[cfg_idx], 1 << 14);
+        let mut sharded = serial.clone();
+        serial.run(&trace);
+        sharded.run_sharded(&trace, shards);
+        prop_assert_eq!(serial.result(), sharded.result());
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Reuse-distance differential: Fenwick fast path vs LRU-stack reference.
 // ---------------------------------------------------------------------------

@@ -518,3 +518,95 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn coalescing_cache_computes_each_key_once_under_contention(
+        threads in 2usize..9,
+        reqs_per_thread in 1usize..5,
+        shards in 1usize..33,
+        hot_n in 64usize..4096,
+    ) {
+        // Many threads hammer one hot key (plus a few per-thread cold
+        // keys) through the sharded coalescing cache: the compute closure
+        // must run at most once per distinct key, every caller must get
+        // the one memoized Arc, and hits + misses must account for every
+        // request exactly.
+        use opm_repro::core::profile::ProfileKey;
+        use opm_repro::kernels::engine::{Engine, EngineConfig};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            cache_enabled: true,
+            cache_shards: shards,
+            ..EngineConfig::default()
+        });
+        let hot = ProfileKey::Gemm { n: hot_n, tile: 32, threads: 4, cores: 4 };
+        let hot_runs = AtomicUsize::new(0);
+        let cold_runs = AtomicUsize::new(0);
+        // Per thread: reqs hot + reqs cold + the one extra hot request.
+        let total_requests = threads * (2 * reqs_per_thread + 1);
+        let profiles: Vec<opm_repro::kernels::engine::PlannedProfile> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let (eng, hot) = (&eng, &hot);
+                        let (hot_runs, cold_runs) = (&hot_runs, &cold_runs);
+                        scope.spawn(move || {
+                            let mut got = Vec::new();
+                            for r in 0..reqs_per_thread {
+                                got.push(eng.profile(*hot, || {
+                                    hot_runs.fetch_add(1, Ordering::SeqCst);
+                                    opm_repro::dense::gemm_profile(hot_n, 32, 4, 4)
+                                }));
+                                // A per-thread cold key between hot hits
+                                // keeps the shard locks churning.
+                                let n = 8 + t * reqs_per_thread + r;
+                                got.push(eng.profile(
+                                    ProfileKey::Gemm { n, tile: 8, threads: 1, cores: 1 },
+                                    || {
+                                        cold_runs.fetch_add(1, Ordering::SeqCst);
+                                        opm_repro::dense::gemm_profile(n, 8, 1, 1)
+                                    },
+                                ));
+                            }
+                            // One extra hot request per thread so even
+                            // reqs_per_thread == 1 contends on the key.
+                            got.push(eng.profile(*hot, || {
+                                hot_runs.fetch_add(1, Ordering::SeqCst);
+                                opm_repro::dense::gemm_profile(hot_n, 32, 4, 4)
+                            }));
+                            got
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            });
+        // Compute ran at most once per distinct key, exactly once for hot.
+        prop_assert_eq!(hot_runs.load(Ordering::SeqCst), 1);
+        let distinct_cold = threads * reqs_per_thread;
+        prop_assert_eq!(cold_runs.load(Ordering::SeqCst), distinct_cold);
+        // Every hot caller got the single memoized Arc.
+        let hot_profiles: Vec<_> = profiles
+            .iter()
+            .filter(|p| p.footprint == opm_repro::dense::gemm_profile(hot_n, 32, 4, 4).footprint)
+            .collect();
+        for pair in hot_profiles.windows(2) {
+            prop_assert!(pair[0].ptr_eq(pair[1]), "hot profiles must share one allocation");
+        }
+        // Counter exactness: every request is a hit or a miss, misses
+        // equal distinct computed keys.
+        let stats = eng.cache_stats();
+        prop_assert_eq!(stats.misses as usize, 1 + distinct_cold);
+        prop_assert_eq!(
+            (stats.hits + stats.misses) as usize,
+            total_requests,
+            "hits {} + misses {} must equal {} requests",
+            stats.hits, stats.misses, total_requests
+        );
+        prop_assert_eq!(eng.cache_len(), 1 + distinct_cold);
+    }
+}
