@@ -177,9 +177,13 @@ USAGE:
       under results/telemetry by default; run `all_figures
       --telemetry full` to produce one). --follow re-renders every
       --interval-ms (default 500) until the run_end marker appears.
-      --campaign <dir> instead renders the shard liveness table of a
-      supervised `opm campaign` (state, attempt, restarts, heartbeat
-      age per shard) from <dir>/shards/supervisor.status.
+      --campaign <dir> instead renders the shard table of a supervised
+      `opm campaign`: state, attempt, restarts, and heartbeat age from
+      <dir>/shards/supervisor.status, plus per-shard points, pts/s, and
+      p50/p95/p99 point latency from each worker's live
+      <dir>/shards/snap-<i>of<n>.prom snapshot, and a TOTAL row from the
+      merged <dir>/telemetry/metrics.prom (falling back to the snapshot
+      union while the campaign runs).
   opm bench [--smoke] [--no-campaign] [--out <path>]
            [--compare <baseline.json>] [--fail-on-regression]
       run the memsim/engine hot-path speed program and write
@@ -204,8 +208,9 @@ USAGE:
   opm merge-shards [--dir <path>]
       reconcile <dir>/shards/shard-*/ outputs into <dir>: figure CSVs
       unioned, run_manifest.csv reordered with TOTAL recomputed,
-      run_errors.csv merged with supervisor shard rows, metrics.prom
-      counters summed.
+      run_errors.csv merged with supervisor shard rows, and metrics.prom
+      merged typed (counters summed, gauges maxed, latency-histogram
+      buckets summed exactly) — byte-identical to a single-process run.
 ";
 
 /// `opm campaign`: supervised multi-process shard execution (see

@@ -17,8 +17,13 @@
 //!   re-sorted by the same `(stage, point, message)` key the
 //!   single-process writer uses. Quoted cells (panic messages may
 //!   contain commas and newlines) are parsed per RFC 4180.
-//! - **`metrics.prom`** counters are summed series-wise across every
-//!   shard's telemetry dump and the supervisor's own counters.
+//! - **`metrics.prom`** is the typed merge of every shard's telemetry
+//!   dump plus the supervisor's own counters: counters summed
+//!   series-wise, gauges maxed (identical deterministic values collapse
+//!   to themselves), histogram buckets summed exactly — then re-rendered
+//!   through [`opm_core::telemetry::PromDump::render`], so the merged
+//!   file is byte-identical to a single-process run's regardless of
+//!   shard count.
 //!
 //! The determinism gate in `tests/shard_supervision.rs` holds merged
 //! output byte-identical to a fault-free single-process run for the
@@ -28,7 +33,7 @@
 use crate::manifest::ALL_FIGURES;
 use crate::shard;
 use opm_core::report::{atomic_write, RecordTable};
-use opm_core::telemetry::{parse_prom, render_prom, CounterSnapshot};
+use opm_core::telemetry::PromDump;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -227,7 +232,7 @@ pub fn merge_shards(campaign: &Path) -> Result<String, String> {
     let mut manifests: Vec<(String, String)> = Vec::new();
     let mut errors: Vec<(String, String)> = Vec::new();
     let mut quarantines: Vec<(String, String)> = Vec::new();
-    let mut prom: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut prom = PromDump::default();
 
     for (spec, dir) in &shards {
         let label = spec.label();
@@ -275,11 +280,9 @@ pub fn merge_shards(campaign: &Path) -> Result<String, String> {
         }
         let metrics = dir.join("telemetry").join("metrics.prom");
         if let Ok(text) = std::fs::read_to_string(&metrics) {
-            for (metric, labels, value) in
-                parse_prom(&text).map_err(|e| format!("shard {label} metrics.prom: {e}"))?
-            {
-                *prom.entry((metric, labels)).or_insert(0) += value;
-            }
+            let dump =
+                PromDump::parse(&text).map_err(|e| format!("shard {label} metrics.prom: {e}"))?;
+            prom.merge(&dump);
         }
     }
 
@@ -311,23 +314,12 @@ pub fn merge_shards(campaign: &Path) -> Result<String, String> {
 
     let sup_prom = shard::supervisor_prom_path(campaign);
     if let Ok(text) = std::fs::read_to_string(&sup_prom) {
-        for (metric, labels, value) in
-            parse_prom(&text).map_err(|e| format!("supervisor.prom: {e}"))?
-        {
-            *prom.entry((metric, labels)).or_insert(0) += value;
-        }
+        let dump = PromDump::parse(&text).map_err(|e| format!("supervisor.prom: {e}"))?;
+        prom.merge(&dump);
     }
     if !prom.is_empty() {
-        let counters: Vec<CounterSnapshot> = prom
-            .into_iter()
-            .map(|((metric, labels), value)| CounterSnapshot {
-                metric,
-                labels,
-                value,
-            })
-            .collect();
         let path = campaign.join("telemetry").join("metrics.prom");
-        atomic_write(&path, render_prom(&counters).as_bytes())
+        atomic_write(&path, prom.render().as_bytes())
             .map_err(|e| format!("writing merged metrics.prom: {e}"))?;
     }
 
@@ -343,6 +335,7 @@ pub fn merge_shards(campaign: &Path) -> Result<String, String> {
 mod tests {
     use super::*;
     use crate::shard::ShardSpec;
+    use opm_core::telemetry::{parse_prom, Telemetry, TelemetryMode};
 
     fn campaign_dir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("opm_merge_{tag}_{}", std::process::id()));
@@ -477,6 +470,45 @@ mod tests {
                 .filter(|(m, _, _)| m == "opm_shard_restarts_total")
                 .count(),
             2
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_folds_histograms_bucketwise_and_identically_to_one_process() {
+        let dir = campaign_dir("hist");
+        let s0 = ShardSpec { index: 0, count: 2 };
+        let s1 = ShardSpec { index: 1, count: 2 };
+        seed_shard(&dir, s0, &[]);
+        seed_shard(&dir, s1, &[]);
+        // Shard 0 observed two points of figA and one of the shared
+        // series; shard 1 the rest. The single-process reference observes
+        // everything in one registry.
+        let single = Telemetry::new(TelemetryMode::Summary);
+        let shard_obs: [&[(&str, u64)]; 2] = [
+            &[("stage=\"figA>sweep\"", 100), ("stage=\"figA>sweep\"", 900)],
+            &[("stage=\"figB>sweep\"", 70_000)],
+        ];
+        for (spec, obs) in [s0, s1].into_iter().zip(shard_obs) {
+            let tele = Telemetry::new(TelemetryMode::Summary);
+            for (labels, v) in obs {
+                tele.observe("opm_point_latency_ns", labels, *v);
+                single.observe("opm_point_latency_ns", labels, *v);
+            }
+            let tdir = shard::shard_results_dir(&dir, spec).join("telemetry");
+            std::fs::create_dir_all(&tdir).unwrap();
+            std::fs::write(tdir.join("metrics.prom"), tele.render_prom()).unwrap();
+        }
+        merge_shards(&dir).unwrap();
+        let merged = std::fs::read_to_string(dir.join("telemetry").join("metrics.prom")).unwrap();
+        assert_eq!(merged, single.render_prom(), "merged != single-process");
+        assert!(
+            merged.contains("opm_point_latency_ns_bucket{stage=\"figA>sweep\",le=\"+Inf\"} 2"),
+            "{merged}"
+        );
+        assert!(
+            merged.contains("opm_point_latency_ns_count{stage=\"figB>sweep\"} 1"),
+            "{merged}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -23,8 +23,9 @@
 
 use crate::manifest::{self, RunOptions};
 use opm_core::report::atomic_write;
+use opm_core::telemetry::{CounterSnapshot, Telemetry};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default heartbeat interval for shard workers (override with
 /// `OPM_HEARTBEAT_MS`).
@@ -116,6 +117,21 @@ pub fn shard_results_dir(campaign: &Path, spec: ShardSpec) -> PathBuf {
 /// A shard's heartbeat file.
 pub fn heartbeat_path(campaign: &Path, spec: ShardSpec) -> PathBuf {
     shards_dir(campaign).join(format!("hb-{}", spec.label()))
+}
+
+/// A shard's live telemetry snapshot (counters + gauges + latency
+/// histograms in v2 exposition format), written next to its heartbeat
+/// and read by `opm top --campaign` for per-shard rates and quantiles.
+pub fn snapshot_path(campaign: &Path, spec: ShardSpec) -> PathBuf {
+    shards_dir(campaign).join(format!("snap-{}.prom", spec.label()))
+}
+
+/// Derive the snapshot path from a worker's heartbeat path
+/// (`hb-<label>` → sibling `snap-<label>.prom`), so workers need no
+/// extra environment beyond `OPM_HEARTBEAT`.
+pub fn snapshot_path_for_heartbeat(hb: &Path) -> Option<PathBuf> {
+    let label = hb.file_name()?.to_str()?.strip_prefix("hb-")?;
+    Some(hb.with_file_name(format!("snap-{label}.prom")))
 }
 
 /// A shard worker's combined stdout+stderr log.
@@ -211,6 +227,50 @@ pub fn start_heartbeat(path: PathBuf, interval: Duration) {
     }
 }
 
+/// Atomically write one live telemetry snapshot of the global registry
+/// to `path`: the worker's full v2 Prometheus dump plus a wall-clock
+/// `opm_snapshot_uptime_ms` gauge (what `opm top` divides point counts
+/// by for pts/s). The uptime gauge is nondeterministic, which is why it
+/// exists *only* in snapshots — `opm merge-shards` reads each shard's
+/// final `telemetry/metrics.prom` and never these files, keeping merged
+/// output byte-identical across shard counts.
+pub fn write_snapshot(path: &Path, uptime: Duration) {
+    let tele = Telemetry::global();
+    if !tele.enabled() {
+        return;
+    }
+    let mut dump = tele.prom_dump();
+    dump.gauges.push(CounterSnapshot {
+        metric: "opm_snapshot_uptime_ms".to_string(),
+        labels: String::new(),
+        value: uptime.as_millis() as u64,
+    });
+    dump.sort();
+    if let Err(e) = atomic_write(path, dump.render().as_bytes()) {
+        eprintln!("snapshot: writing {}: {e}", path.display());
+    }
+}
+
+/// Start the detached snapshot thread: every `interval` it rewrites
+/// `path` with [`write_snapshot`]. Like the heartbeat, the thread dies
+/// with the process; unlike the heartbeat it keeps writing through an
+/// injected hang (the wedged evaluation thread is not this one), so a
+/// livelocked worker's last snapshot shows where progress stopped.
+pub fn start_snapshots(path: PathBuf, interval: Duration) {
+    let spawned = std::thread::Builder::new()
+        .name("opm-snapshot".into())
+        .spawn(move || {
+            let start = Instant::now();
+            loop {
+                write_snapshot(&path, start.elapsed());
+                std::thread::sleep(interval);
+            }
+        });
+    if let Err(e) = spawned {
+        eprintln!("snapshot: thread spawn failed: {e}");
+    }
+}
+
 /// Entry point of `opm shard-worker`: run this shard's slice of the
 /// campaign in-process. The supervisor points `OPM_RESULTS` at the
 /// shard's private results dir and `OPM_HEARTBEAT` at its heartbeat
@@ -239,13 +299,20 @@ pub fn run_worker(args: &crate::cli::Args) -> Result<String, String> {
         .get("resume")
         .map(|v| v == "true")
         .unwrap_or(false);
+    let started = Instant::now();
+    let mut snap: Option<PathBuf> = None;
     if let Ok(hb) = std::env::var("OPM_HEARTBEAT") {
         let interval = std::env::var("OPM_HEARTBEAT_MS")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_HEARTBEAT_MS)
             .max(10);
-        start_heartbeat(PathBuf::from(hb), Duration::from_millis(interval));
+        let hb = PathBuf::from(hb);
+        snap = snapshot_path_for_heartbeat(&hb);
+        if let Some(path) = &snap {
+            start_snapshots(path.clone(), Duration::from_millis(interval.max(100)));
+        }
+        start_heartbeat(hb, Duration::from_millis(interval));
     }
     let mine = spec.assigned_figures(names.as_deref());
     eprintln!(
@@ -258,6 +325,11 @@ pub fn run_worker(args: &crate::cli::Args) -> Result<String, String> {
         if resume { ", resuming" } else { "" },
     );
     manifest::run_and_write_opt(Some(&mine), &RunOptions { resume });
+    // Final snapshot so `opm top` sees the completed totals rather than
+    // the last periodic write.
+    if let Some(path) = &snap {
+        write_snapshot(path, started.elapsed());
+    }
     Ok(format!("shard {spec} completed {} figure(s)", mine.len()))
 }
 
@@ -324,6 +396,50 @@ mod tests {
         assert_eq!(found.len(), 2);
         assert_eq!(found[0].0, s0);
         assert_eq!(found[1].0, s1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_path_derives_from_heartbeat_path() {
+        let campaign = Path::new("/tmp/camp");
+        let spec = ShardSpec { index: 1, count: 4 };
+        let hb = heartbeat_path(campaign, spec);
+        assert_eq!(
+            snapshot_path_for_heartbeat(&hb),
+            Some(snapshot_path(campaign, spec))
+        );
+        assert_eq!(snapshot_path_for_heartbeat(Path::new("/tmp/other")), None);
+    }
+
+    #[test]
+    fn write_snapshot_appends_the_uptime_gauge() {
+        let dir = std::env::temp_dir().join(format!("opm_shard_snap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap-0of1.prom");
+        // The global registry may be Off in a bare test process; exercise
+        // the dump shape directly through a local Telemetry instead.
+        let tele = opm_core::telemetry::Telemetry::new(opm_core::telemetry::TelemetryMode::Summary);
+        tele.counter("opm_points_total").add(3);
+        let mut dump = tele.prom_dump();
+        dump.gauges.push(CounterSnapshot {
+            metric: "opm_snapshot_uptime_ms".to_string(),
+            labels: String::new(),
+            value: 1234,
+        });
+        dump.sort();
+        atomic_write(&path, dump.render().as_bytes()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# opm-telemetry v2"), "{text}");
+        assert!(text.contains("opm_points_total 3"), "{text}");
+        assert!(text.contains("opm_snapshot_uptime_ms 1234"), "{text}");
+        // The uptime gauge round-trips through the typed parser like any
+        // other series (opm top reads snapshots with PromDump::parse).
+        let parsed = opm_core::telemetry::PromDump::parse(&text).unwrap();
+        assert!(parsed
+            .gauges
+            .iter()
+            .any(|g| g.metric == "opm_snapshot_uptime_ms" && g.value == 1234));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -28,7 +28,7 @@
 
 use crate::shard::{self, ShardSpec};
 use opm_core::report::{atomic_write, RecordTable};
-use opm_core::telemetry::{render_prom, CounterSnapshot};
+use opm_core::telemetry::{render_prom, CounterSnapshot, PromDump};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -167,6 +167,12 @@ fn spawn_worker(opts: &CampaignOptions, exe: &PathBuf, w: &mut Worker) -> Result
         .stdin(Stdio::null())
         .stdout(Stdio::from(log))
         .stderr(Stdio::from(log_err));
+    // Campaigns observe by default: workers run with full telemetry
+    // unless the caller pinned a mode, so every campaign leaves traces,
+    // flight recorders, and mergeable histograms behind.
+    if std::env::var_os("OPM_TELEMETRY").is_none() {
+        cmd.env("OPM_TELEMETRY", "full");
+    }
     if let Some(figures) = &opts.figures {
         cmd.arg("--only").arg(figures.join(","));
     }
@@ -269,6 +275,35 @@ fn write_prom(opts: &CampaignOptions, workers: &[Worker]) {
     }
 }
 
+/// Write `shards/live.prom`: the live union of every worker's telemetry
+/// snapshot (counters summed, gauges maxed, histogram buckets summed) —
+/// a single scrape target for campaign-wide progress while workers are
+/// still running. Best-effort: absent or torn snapshots are skipped.
+fn write_live(opts: &CampaignOptions, workers: &[Worker]) {
+    let mut live = PromDump::default();
+    let mut merged_any = false;
+    for w in workers {
+        let snap = shard::snapshot_path(&opts.dir, w.spec);
+        let Ok(text) = std::fs::read_to_string(&snap) else {
+            continue;
+        };
+        match PromDump::parse(&text) {
+            Ok(dump) => {
+                live.merge(&dump);
+                merged_any = true;
+            }
+            Err(e) => eprintln!("supervisor: parsing {}: {e}", snap.display()),
+        }
+    }
+    if !merged_any {
+        return;
+    }
+    let path = shard::shards_dir(&opts.dir).join("live.prom");
+    if let Err(e) = atomic_write(&path, live.render().as_bytes()) {
+        eprintln!("supervisor: writing {}: {e}", path.display());
+    }
+}
+
 /// Write `shards/supervisor_errors.csv` (run_errors schema) with one
 /// row per quarantined shard; header-only when none.
 fn write_errors(opts: &CampaignOptions, workers: &[Worker]) {
@@ -335,6 +370,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> Result<String, String> {
 
     let poll = Duration::from_millis((opts.heartbeat_ms / 2).clamp(20, 200));
     let mut last_status = String::new();
+    let mut last_live = Instant::now();
     loop {
         for w in &mut workers {
             match &mut w.state {
@@ -403,6 +439,10 @@ pub fn run_campaign(opts: &CampaignOptions) -> Result<String, String> {
             write_prom(opts, &workers);
             last_status = status;
         }
+        if last_live.elapsed() >= Duration::from_secs(1) {
+            write_live(opts, &workers);
+            last_live = Instant::now();
+        }
         if finished {
             break;
         }
@@ -410,6 +450,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> Result<String, String> {
     }
     write_status(opts, &workers, true);
     write_prom(opts, &workers);
+    write_live(opts, &workers);
     write_errors(opts, &workers);
 
     let restarts: usize = workers.iter().map(|w| w.restarts).sum();

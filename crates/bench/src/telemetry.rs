@@ -11,10 +11,11 @@
 
 use crate::out_dir;
 use opm_core::platform::{EdramMode, McdramMode, OpmConfig};
-use opm_core::telemetry::{JsonlSink, Telemetry};
+use opm_core::telemetry::{flight_dump, install_flight_recorder, JsonlSink, Telemetry};
 use opm_memsim::{HierarchySim, Trace};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Once};
+use std::time::Duration;
 
 /// Directory holding the JSONL traces and the Prometheus dump
 /// (`<out_dir>/telemetry`).
@@ -69,6 +70,11 @@ pub fn init(tele: &Arc<Telemetry>) -> Option<TelemetryRun> {
             return None;
         }
     }
+    // The flight recorder sees every span (including per-point begins)
+    // and instant; its dumps are the crash post-mortem of this process.
+    let recorder = install_flight_recorder(&dir.join(format!("flight-{id}.jsonl")));
+    tele.add_sink(recorder);
+    install_flight_hooks();
     tele.instant(
         "run_start",
         &[
@@ -83,6 +89,29 @@ pub fn init(tele: &Arc<Telemetry>) -> Option<TelemetryRun> {
     })
 }
 
+/// One-time process hooks backing the flight recorder: a chained panic
+/// hook dumping on any panic (injected faults included), and a detached
+/// periodic dump thread so even an external SIGKILL — the supervisor's
+/// hang watchdog — leaves a post-mortem no older than the dump
+/// interval.
+fn install_flight_hooks() {
+    static HOOKS: Once = Once::new();
+    HOOKS.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            flight_dump("panic");
+            prev(info);
+        }));
+        std::thread::Builder::new()
+            .name("opm-flight-dump".into())
+            .spawn(|| loop {
+                std::thread::sleep(Duration::from_millis(250));
+                flight_dump("periodic");
+            })
+            .ok();
+    });
+}
+
 impl TelemetryRun {
     /// Close the run: run the memsim probe, publish every counter into
     /// the trace, emit `run_end`, write `metrics.prom`, and detach the
@@ -91,6 +120,7 @@ impl TelemetryRun {
     pub fn finish(self) {
         memsim_probe(&self.tele);
         self.tele.publish_counters();
+        self.tele.publish_histograms();
         self.tele.instant("run_end", &[]);
         match self.tele.write_prom(&self.prom_path) {
             Ok(()) => eprintln!(
@@ -157,6 +187,16 @@ pub fn memsim_probe(tele: &Telemetry) {
             continue;
         }
         r.publish(tele);
+        // Derived per-level byte-share gauges (milli), computed from the
+        // same SimResult counters published above so the two views
+        // reconcile exactly.
+        for (level, share) in r.level_byte_shares() {
+            tele.set_gauge(
+                "opm_memsim_level_bytes_share_milli",
+                &format!("config=\"{}\",level=\"{level}\"", config.label()),
+                share,
+            );
+        }
         total += r.accesses;
     }
     span.arg("accesses", total);
@@ -228,5 +268,43 @@ mod tests {
         memsim_probe(&a);
         memsim_probe(&b);
         assert_eq!(a.snapshot_counters(), b.snapshot_counters());
+        assert_eq!(a.snapshot_gauges(), b.snapshot_gauges());
+    }
+
+    #[test]
+    fn probe_byte_share_gauges_reconcile_per_config() {
+        let tele = Telemetry::new(TelemetryMode::Summary);
+        memsim_probe(&tele);
+        let gauges: Vec<_> = tele
+            .snapshot_gauges()
+            .into_iter()
+            .filter(|g| g.metric == "opm_memsim_level_bytes_share_milli")
+            .collect();
+        assert!(!gauges.is_empty());
+        // Every probed configuration reports shares, each bounded by
+        // 1000 milli and summing to ~1000 within per-level rounding.
+        let mut configs: Vec<String> = gauges
+            .iter()
+            .filter_map(|g| {
+                g.labels
+                    .split(',')
+                    .find(|p| p.starts_with("config="))
+                    .map(str::to_string)
+            })
+            .collect();
+        configs.sort();
+        configs.dedup();
+        assert_eq!(configs.len(), 6, "{configs:?}");
+        for cfg in &configs {
+            let shares: Vec<u64> = gauges
+                .iter()
+                .filter(|g| g.labels.contains(cfg.as_str()))
+                .map(|g| g.value)
+                .collect();
+            assert!(shares.iter().all(|&s| s <= 1000), "{cfg}: {shares:?}");
+            let sum: u64 = shares.iter().sum();
+            let n = shares.len() as u64;
+            assert!(sum >= 1000 - n && sum <= 1000 + n, "{cfg}: sum {sum}");
+        }
     }
 }

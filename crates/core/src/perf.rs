@@ -366,6 +366,27 @@ pub struct Estimate {
     pub components: Vec<Component>,
 }
 
+impl Estimate {
+    /// The component breakdown aggregated by serving level, preserving
+    /// first-appearance order: `(level, bytes, time_ns)`. One level can
+    /// appear in many components (per tier, per phase); this is the
+    /// per-level traffic view the roofline-attribution telemetry
+    /// reports.
+    pub fn level_traffic(&self) -> Vec<(&'static str, f64, f64)> {
+        let mut out: Vec<(&'static str, f64, f64)> = Vec::new();
+        for c in &self.components {
+            match out.iter_mut().find(|(name, _, _)| *name == c.level) {
+                Some((_, bytes, time_ns)) => {
+                    *bytes += c.bytes;
+                    *time_ns += c.time_ns;
+                }
+                None => out.push((c.level, c.bytes, c.time_ns)),
+            }
+        }
+        out
+    }
+}
+
 /// Folded per-profile evaluation state: per-tier prefetch/MLP resolution
 /// against the phase defaults, per-tier byte counts, the streaming
 /// remainder, and the profile aggregates are all computed once, so a sweep

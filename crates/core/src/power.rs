@@ -150,6 +150,17 @@ pub fn breakeven_gain(w: f64) -> f64 {
     w
 }
 
+/// The paper's measured fractional power overhead `W` of enabling the
+/// OPM on each machine (§5.2): ~8.6 % for eDRAM on Broadwell, ~6.9 %
+/// for MCDRAM on KNL. The roofline-attribution telemetry reports each
+/// point's distance to this Eq. 1 break-even gain.
+pub fn opm_power_overhead(machine: Machine) -> f64 {
+    match machine {
+        Machine::Broadwell => 0.086,
+        Machine::Knl => 0.069,
+    }
+}
+
 /// Energy–Delay product `E·T^weight` (paper §5.2 points to EDP-style
 /// metrics \[18\] for users whose objective sits between pure performance
 /// and pure energy): `weight = 0` optimizes energy, `1` classic EDP,

@@ -118,6 +118,32 @@ pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Number of log2 latency buckets used by the telemetry histograms:
+/// upper edges `2^0 .. 2^41` (nanosecond scale: ~1 ns to ~36 minutes)
+/// plus a final `+Inf` bucket. The edge set is fixed so histograms
+/// recorded by different threads, processes, or shards merge exactly
+/// (bucket-wise integer addition) and re-render byte-identically.
+pub const LOG2_BUCKETS: usize = 43;
+
+/// Bucket index of `v` under the fixed log2 edges: the smallest `k`
+/// with `v <= 2^k` (bucket 0 holds 0 and 1), or the `+Inf` bucket
+/// (`LOG2_BUCKETS - 1`) past the last finite edge.
+pub fn log2_bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    // ceil(log2(v)) for v >= 2.
+    let idx = 64 - (v - 1).leading_zeros() as usize;
+    idx.min(LOG2_BUCKETS - 1)
+}
+
+/// Upper edge of bucket `i` (`Some(2^i)`), or `None` for the `+Inf`
+/// bucket.
+pub fn log2_bucket_le(i: usize) -> Option<u64> {
+    assert!(i < LOG2_BUCKETS, "bucket index out of range");
+    (i < LOG2_BUCKETS - 1).then(|| 1u64 << i)
+}
+
 /// Geometric mean (all inputs must be positive).
 pub fn geomean(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "geomean: empty sample");

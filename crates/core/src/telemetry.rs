@@ -27,18 +27,31 @@
 //! spans are inert no-ops and counter increments are single relaxed
 //! atomic adds.
 
+use crate::stats::{log2_bucket_index, log2_bucket_le, LOG2_BUCKETS};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::fs;
 use std::io::{BufWriter, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
 /// Separator between path segments of nested spans.
 pub const PATH_SEP: char = '>';
+
+/// Version tag of the telemetry stream. The JSONL trace leads with a
+/// `{"schema":"opm-telemetry/v2",...}` record and the Prometheus dump
+/// with a [`PROM_HEADER`] comment; readers accept v1 (absent header)
+/// and v2 alike.
+pub const TELEMETRY_SCHEMA: &str = "opm-telemetry/v2";
+
+/// Leading comment of a v2 Prometheus exposition.
+pub const PROM_HEADER: &str = "# opm-telemetry v2";
+
+/// Default capacity of the [`FlightRecorder`] event ring.
+pub const FLIGHT_RING_CAP: usize = 256;
 
 /// Acquire a mutex, recovering from poisoning (telemetry data is plain
 /// accumulation; a panic elsewhere must not wedge the trace).
@@ -132,10 +145,132 @@ impl CounterSnapshot {
     }
 }
 
+/// A live log2-bucketed latency histogram. Observations are relaxed
+/// atomic adds into the fixed [`LOG2_BUCKETS`] edge set plus an exact
+/// integer `sum` and `count` — increments commute, so the snapshot is
+/// exactly equal for every thread interleaving, and two histograms of
+/// the same series merge by plain bucket-wise addition.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: (0..LOG2_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[log2_bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, metric: &str, labels: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            metric: metric.to_string(),
+            labels: labels.to_string(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One histogram series with its per-bucket counts (non-cumulative; the
+/// Prometheus renderer cumulates at output time), as delivered to sinks
+/// and the merge path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name (`opm_point_latency_ns`, ...).
+    pub metric: String,
+    /// Label set without braces and without the `le` bucket label.
+    pub labels: String,
+    /// Per-bucket observation counts under the fixed log2 edges
+    /// (length [`LOG2_BUCKETS`]), **not** cumulative.
+    pub buckets: Vec<u64>,
+    /// Exact integer sum of every observation.
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty series (all buckets zero) for `metric{labels}`.
+    pub fn empty(metric: &str, labels: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            metric: metric.to_string(),
+            labels: labels.to_string(),
+            buckets: vec![0; LOG2_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// `metric{labels}` (or bare metric when unlabeled).
+    pub fn series(&self) -> String {
+        if self.labels.is_empty() {
+            self.metric.clone()
+        } else {
+            format!("{}{{{}}}", self.metric, self.labels)
+        }
+    }
+
+    /// Fold `other` (same series) into `self`: bucket-wise addition plus
+    /// `sum`/`count`. Exact — merging shard or thread histograms in any
+    /// order re-renders byte-identically to a single-process run.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket layout");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// `q`-quantile (0..=1) under the upper-bucket-edge rule: the upper
+    /// edge of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`. Deterministic given the bucket counts, so
+    /// `opm top` and a recomputation from the merged metrics.prom agree
+    /// exactly. Returns 0 on an empty series and `u64::MAX` when the
+    /// rank lands in the `+Inf` bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return log2_bucket_le(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
 /// Receiver of telemetry output. All methods have no-op defaults so a
 /// sink implements only what it consumes.
 pub trait TelemetrySink: Send + Sync {
-    /// A span opened (B phase; emitted for `figure`/`stage` categories).
+    /// A span opened (B phase; emitted for every category — sinks that
+    /// render B/E pairs skip `point`, which arrives as a complete span
+    /// via [`TelemetrySink::span_end`]).
     fn span_begin(&self, _name: &str, _cat: &'static str, _path: &str, _ts_us: u64, _tid: u64) {}
     /// A span closed.
     fn span_end(&self, _record: &SpanRecord) {}
@@ -143,6 +278,8 @@ pub trait TelemetrySink: Send + Sync {
     fn instant(&self, _name: &str, _args: &[(String, String)], _ts_us: u64, _tid: u64) {}
     /// A counter snapshot was published.
     fn counters(&self, _snapshot: &[CounterSnapshot], _ts_us: u64) {}
+    /// A histogram snapshot was published.
+    fn histograms(&self, _snapshot: &[HistogramSnapshot], _ts_us: u64) {}
 }
 
 /// Handle to one monotonic counter; increments are relaxed atomic adds.
@@ -189,6 +326,8 @@ pub struct Telemetry {
     epoch: Instant,
     sinks: RwLock<Vec<Arc<dyn TelemetrySink>>>,
     counters: Mutex<BTreeMap<(String, String), Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<(String, String), Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<(String, String), Arc<Histogram>>>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -210,6 +349,8 @@ impl Telemetry {
             epoch: Instant::now(),
             sinks: RwLock::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -305,10 +446,8 @@ impl Telemetry {
         };
         SPAN_STACK.with(|s| s.borrow_mut().push((self.id, path.clone())));
         let start_us = self.now_us();
-        if cat != "point" {
-            for sink in self.sinks() {
-                sink.span_begin(name, cat, &path, start_us, thread_id());
-            }
+        for sink in self.sinks() {
+            sink.span_begin(name, cat, &path, start_us, thread_id());
         }
         Span {
             tele: Some(self),
@@ -376,9 +515,83 @@ impl Telemetry {
         }
     }
 
-    /// Render every counter as Prometheus text exposition.
+    /// Set the gauge `metric{labels}` to `v` (registers it on first
+    /// use). Gauges carry derived *instantaneous* values — roofline
+    /// attribution, byte shares — that are deterministic functions of
+    /// the run configuration; the shard merge takes the max per series,
+    /// which on identical deterministic values is the value itself.
+    pub fn set_gauge(&self, metric: &str, labels: &str, v: u64) {
+        lock(&self.gauges)
+            .entry((metric.to_string(), labels.to_string()))
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .store(v, Ordering::Relaxed);
+    }
+
+    /// Snapshot of every registered gauge, sorted by (metric, labels).
+    pub fn snapshot_gauges(&self) -> Vec<CounterSnapshot> {
+        lock(&self.gauges)
+            .iter()
+            .map(|((metric, labels), v)| CounterSnapshot {
+                metric: metric.clone(),
+                labels: labels.clone(),
+                value: v.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Handle to the histogram `metric{labels}` (registered on first
+    /// use).
+    pub fn histogram_with(&self, metric: &str, labels: &str) -> Arc<Histogram> {
+        lock(&self.histograms)
+            .entry((metric.to_string(), labels.to_string()))
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Record `v` into the histogram `metric{labels}`.
+    pub fn observe(&self, metric: &str, labels: &str, v: u64) {
+        self.histogram_with(metric, labels).observe(v);
+    }
+
+    /// Snapshot of every registered histogram, sorted by
+    /// (metric, labels).
+    pub fn snapshot_histograms(&self) -> Vec<HistogramSnapshot> {
+        lock(&self.histograms)
+            .iter()
+            .map(|((metric, labels), h)| h.snapshot(metric, labels))
+            .collect()
+    }
+
+    /// Push the current histogram snapshot to every sink.
+    pub fn publish_histograms(&self) {
+        if !self.enabled() {
+            return;
+        }
+        let snap = self.snapshot_histograms();
+        if snap.is_empty() {
+            return;
+        }
+        let ts = self.now_us();
+        for sink in self.sinks() {
+            sink.histograms(&snap, ts);
+        }
+    }
+
+    /// Typed snapshot of every counter, gauge, and histogram — the unit
+    /// the Prometheus renderer, the shard snapshot files, and the exact
+    /// merge all operate on.
+    pub fn prom_dump(&self) -> PromDump {
+        PromDump {
+            counters: self.snapshot_counters(),
+            gauges: self.snapshot_gauges(),
+            histograms: self.snapshot_histograms(),
+        }
+    }
+
+    /// Render every counter, gauge, and histogram as a v2 Prometheus
+    /// text exposition.
     pub fn render_prom(&self) -> String {
-        render_prom(&self.snapshot_counters())
+        self.prom_dump().render()
     }
 
     /// Write the Prometheus exposition to `path` atomically, creating
@@ -497,6 +710,218 @@ pub fn parse_prom(text: &str) -> Result<Vec<(String, String, u64)>, String> {
     Ok(out)
 }
 
+/// A typed Prometheus exposition: counters, gauges, and histogram
+/// series, each held non-cumulatively so merging is exact. This is the
+/// round-trip unit of the v2 dump — [`PromDump::render`] and
+/// [`PromDump::parse`] are inverse up to canonical ordering, so
+/// `opm merge-shards` can fold shard files bucket-wise and re-render
+/// byte-identically to a single-process run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PromDump {
+    /// Monotone counters (merge: sum).
+    pub counters: Vec<CounterSnapshot>,
+    /// Derived instantaneous gauges (merge: max — identical
+    /// deterministic values across shards collapse to themselves).
+    pub gauges: Vec<CounterSnapshot>,
+    /// Log2-bucketed histograms (merge: bucket-wise sum).
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl PromDump {
+    /// Whether the dump holds no series at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Canonical ordering: each section sorted by (metric, labels).
+    pub fn sort(&mut self) {
+        self.counters
+            .sort_by(|a, b| (&a.metric, &a.labels).cmp(&(&b.metric, &b.labels)));
+        self.gauges
+            .sort_by(|a, b| (&a.metric, &a.labels).cmp(&(&b.metric, &b.labels)));
+        self.histograms
+            .sort_by(|a, b| (&a.metric, &a.labels).cmp(&(&b.metric, &b.labels)));
+    }
+
+    /// Fold `other` into `self`: counters sum, gauges max, histograms
+    /// bucket-wise sum; series missing on either side are unioned. The
+    /// result is independent of merge order (sum and max are associative
+    /// and commutative), which the proptest coverage pins.
+    pub fn merge(&mut self, other: &PromDump) {
+        fn fold(into: &mut Vec<CounterSnapshot>, from: &[CounterSnapshot], f: fn(u64, u64) -> u64) {
+            for o in from {
+                match into
+                    .iter_mut()
+                    .find(|c| c.metric == o.metric && c.labels == o.labels)
+                {
+                    Some(c) => c.value = f(c.value, o.value),
+                    None => into.push(o.clone()),
+                }
+            }
+        }
+        fold(&mut self.counters, &other.counters, |a, b| a + b);
+        fold(&mut self.gauges, &other.gauges, u64::max);
+        for o in &other.histograms {
+            match self
+                .histograms
+                .iter_mut()
+                .find(|h| h.metric == o.metric && h.labels == o.labels)
+            {
+                Some(h) => h.merge_from(o),
+                None => self.histograms.push(o.clone()),
+            }
+        }
+        self.sort();
+    }
+
+    /// Render the v2 text exposition: the [`PROM_HEADER`] comment, then
+    /// counters, gauges, and histograms, each section in canonical
+    /// order with one `# TYPE` line per metric. Histogram bucket counts
+    /// are cumulated here (and only here); every bucket edge is always
+    /// emitted so series from different shards line up exactly.
+    pub fn render(&self) -> String {
+        let mut dump = self.clone();
+        dump.sort();
+        let mut out = String::new();
+        let _ = writeln!(out, "{PROM_HEADER}");
+        for (snaps, ty) in [(&dump.counters, "counter"), (&dump.gauges, "gauge")] {
+            let mut last_metric = "";
+            for c in snaps.iter() {
+                if c.metric != last_metric {
+                    let _ = writeln!(out, "# TYPE {} {ty}", c.metric);
+                    last_metric = &c.metric;
+                }
+                let _ = writeln!(out, "{} {}", c.series(), c.value);
+            }
+        }
+        let mut last_metric = "";
+        for h in dump.histograms.iter() {
+            if h.metric != last_metric {
+                let _ = writeln!(out, "# TYPE {} histogram", h.metric);
+                last_metric = &h.metric;
+            }
+            let sep = if h.labels.is_empty() { "" } else { "," };
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                cum += b;
+                let le = match log2_bucket_le(i) {
+                    Some(edge) => edge.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{{{}{}le=\"{}\"}} {}",
+                    h.metric, h.labels, sep, le, cum
+                );
+            }
+            let _ = writeln!(out, "{}_sum{{{}}} {}", h.metric, h.labels, h.sum);
+            let _ = writeln!(out, "{}_count{{{}}} {}", h.metric, h.labels, h.count);
+        }
+        out
+    }
+
+    /// Parse a text exposition back into a typed dump. `# TYPE` lines
+    /// classify the series; metrics without one (v1 files, which carry
+    /// neither header nor gauges nor histograms) are taken as counters.
+    /// Histogram `_bucket` series are de-cumulated back to per-bucket
+    /// counts; non-monotone cumulative counts or unknown bucket edges
+    /// are errors.
+    pub fn parse(text: &str) -> Result<PromDump, String> {
+        let mut types: BTreeMap<String, String> = BTreeMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.trim().strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                if let (Some(name), Some(ty)) = (it.next(), it.next()) {
+                    types.insert(name.to_string(), ty.to_string());
+                }
+            }
+        }
+        let is_hist = |base: &str| types.get(base).map(String::as_str) == Some("histogram");
+        // (metric, labels) -> (cumulative bucket counts, sum, count)
+        type HistParts = (Vec<Option<u64>>, Option<u64>, Option<u64>);
+        let mut hist: BTreeMap<(String, String), HistParts> = BTreeMap::new();
+        let mut dump = PromDump::default();
+        for (metric, labels, value) in parse_prom(text)? {
+            if let Some(base) = metric.strip_suffix("_bucket").filter(|b| is_hist(b)) {
+                let (rest, le) = split_le_label(&labels)
+                    .ok_or_else(|| format!("{metric}: missing le label in {labels:?}"))?;
+                let idx = bucket_index_of_le(&le)
+                    .ok_or_else(|| format!("{metric}: unknown bucket edge {le:?}"))?;
+                let entry = hist
+                    .entry((base.to_string(), rest))
+                    .or_insert_with(|| (vec![None; LOG2_BUCKETS], None, None));
+                entry.0[idx] = Some(value);
+            } else if let Some(base) = metric.strip_suffix("_sum").filter(|b| is_hist(b)) {
+                hist.entry((base.to_string(), labels))
+                    .or_insert_with(|| (vec![None; LOG2_BUCKETS], None, None))
+                    .1 = Some(value);
+            } else if let Some(base) = metric.strip_suffix("_count").filter(|b| is_hist(b)) {
+                hist.entry((base.to_string(), labels))
+                    .or_insert_with(|| (vec![None; LOG2_BUCKETS], None, None))
+                    .2 = Some(value);
+            } else if types.get(&metric).map(String::as_str) == Some("gauge") {
+                dump.gauges.push(CounterSnapshot {
+                    metric,
+                    labels,
+                    value,
+                });
+            } else {
+                dump.counters.push(CounterSnapshot {
+                    metric,
+                    labels,
+                    value,
+                });
+            }
+        }
+        for ((metric, labels), (cum, sum, count)) in hist {
+            let mut buckets = Vec::with_capacity(LOG2_BUCKETS);
+            let mut prev = 0u64;
+            for (i, c) in cum.into_iter().enumerate() {
+                // A bucket edge absent from the file adds nothing.
+                let c = c.unwrap_or(prev);
+                if c < prev {
+                    return Err(format!(
+                        "{metric}{{{labels}}}: non-monotone cumulative count at bucket {i}"
+                    ));
+                }
+                buckets.push(c - prev);
+                prev = c;
+            }
+            dump.histograms.push(HistogramSnapshot {
+                metric,
+                labels,
+                count: count.unwrap_or(prev),
+                sum: sum.unwrap_or(0),
+                buckets,
+            });
+        }
+        dump.sort();
+        Ok(dump)
+    }
+}
+
+/// Split the trailing `le="..."` bucket label off a label set, returning
+/// (remaining labels, le value).
+fn split_le_label(labels: &str) -> Option<(String, String)> {
+    let idx = labels.rfind("le=\"")?;
+    if idx > 0 && labels.as_bytes()[idx - 1] != b',' {
+        return None;
+    }
+    let le = labels[idx + 4..].strip_suffix('"')?;
+    let rest = if idx == 0 { "" } else { &labels[..idx - 1] };
+    Some((rest.to_string(), le.to_string()))
+}
+
+/// Bucket index of an `le` label value under the fixed log2 edges.
+fn bucket_index_of_le(le: &str) -> Option<usize> {
+    if le == "+Inf" {
+        return Some(LOG2_BUCKETS - 1);
+    }
+    let v: u64 = le.parse().ok()?;
+    let idx = v.checked_ilog2()? as usize;
+    (log2_bucket_le(idx.min(LOG2_BUCKETS - 1)) == Some(v)).then_some(idx)
+}
+
 /// Minimal JSON string escaping for the JSONL sink.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -528,6 +953,74 @@ fn render_args(args: &[(String, String)]) -> String {
     out
 }
 
+/// The leading v2 trace record: a metadata instant whose first key is
+/// the schema tag. v1 readers that skip unknown event names (and
+/// `opm top`) pass over it; v2 readers can dispatch on the first line.
+fn render_schema_line() -> String {
+    format!(
+        "{{\"schema\":\"{TELEMETRY_SCHEMA}\",\"name\":\"telemetry_schema\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":0,\"pid\":1,\"tid\":0,\"s\":\"g\",\"args\":{{\"schema\":\"{TELEMETRY_SCHEMA}\"}}}}"
+    )
+}
+
+fn render_span_begin_line(name: &str, cat: &str, path: &str, ts_us: u64, tid: u64) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid},\"args\":{{\"path\":\"{}\"}}}}",
+        json_escape(name),
+        json_escape(cat),
+        json_escape(path),
+    )
+}
+
+fn render_span_end_line(r: &SpanRecord) -> String {
+    let mut args = vec![("path".to_string(), r.path.clone())];
+    args.extend(r.args.iter().cloned());
+    let ph = if r.cat == "point" { "X" } else { "E" };
+    let ts = if r.cat == "point" {
+        r.start_us
+    } else {
+        r.start_us + r.dur_us
+    };
+    let dur = if r.cat == "point" {
+        format!(",\"dur\":{}", r.dur_us)
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts}{dur},\"pid\":1,\"tid\":{},\"args\":{}}}",
+        json_escape(&r.name),
+        json_escape(r.cat),
+        r.tid,
+        render_args(&args),
+    )
+}
+
+fn render_instant_line(name: &str, args: &[(String, String)], ts_us: u64, tid: u64) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid},\"s\":\"g\",\"args\":{}}}",
+        json_escape(name),
+        render_args(args),
+    )
+}
+
+fn render_counter_line(series: &str, value: u64, ts_us: u64) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"args\":{{\"value\":{value}}}}}",
+        json_escape(series),
+    )
+}
+
+fn render_histogram_line(h: &HistogramSnapshot, ts_us: u64) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"histogram\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"args\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}}}",
+        json_escape(&h.series()),
+        h.count,
+        h.sum,
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+    )
+}
+
 /// Chrome-trace JSONL writer: one Trace Event JSON object per line,
 /// flushed per line so an external tail (`opm top`) sees events live.
 ///
@@ -542,14 +1035,16 @@ pub struct JsonlSink {
 
 impl JsonlSink {
     /// Create (truncating) the JSONL journal at `path`, creating parent
-    /// directories.
+    /// directories, and write the leading v2 schema record.
     pub fn create(path: &Path) -> std::io::Result<Arc<JsonlSink>> {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        Ok(Arc::new(JsonlSink {
+        let sink = Arc::new(JsonlSink {
             file: Mutex::new(BufWriter::new(fs::File::create(path)?)),
-        }))
+        });
+        sink.line(&render_schema_line());
+        Ok(sink)
     }
 
     fn line(&self, s: &str) {
@@ -561,53 +1056,139 @@ impl JsonlSink {
 
 impl TelemetrySink for JsonlSink {
     fn span_begin(&self, name: &str, cat: &'static str, path: &str, ts_us: u64, tid: u64) {
-        self.line(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid},\"args\":{{\"path\":\"{}\"}}}}",
-            json_escape(name),
-            json_escape(cat),
-            json_escape(path),
-        ));
+        // Point spans render as single X complete events on close.
+        if cat == "point" {
+            return;
+        }
+        self.line(&render_span_begin_line(name, cat, path, ts_us, tid));
     }
 
     fn span_end(&self, r: &SpanRecord) {
-        let mut args = vec![("path".to_string(), r.path.clone())];
-        args.extend(r.args.iter().cloned());
-        let ph = if r.cat == "point" { "X" } else { "E" };
-        let ts = if r.cat == "point" {
-            r.start_us
-        } else {
-            r.start_us + r.dur_us
-        };
-        let dur = if r.cat == "point" {
-            format!(",\"dur\":{}", r.dur_us)
-        } else {
-            String::new()
-        };
-        self.line(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts}{dur},\"pid\":1,\"tid\":{},\"args\":{}}}",
-            json_escape(&r.name),
-            json_escape(r.cat),
-            r.tid,
-            render_args(&args),
-        ));
+        self.line(&render_span_end_line(r));
     }
 
     fn instant(&self, name: &str, args: &[(String, String)], ts_us: u64, tid: u64) {
-        self.line(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid},\"s\":\"g\",\"args\":{}}}",
-            json_escape(name),
-            render_args(args),
-        ));
+        self.line(&render_instant_line(name, args, ts_us, tid));
     }
 
     fn counters(&self, snapshot: &[CounterSnapshot], ts_us: u64) {
         for c in snapshot {
-            self.line(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"args\":{{\"value\":{}}}}}",
-                json_escape(&c.series()),
-                c.value,
-            ));
+            self.line(&render_counter_line(&c.series(), c.value, ts_us));
         }
+    }
+
+    fn histograms(&self, snapshot: &[HistogramSnapshot], ts_us: u64) {
+        for h in snapshot {
+            self.line(&render_histogram_line(h, ts_us));
+        }
+    }
+}
+
+/// Per-process flight recorder: a bounded ring of the most recent
+/// telemetry events (spans — including per-point begins — and
+/// instants), pre-rendered as trace lines. [`FlightRecorder::dump`]
+/// atomically writes the ring plus a trailing reason record to
+/// `flight-<run>.jsonl`, so a panic, an injected kill/hang, or a
+/// watchdog SIGKILL (covered by the periodic dumps the harness
+/// schedules) leaves a post-mortem whose final records name the failing
+/// `figure>stage>point` span path.
+pub struct FlightRecorder {
+    path: PathBuf,
+    cap: usize,
+    ring: Mutex<VecDeque<String>>,
+    last_ts: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder dumping to `path`, keeping the latest `cap` events.
+    pub fn new(path: impl Into<PathBuf>, cap: usize) -> Arc<FlightRecorder> {
+        Arc::new(FlightRecorder {
+            path: path.into(),
+            cap: cap.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            last_ts: AtomicU64::new(0),
+        })
+    }
+
+    /// Where dumps are written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn push(&self, ts_us: u64, line: String) {
+        self.last_ts.store(ts_us, Ordering::Relaxed);
+        let mut ring = lock(&self.ring);
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(line);
+    }
+
+    /// Atomically write the ring plus a trailing
+    /// `flight_dump {reason}` record. Later dumps overwrite earlier
+    /// ones — the file always holds the most recent view; on the
+    /// terminal failure paths (panic hook, injected kill/hang) it is
+    /// the crash post-mortem.
+    pub fn dump(&self, reason: &str) {
+        let mut out = String::new();
+        for l in lock(&self.ring).iter() {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out.push_str(&render_instant_line(
+            "flight_dump",
+            &[("reason".to_string(), reason.to_string())],
+            self.last_ts.load(Ordering::Relaxed),
+            0,
+        ));
+        out.push('\n');
+        if let Some(parent) = self.path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(e) = crate::report::atomic_write(&self.path, out.as_bytes()) {
+            eprintln!("telemetry: flight dump {}: {e}", self.path.display());
+        }
+    }
+}
+
+impl TelemetrySink for FlightRecorder {
+    fn span_begin(&self, name: &str, cat: &'static str, path: &str, ts_us: u64, tid: u64) {
+        self.push(ts_us, render_span_begin_line(name, cat, path, ts_us, tid));
+    }
+
+    fn span_end(&self, r: &SpanRecord) {
+        self.push(r.start_us + r.dur_us, render_span_end_line(r));
+    }
+
+    fn instant(&self, name: &str, args: &[(String, String)], ts_us: u64, tid: u64) {
+        self.push(ts_us, render_instant_line(name, args, ts_us, tid));
+    }
+    // Counter/histogram snapshots are bulky and already live in
+    // metrics.prom; the ring keeps only the event timeline.
+}
+
+static FLIGHT: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
+
+/// Install (or fetch) the process-wide flight recorder dumping to
+/// `path`. The first call wins; attach the returned sink to the
+/// telemetry instance the run reports into.
+pub fn install_flight_recorder(path: &Path) -> Arc<FlightRecorder> {
+    FLIGHT
+        .get_or_init(|| FlightRecorder::new(path, FLIGHT_RING_CAP))
+        .clone()
+}
+
+/// The installed process-wide flight recorder, if any.
+pub fn flight_recorder() -> Option<Arc<FlightRecorder>> {
+    FLIGHT.get().cloned()
+}
+
+/// Dump the process-wide flight recorder with `reason`; no-op when none
+/// is installed. Fault-injection exits and panic hooks call this on
+/// their way down.
+pub fn flight_dump(reason: &str) {
+    if let Some(rec) = FLIGHT.get() {
+        rec.dump(reason);
     }
 }
 
@@ -617,6 +1198,7 @@ impl TelemetrySink for JsonlSink {
 pub struct Aggregator {
     spans: Mutex<Vec<SpanRecord>>,
     counters: Mutex<Vec<CounterSnapshot>>,
+    histograms: Mutex<Vec<HistogramSnapshot>>,
 }
 
 impl Aggregator {
@@ -655,6 +1237,11 @@ impl Aggregator {
             .find(|c| c.metric == metric && c.labels == labels)
             .map(|c| c.value)
     }
+
+    /// The latest published histogram snapshot.
+    pub fn histogram_snapshot(&self) -> Vec<HistogramSnapshot> {
+        lock(&self.histograms).clone()
+    }
 }
 
 impl TelemetrySink for Aggregator {
@@ -664,6 +1251,10 @@ impl TelemetrySink for Aggregator {
 
     fn counters(&self, snapshot: &[CounterSnapshot], _ts_us: u64) {
         *lock(&self.counters) = snapshot.to_vec();
+    }
+
+    fn histograms(&self, snapshot: &[HistogramSnapshot], _ts_us: u64) {
+        *lock(&self.histograms) = snapshot.to_vec();
     }
 }
 
@@ -812,14 +1403,16 @@ mod tests {
         tele.publish_counters();
         let text = fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        // B figure, B stage, X point, E stage, E figure, i progress, C counter.
-        assert_eq!(lines.len(), 7, "{text}");
-        assert!(lines[0].contains("\"ph\":\"B\"") && lines[0].contains("\"figX\""));
-        assert!(lines[2].contains("\"ph\":\"X\"") && lines[2].contains("\"dur\":"));
-        assert!(lines[2].contains("figX>sweepY>point:0"));
-        assert!(lines[4].contains("\"ph\":\"E\"") && lines[4].contains("\"status\":\"ok\""));
-        assert!(lines[5].contains("\"ph\":\"i\"") && lines[5].contains("\"completed\":\"4\""));
-        assert!(lines[6].contains("\"ph\":\"C\"") && lines[6].contains("\"value\":8"));
+        // schema, B figure, B stage, X point, E stage, E figure,
+        // i progress, C counter.
+        assert_eq!(lines.len(), 8, "{text}");
+        assert!(lines[0].starts_with("{\"schema\":\"opm-telemetry/v2\""));
+        assert!(lines[1].contains("\"ph\":\"B\"") && lines[1].contains("\"figX\""));
+        assert!(lines[3].contains("\"ph\":\"X\"") && lines[3].contains("\"dur\":"));
+        assert!(lines[3].contains("figX>sweepY>point:0"));
+        assert!(lines[5].contains("\"ph\":\"E\"") && lines[5].contains("\"status\":\"ok\""));
+        assert!(lines[6].contains("\"ph\":\"i\"") && lines[6].contains("\"completed\":\"4\""));
+        assert!(lines[7].contains("\"ph\":\"C\"") && lines[7].contains("\"value\":8"));
         // Every line is an object with balanced braces (cheap validity check).
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
@@ -836,5 +1429,122 @@ mod tests {
     fn json_escaping_handles_quotes_and_controls() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_merge() {
+        let tele = Telemetry::new(TelemetryMode::Summary);
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            tele.observe("lat_ns", "stage=\"s\"", v);
+        }
+        let snaps = tele.snapshot_histograms();
+        assert_eq!(snaps.len(), 1);
+        let h = &snaps[0];
+        assert_eq!(h.count, 7);
+        assert_eq!(
+            h.sum,
+            0u64.wrapping_add(1 + 2 + 3 + 4 + 1000)
+                .wrapping_add(u64::MAX)
+        );
+        assert_eq!(h.buckets[0], 2); // 0, 1
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2); // 3, 4
+        assert_eq!(h.buckets[10], 1); // 1000 <= 1024
+        assert_eq!(h.buckets[LOG2_BUCKETS - 1], 1); // u64::MAX -> +Inf
+                                                    // Upper-edge quantiles: rank ceil(0.5*7)=4 lands in bucket 2.
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        let mut merged = h.clone();
+        merged.merge_from(h);
+        assert_eq!(merged.count, 14);
+        assert_eq!(merged.buckets[0], 4);
+        assert_eq!(merged.quantile(0.5), 4);
+    }
+
+    #[test]
+    fn prom_dump_renders_and_parses_v2_exactly() {
+        let tele = Telemetry::new(TelemetryMode::Summary);
+        tele.add("opm_points_total", "", 42);
+        tele.set_gauge("opm_roofline_ai_milli", "stage=\"s\"", 1500);
+        tele.observe("opm_point_latency_ns", "stage=\"s\"", 900);
+        tele.observe("opm_point_latency_ns", "stage=\"s\"", 90_000);
+        let text = tele.render_prom();
+        assert!(text.starts_with(PROM_HEADER));
+        assert!(text.contains("# TYPE opm_points_total counter"));
+        assert!(text.contains("# TYPE opm_roofline_ai_milli gauge"));
+        assert!(text.contains("# TYPE opm_point_latency_ns histogram"));
+        assert!(text.contains("opm_point_latency_ns_bucket{stage=\"s\",le=\"1024\"} 1"));
+        assert!(text.contains("opm_point_latency_ns_bucket{stage=\"s\",le=\"+Inf\"} 2"));
+        assert!(text.contains("opm_point_latency_ns_sum{stage=\"s\"} 90900"));
+        assert!(text.contains("opm_point_latency_ns_count{stage=\"s\"} 2"));
+        // The flat u64 parser (v1 tooling) still accepts the v2 text.
+        assert!(parse_prom(&text).is_ok());
+        // The typed round-trip is exact: parse -> render is the identity.
+        let dump = PromDump::parse(&text).unwrap();
+        assert_eq!(dump, tele.prom_dump());
+        assert_eq!(dump.render(), text);
+        // v1 text (no headers) parses with every series as a counter.
+        let v1 = PromDump::parse("opm_points_total 3\n").unwrap();
+        assert_eq!(v1.counters.len(), 1);
+        assert!(v1.gauges.is_empty() && v1.histograms.is_empty());
+    }
+
+    #[test]
+    fn prom_dump_merge_sums_counters_maxes_gauges_adds_buckets() {
+        let a = Telemetry::new(TelemetryMode::Summary);
+        a.add("opm_points_total", "", 5);
+        a.set_gauge("g_milli", "", 7);
+        a.observe("lat", "", 3);
+        let b = Telemetry::new(TelemetryMode::Summary);
+        b.add("opm_points_total", "", 2);
+        b.add("opm_retries_total", "", 1);
+        b.set_gauge("g_milli", "", 7);
+        b.observe("lat", "", 5);
+        let mut m = a.prom_dump();
+        m.merge(&b.prom_dump());
+        let counter = |metric: &str| {
+            m.counters
+                .iter()
+                .find(|c| c.metric == metric)
+                .map(|c| c.value)
+        };
+        assert_eq!(counter("opm_points_total"), Some(7));
+        assert_eq!(counter("opm_retries_total"), Some(1));
+        assert_eq!(m.gauges[0].value, 7);
+        assert_eq!(m.histograms[0].count, 2);
+        assert_eq!(m.histograms[0].sum, 8);
+        // Merge in the opposite order gives the identical dump.
+        let mut rev = b.prom_dump();
+        rev.merge(&a.prom_dump());
+        assert_eq!(m, rev);
+        assert_eq!(m.render(), rev.render());
+    }
+
+    #[test]
+    fn flight_recorder_keeps_a_bounded_ring_and_dumps_with_reason() {
+        let dir = std::env::temp_dir().join(format!("opm_flight_{}", std::process::id()));
+        let path = dir.join("flight-test.jsonl");
+        let rec = FlightRecorder::new(&path, 4);
+        let tele = Telemetry::new(TelemetryMode::Full);
+        tele.add_sink(rec.clone());
+        for i in 0..10 {
+            let stage = tele.span("stage", &format!("s{i}"));
+            let _pt = tele.span_under(stage.path(), "point", &format!("point:{i}"));
+        }
+        rec.dump("kill");
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 4 ring entries + the trailing reason record.
+        assert_eq!(lines.len(), 5, "{text}");
+        // The most recent events survive — including the point begin,
+        // which names the failing stage>point path.
+        assert!(text.contains("s9>point:9"), "{text}");
+        assert!(!text.contains("s0>point:0"));
+        assert!(lines[4].contains("flight_dump") && lines[4].contains("\"reason\":\"kill\""));
+        // A later dump overwrites with the newer reason.
+        rec.dump("periodic");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"reason\":\"periodic\""));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -43,8 +43,9 @@
 //! fault injection; see [`crate::faultinject`]).
 
 use crate::faultinject::{FaultKind, FaultPlan, InjectedFault};
-use opm_core::perf::ProfilePlan;
+use opm_core::perf::{EvalPlan, ProfilePlan};
 use opm_core::profile::{AccessProfile, ProfileKey};
+use opm_core::roofline::Attribution;
 use opm_core::telemetry::{Counter, Telemetry, TelemetryMode};
 use std::any::Any;
 use std::cell::Cell;
@@ -1221,6 +1222,91 @@ impl Engine {
             journal.stage_done(&record);
         }
         out
+    }
+
+    /// Evaluate one sweep point under `plan`, recording the
+    /// second-generation observability when telemetry is enabled:
+    ///
+    /// * the modeled point latency (`est.time_ns` — a deterministic
+    ///   model output, never wall clock, so histograms are byte-identical
+    ///   across threads and shards) into the per-stage
+    ///   `opm_point_latency_ns` histogram, and
+    /// * the point's roofline [`Attribution`] — per-level achieved GB/s,
+    ///   arithmetic intensity, ceiling fraction, Eq. 1 break-even
+    ///   margin. Labeled milli gauges are emitted only when the caller
+    ///   passes a `point` label (the small curve families); dense grids
+    ///   report the full signed detail as a `roofline` instant in full
+    ///   mode, keeping the metrics.prom cardinality bounded.
+    ///
+    /// Returns the modeled GFlop/s — bit-identical to
+    /// `plan.gflops_planned(pp)` (the accumulation order is shared; see
+    /// [`EvalPlan::gflops_planned`]), so golden figure CSVs do not
+    /// depend on the telemetry mode.
+    pub fn observe_point(&self, plan: &EvalPlan<'_>, pp: &ProfilePlan, point: Option<&str>) -> f64 {
+        if !self.tele.enabled() {
+            return plan.gflops_planned(pp);
+        }
+        let est = plan.evaluate_planned(pp);
+        let stage = lock_recover(&self.current_stage_path)
+            .clone()
+            .or_else(|| lock_recover(&self.current_stage).clone())
+            .unwrap_or_else(|| "unknown".to_string());
+        self.tele.observe(
+            "opm_point_latency_ns",
+            &format!("stage=\"{stage}\""),
+            est.time_ns as u64,
+        );
+        let attr = Attribution::from_planned(plan, pp, &est);
+        // Signed/fractional quantities ride in milli units offset so the
+        // u64 exposition stays lossless for merge tooling: the gain and
+        // break-even gauges carry `round((1 + x) * 1000)`; their
+        // difference is the margin.
+        let milli = |x: f64| (x * 1000.0).round().max(0.0) as u64;
+        if let Some(point) = point {
+            let labels = format!("stage=\"{stage}\",point=\"{point}\"");
+            self.tele
+                .set_gauge("opm_roofline_ai_milli", &labels, milli(attr.ai));
+            self.tele.set_gauge(
+                "opm_roofline_ceiling_frac_milli",
+                &labels,
+                milli(attr.ceiling_frac),
+            );
+            self.tele
+                .set_gauge("opm_roofline_gain_milli", &labels, milli(1.0 + attr.gain));
+            self.tele.set_gauge(
+                "opm_roofline_breakeven_milli",
+                &labels,
+                milli(1.0 + attr.breakeven),
+            );
+            for (level, gbs) in &attr.levels {
+                self.tele.set_gauge(
+                    "opm_roofline_level_gbs_milli",
+                    &format!("{labels},level=\"{level}\""),
+                    milli(*gbs),
+                );
+            }
+        }
+        if self.tele.mode() == TelemetryMode::Full {
+            let mut args = vec![
+                ("stage".to_string(), stage),
+                ("ai".to_string(), format!("{:.6}", attr.ai)),
+                ("gflops".to_string(), format!("{:.6}", attr.gflops)),
+                (
+                    "ceiling_frac".to_string(),
+                    format!("{:.6}", attr.ceiling_frac),
+                ),
+                ("gain".to_string(), format!("{:.6}", attr.gain)),
+                ("margin".to_string(), format!("{:.6}", attr.margin)),
+            ];
+            if let Some(point) = point {
+                args.push(("point".to_string(), point.to_string()));
+            }
+            for (level, gbs) in &attr.levels {
+                args.push((format!("gbs_{level}"), format!("{gbs:.6}")));
+            }
+            self.tele.instant("roofline", &args);
+        }
+        est.gflops
     }
 
     /// Number of stages recorded so far (use with [`Engine::stages_since`]

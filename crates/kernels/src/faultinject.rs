@@ -433,10 +433,14 @@ impl FaultPlan {
         match self.process_fault(stage, index) {
             Some(FaultKind::Kill) => {
                 eprintln!("fault injection: kill at {stage}@point:{index} (exit 137)");
+                // The flight recorder's ring already holds this point's
+                // span begin; dump the post-mortem before dying.
+                opm_core::telemetry::flight_dump("kill");
                 std::process::exit(137);
             }
             Some(FaultKind::Hang) => {
                 eprintln!("fault injection: hang at {stage}@point:{index}");
+                opm_core::telemetry::flight_dump("hang");
                 HUNG.store(true, Ordering::SeqCst);
                 loop {
                     std::thread::sleep(std::time::Duration::from_secs(3600));

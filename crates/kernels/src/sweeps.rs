@@ -137,7 +137,7 @@ fn dense_sweep_on(
             HeatPoint {
                 n,
                 tile,
-                gflops: plan.gflops_planned(pp.plan()),
+                gflops: eng.observe_point(&plan, pp.plan(), None),
             }
         };
         // A quarantined point keeps its grid coordinates; only the
@@ -230,7 +230,7 @@ pub fn sparse_sweep_on(
             SparsePoint {
                 spec: *spec,
                 footprint: pp.footprint,
-                gflops: plan.gflops_planned(pp.plan()),
+                gflops: eng.observe_point(&plan, pp.plan(), None),
             }
         };
         let placeholder = |spec: &MatrixSpec, _i: usize| SparsePoint {
@@ -273,7 +273,7 @@ pub fn stream_curve_on(engine: &Engine, config: OpmConfig, footprints: &[f64]) -
             );
             CurvePoint {
                 footprint: pp.footprint,
-                gflops: plan.gflops_planned(pp.plan()),
+                gflops: eng.observe_point(&plan, pp.plan(), Some(&format!("{:.0}", pp.footprint))),
             }
         };
         // The footprint is a pure function of the requested size (three
@@ -320,7 +320,7 @@ pub fn stencil_curve_on(
             );
             CurvePoint {
                 footprint: pp.footprint,
-                gflops: plan.gflops_planned(pp.plan()),
+                gflops: eng.observe_point(&plan, pp.plan(), Some(&format!("{nx}x{ny}x{nz}"))),
             }
         };
         // Three grids of doubles: the footprint is derivable from the
@@ -361,7 +361,7 @@ pub fn fft_curve_on(engine: &Engine, config: OpmConfig, sizes: &[usize]) -> Vec<
             );
             CurvePoint {
                 footprint: pp.footprint,
-                gflops: plan.gflops_planned(pp.plan()),
+                gflops: eng.observe_point(&plan, pp.plan(), Some(&n.to_string())),
             }
         };
         let placeholder = |_: &usize, _i: usize| CurvePoint {

@@ -227,6 +227,26 @@ impl SimResult {
         tele.add("opm_memsim_dram_served_total", "", self.dram);
         tele.add("opm_memsim_dram_writebacks_total", "", self.dram_writebacks);
     }
+
+    /// Each cache-chain level's share of the total bytes it moved, in
+    /// milli units (`round(1000 * level_bytes / total_bytes)`, summed
+    /// over [`LevelCounters::bytes_moved`]). Derived from the same
+    /// counters [`publish`](Self::publish) reports, so the telemetry
+    /// gauges built from this reconcile exactly with the published
+    /// per-level totals. Empty when no level moved any bytes.
+    pub fn level_byte_shares(&self) -> Vec<(String, u64)> {
+        let total: u64 = self.levels.iter().map(|l| l.bytes_moved()).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.levels
+            .iter()
+            .map(|l| {
+                let share = (1000 * l.bytes_moved() + total / 2) / total;
+                (l.name.clone(), share)
+            })
+            .collect()
+    }
 }
 
 /// A simulated memory hierarchy under one OPM configuration.
@@ -628,6 +648,24 @@ mod tests {
         let r = stream_result(OpmConfig::Broadwell(EdramMode::On), 32 * 1024);
         assert!(r.victim_hits > 0);
         assert!(r.on_package_ratio() > 0.9, "{r:?}");
+    }
+
+    #[test]
+    fn level_byte_shares_reconcile_with_counters() {
+        let r = stream_result(OpmConfig::Broadwell(EdramMode::On), 32 * 1024);
+        let shares = r.level_byte_shares();
+        assert_eq!(shares.len(), r.levels.len());
+        let total: u64 = r.levels.iter().map(|l| l.bytes_moved()).sum();
+        assert!(total > 0);
+        for ((name, share), l) in shares.iter().zip(&r.levels) {
+            assert_eq!(name, &l.name);
+            let expect = (1000 * l.bytes_moved() + total / 2) / total;
+            assert_eq!(*share, expect, "{name}");
+            assert!(*share <= 1000, "{name}: {share}");
+        }
+        // Milli shares sum to ~1000 (rounding slack of one per level).
+        let sum: u64 = shares.iter().map(|(_, s)| s).sum();
+        assert!(sum >= 1000 - shares.len() as u64 && sum <= 1000 + shares.len() as u64);
     }
 
     #[test]

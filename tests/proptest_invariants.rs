@@ -4,7 +4,10 @@
 use opm_repro::core::perf::{absorb, absorb_proportional, ramp, PerfModel, RAMP_FLOOR};
 use opm_repro::core::platform::{EdramMode, McdramMode, OpmConfig};
 use opm_repro::core::profile::{AccessProfile, Phase, Tier};
-use opm_repro::core::stats::{gaussian_kde, linspace, quantile, summarize};
+use opm_repro::core::stats::{
+    gaussian_kde, linspace, log2_bucket_index, quantile, summarize, LOG2_BUCKETS,
+};
+use opm_repro::core::telemetry::{HistogramSnapshot, PromDump, Telemetry, TelemetryMode};
 use opm_repro::dense::{cholesky_blocked, gemm_blocked, gemm_naive, DenseMatrix};
 use opm_repro::fft::{fft_inplace, Complex, Direction};
 use opm_repro::memsim::{
@@ -32,6 +35,18 @@ fn arb_csr(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
             }
             CsrMatrix::from_coo(coo)
         })
+}
+
+/// A latency histogram snapshot built bucket-by-bucket from raw
+/// observations — the reference the atomic observe path must match.
+fn hist_of(vals: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::empty("opm_point_latency_ns", "stage=\"p\"");
+    for &v in vals {
+        h.buckets[log2_bucket_index(v)] += 1;
+        h.sum += v;
+        h.count += 1;
+    }
+    h
 }
 
 /// Exact LRU hit count of a fully-associative cache with `lines` lines,
@@ -516,6 +531,98 @@ proptest! {
                 "capacity {} lines: concatenated hits fell below the sum", cap
             );
         }
+    }
+
+    #[test]
+    fn histogram_bucket_merge_is_associative_commutative_and_exact(
+        a in proptest::collection::vec(0u64..1_000_000_000_000, 0..64),
+        b in proptest::collection::vec(0u64..1_000_000_000_000, 0..64),
+        c in proptest::collection::vec(0u64..1_000_000_000_000, 0..64),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(ha.buckets.len(), LOG2_BUCKETS);
+        // Commutative: a ⊕ b == b ⊕ a.
+        let mut ab = ha.clone();
+        ab.merge_from(&hb);
+        let mut ba = hb.clone();
+        ba.merge_from(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // Associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge_from(&hc);
+        let mut bc = hb.clone();
+        bc.merge_from(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge_from(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // Exact: merging shard histograms equals observing the
+        // concatenated stream in one process (any interleaving — the
+        // bucket counts are order-free).
+        let mut cat = a.clone();
+        cat.extend(&b);
+        cat.extend(&c);
+        prop_assert_eq!(&ab_c, &hist_of(&cat));
+        // The atomic observe path produces the same snapshot as the
+        // bucket-by-bucket reference.
+        let tele = Telemetry::new(TelemetryMode::Summary);
+        for &v in &cat {
+            tele.observe("opm_point_latency_ns", "stage=\"p\"", v);
+        }
+        if !cat.is_empty() {
+            prop_assert_eq!(&tele.snapshot_histograms()[0], &ab_c);
+        }
+        // Quantiles are monotone in q and live on bucket edges.
+        let (p50, p99) = (ab_c.quantile(0.50), ab_c.quantile(0.99));
+        prop_assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn prom_dump_merge_is_order_independent_and_round_trips(
+        sets in proptest::collection::vec(
+            (
+                proptest::collection::vec((0usize..2, 1u64..1000), 0..6),
+                proptest::collection::vec((0usize..2, 0u64..1_000_000), 0..6),
+                proptest::collection::vec((0usize..3, 0u64..1_000_000_000), 0..12),
+            ),
+            1..4,
+        ),
+    ) {
+        const COUNTERS: [&str; 2] = ["opm_a_total", "opm_b_total"];
+        const GAUGES: [&str; 2] = ["opm_g_milli", "opm_h_milli"];
+        const SERIES: [&str; 3] = ["stage=\"x\"", "stage=\"y\"", ""];
+        let dumps: Vec<PromDump> = sets
+            .iter()
+            .map(|(counters, gauges, obs)| {
+                let tele = Telemetry::new(TelemetryMode::Summary);
+                for (i, v) in counters {
+                    tele.add(COUNTERS[*i], SERIES[*i], *v);
+                }
+                for (i, v) in gauges {
+                    tele.set_gauge(GAUGES[*i], SERIES[*i], *v);
+                }
+                for (i, v) in obs {
+                    tele.observe("opm_point_latency_ns", SERIES[*i], *v);
+                }
+                tele.prom_dump()
+            })
+            .collect();
+        // Shard merge order must not matter: counters sum, gauges max,
+        // histogram buckets sum — all associative and commutative.
+        let mut fwd = PromDump::default();
+        for d in &dumps {
+            fwd.merge(d);
+        }
+        let mut rev = PromDump::default();
+        for d in dumps.iter().rev() {
+            rev.merge(d);
+        }
+        prop_assert_eq!(&fwd, &rev);
+        // Render ∘ parse is the identity on merged dumps, so re-merging
+        // a merged file (resumed campaigns) changes nothing.
+        let text = fwd.render();
+        let parsed = PromDump::parse(&text).unwrap();
+        prop_assert_eq!(&parsed, &fwd);
+        prop_assert_eq!(parsed.render(), text);
     }
 }
 

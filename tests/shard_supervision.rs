@@ -153,6 +153,74 @@ fn assert_equivalent(campaign: &Path, context: &str) {
     assert!(compared >= 5, "{context}: only {compared} files compared");
 }
 
+/// A shard worker's flight-recorder dump: the supervisor pins
+/// `OPM_RUN_ID=shard-<label>` and points `OPM_RESULTS` at the shard
+/// results dir, so a dying worker leaves
+/// `shards/shard-<label>/telemetry/flight-shard-<label>.jsonl`.
+fn flight_path(campaign: &Path, index: usize, count: usize) -> PathBuf {
+    campaign
+        .join("shards")
+        .join(format!("shard-{index}of{count}"))
+        .join("telemetry")
+        .join(format!("flight-shard-{index}of{count}.jsonl"))
+}
+
+/// Assert a shard's flight dump exists, ends with a `flight_dump`
+/// marker (for `reason`, when pinned), and that its ring holds a
+/// figure>stage>point span path. The recorder keeps the *last* flight:
+/// a shard that recovered via restart has its failure dump overwritten
+/// by the successful incarnation's periodic dumps, so only shards whose
+/// final attempt failed (quarantine) pin the failure reason.
+/// Returns whether the ring held a per-point span (figures whose
+/// stages evaluate without point spans, like fig06, legitimately
+/// record none).
+fn assert_flight_dump(campaign: &Path, index: usize, count: usize, reason: Option<&str>) -> bool {
+    let path = flight_path(campaign, index, count);
+    let text = read(&path);
+    let last = text.lines().last().unwrap_or_default();
+    assert!(
+        last.contains("flight_dump"),
+        "{}: dump marker missing: {last}",
+        path.display()
+    );
+    if let Some(reason) = reason {
+        assert!(
+            last.contains(&format!("\"reason\":\"{reason}\"")),
+            "{}: final dump is not the {reason} dump: {last}",
+            path.display()
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.contains("\"cat\":\"point\"") && l.contains('>')),
+            "{}: no figure>stage>point span in the failure ring:\n{text}",
+            path.display()
+        );
+    }
+    text.lines()
+        .any(|l| l.contains("\"cat\":\"point\"") && l.contains('>'))
+}
+
+/// Every shard that died under fault injection must have left a flight
+/// dump; at least `min` shards must have. Shards whose slice never
+/// reached the faulted point legitimately have none.
+fn assert_flight_dumps(campaign: &Path, count: usize, min: usize) {
+    let dumped: Vec<usize> = (0..count)
+        .filter(|&i| flight_path(campaign, i, count).exists())
+        .collect();
+    assert!(
+        dumped.len() >= min,
+        "only {dumped:?} of {count} shards left flight dumps"
+    );
+    let with_points = dumped
+        .into_iter()
+        .filter(|&i| assert_flight_dump(campaign, i, count, None))
+        .count();
+    assert!(
+        with_points >= 1,
+        "no flight ring recorded a figure>stage>point span"
+    );
+}
+
 /// Sum every series of `metric` in a merged metrics.prom.
 fn counter_sum(campaign: &Path, metric: &str) -> u64 {
     let path = campaign.join("telemetry").join("metrics.prom");
@@ -199,6 +267,10 @@ fn killed_workers_resume_to_byte_identical_output_across_shard_counts() {
             0,
             "--shards {shards}: nothing should be quarantined"
         );
+        // Every killed incarnation dumped its flight ring on the way
+        // out; the dump names the span it died inside.
+        let n: usize = shards.parse().unwrap();
+        assert_flight_dumps(&dir, n, 1);
     }
 }
 
@@ -230,6 +302,9 @@ fn hung_worker_trips_watchdog_and_recovers() {
     assert_equivalent(&dir, "after hung-worker recovery");
     assert!(counter_sum(&dir, "opm_shard_restarts_total") >= 1);
     assert_eq!(counter_sum(&dir, "opm_shard_quarantined_total"), 0);
+    // The wedged worker dumped its ring before going silent, so the
+    // watchdog kill still leaves a usable post-mortem.
+    assert_flight_dumps(&dir, 2, 1);
 }
 
 #[test]
@@ -263,6 +338,9 @@ fn permanently_failing_shard_is_quarantined_with_error_row() {
     assert!(counter_sum(&dir, "opm_shard_quarantined_total") >= 1);
     let status = read(&opm_repro_status_path(&dir));
     assert!(status.contains("state=quarantined"), "{status}");
+    // The quarantined shard (0of2 per the error row above) left a
+    // flight dump from its final doomed attempt.
+    assert_flight_dump(&dir, 0, 2, Some("kill"));
 }
 
 /// `shards/supervisor.status` (kept in sync with
@@ -270,6 +348,52 @@ fn permanently_failing_shard_is_quarantined_with_error_row() {
 /// doesn't need the bench crate's path helpers).
 fn opm_repro_status_path(campaign: &Path) -> PathBuf {
     campaign.join("shards").join("supervisor.status")
+}
+
+#[test]
+fn merged_histograms_are_byte_identical_across_shard_counts() {
+    // Latency histograms and roofline gauges come from the
+    // deterministic evaluation model and the shard assignment is
+    // figure-granular, so after the typed merge the telemetry series
+    // must not depend on how the campaign was partitioned.
+    let mut reference: Option<String> = None;
+    for shards in ["1", "2", "4"] {
+        let dir = test_dir(&format!("hist_{shards}"));
+        let (ok, log) = run_opm(
+            &[
+                "campaign",
+                "--shards",
+                shards,
+                "--only",
+                FIGS,
+                "--out",
+                dir.to_str().unwrap(),
+            ],
+            &[],
+        );
+        assert!(ok, "fault-free campaign --shards {shards} failed:\n{log}");
+        let prom = read(&dir.join("telemetry").join("metrics.prom"));
+        assert!(
+            prom.starts_with("# opm-telemetry v2"),
+            "--shards {shards}: merged exposition lost the v2 header"
+        );
+        let series: String = prom
+            .lines()
+            .filter(|l| l.contains("opm_point_latency_ns") || l.starts_with("opm_roofline_"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            series.contains("_bucket{") && series.contains("le=\"+Inf\""),
+            "--shards {shards}: no histogram series in\n{prom}"
+        );
+        match &reference {
+            None => reference = Some(series),
+            Some(r) => assert_eq!(
+                r, &series,
+                "--shards {shards}: merged telemetry series differ from --shards 1"
+            ),
+        }
+    }
 }
 
 #[test]

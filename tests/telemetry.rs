@@ -12,17 +12,21 @@
 //! counters reconcile (first-level hits + misses == total accesses).
 
 use opm_core::platform::{EdramMode, McdramMode, OpmConfig};
-use opm_core::telemetry::{parse_prom, Aggregator, CounterSnapshot, Telemetry, TelemetryMode};
+use opm_core::telemetry::{
+    parse_prom, Aggregator, CounterSnapshot, PromDump, Telemetry, TelemetryMode,
+};
 use opm_kernels::sweeps::{gemm_sweep_on, stream_curve_on};
 use opm_kernels::{Engine, EngineConfig};
 use std::path::PathBuf;
 use std::sync::Once;
 
 /// A fixed two-stage workload on a private engine wired to a fresh
-/// telemetry instance; returns the sorted span paths and the counter
-/// snapshot. Every profile key in the workload is distinct, so the
-/// cache hit/miss split is deterministic at any thread count.
-fn run_workload(threads: usize, cache: bool) -> (Vec<String>, Vec<CounterSnapshot>) {
+/// telemetry instance; returns the sorted span paths, the counter
+/// snapshot, and the rendered v2 Prometheus exposition (counters,
+/// roofline gauges, and latency histograms). Every profile key in the
+/// workload is distinct, so the cache hit/miss split is deterministic at
+/// any thread count.
+fn run_workload(threads: usize, cache: bool) -> (Vec<String>, Vec<CounterSnapshot>, String) {
     let tele = Telemetry::new(TelemetryMode::Full);
     let agg = Aggregator::new();
     tele.add_sink(agg.clone());
@@ -42,26 +46,30 @@ fn run_workload(threads: usize, cache: bool) -> (Vec<String>, Vec<CounterSnapsho
     );
     let footprints: Vec<f64> = (1..=8).map(|i| i as f64 * 64.0 * 1024.0 * 1024.0).collect();
     let _ = stream_curve_on(&engine, OpmConfig::Knl(McdramMode::Flat), &footprints);
-    (agg.span_paths(), tele.snapshot_counters())
+    (
+        agg.span_paths(),
+        tele.snapshot_counters(),
+        tele.render_prom(),
+    )
 }
 
 #[test]
 fn span_tree_is_identical_across_thread_counts() {
-    let (baseline, _) = run_workload(1, true);
+    let (baseline, _, _) = run_workload(1, true);
     // The tree is non-trivial: 2 stage roots + one point span per point.
     assert_eq!(baseline.len(), 2 + 4 + 8, "{baseline:?}");
     assert!(baseline
         .iter()
         .any(|p| p.contains('>') && p.contains("point:")));
     for threads in [4, 8] {
-        let (paths, _) = run_workload(threads, true);
+        let (paths, _, _) = run_workload(threads, true);
         assert_eq!(paths, baseline, "threads={threads}");
     }
 }
 
 #[test]
 fn counters_are_exactly_equal_across_thread_counts() {
-    let (_, baseline) = run_workload(1, true);
+    let (_, baseline, _) = run_workload(1, true);
     let get = |snap: &[CounterSnapshot], metric: &str| {
         snap.iter()
             .find(|c| c.metric == metric)
@@ -72,8 +80,56 @@ fn counters_are_exactly_equal_across_thread_counts() {
     assert_eq!(get(&baseline, "opm_stages_total"), 2);
     assert_eq!(get(&baseline, "opm_profile_cache_misses_total"), 12);
     for threads in [4, 8] {
-        let (_, counters) = run_workload(threads, true);
+        let (_, counters, _) = run_workload(threads, true);
         assert_eq!(counters, baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn prom_exposition_is_byte_identical_across_thread_counts() {
+    // The whole v2 exposition — latency-histogram buckets (from the
+    // deterministic modeled time), roofline gauges, and counters — must
+    // render byte-for-byte identically at any thread count: observations
+    // commute and carry no wall-clock input.
+    let (_, _, baseline) = run_workload(1, true);
+    assert!(baseline.starts_with("# opm-telemetry v2"), "{baseline}");
+    assert!(
+        baseline.contains("# TYPE opm_point_latency_ns histogram"),
+        "{baseline}"
+    );
+    assert!(baseline.contains("le=\"+Inf\""), "{baseline}");
+    // Per-point roofline gauges exist for the stream curve (a point-
+    // labeled family) and reconcile structurally: every ai gauge has a
+    // matching ceiling fraction and per-level bandwidth series.
+    let dump = PromDump::parse(&baseline).expect("v2 exposition parses");
+    let ai: Vec<_> = dump
+        .gauges
+        .iter()
+        .filter(|g| g.metric == "opm_roofline_ai_milli")
+        .collect();
+    assert_eq!(ai.len(), 8, "one ai gauge per stream point");
+    for g in &ai {
+        assert!(dump
+            .gauges
+            .iter()
+            .any(|o| o.metric == "opm_roofline_ceiling_frac_milli" && o.labels == g.labels));
+        assert!(dump
+            .gauges
+            .iter()
+            .any(|o| o.metric == "opm_roofline_level_gbs_milli"
+                && o.labels.starts_with(g.labels.as_str())));
+    }
+    // The histogram counts every point exactly once.
+    let observed: u64 = dump
+        .histograms
+        .iter()
+        .filter(|h| h.metric == "opm_point_latency_ns")
+        .map(|h| h.count)
+        .sum();
+    assert_eq!(observed, 12);
+    for threads in [4, 8] {
+        let (_, _, prom) = run_workload(threads, true);
+        assert_eq!(prom, baseline, "threads={threads}");
     }
 }
 
@@ -84,8 +140,8 @@ fn counters_match_with_cache_on_and_off_except_cache_traffic() {
             .filter(|c| !c.metric.starts_with("opm_profile_cache"))
             .collect::<Vec<_>>()
     };
-    let (paths_on, on) = run_workload(2, true);
-    let (paths_off, off) = run_workload(2, false);
+    let (paths_on, on, _) = run_workload(2, true);
+    let (paths_off, off, _) = run_workload(2, false);
     assert_eq!(paths_on, paths_off);
     assert_eq!(strip(on), strip(off));
 }
@@ -182,5 +238,70 @@ fn full_telemetry_campaign_writes_reconciling_trace_and_prom() {
     {
         let misses = value("opm_memsim_level_misses_total", l);
         assert!(v + misses > 0, "{m}{{{l}}}: untouched level");
+    }
+
+    // --- the v2 exposition: schema line, histograms, roofline ---
+    assert!(
+        text.starts_with("{\"schema\":\"opm-telemetry/v2\""),
+        "trace must lead with the schema record"
+    );
+    assert!(prom.starts_with("# opm-telemetry v2"), "{prom}");
+    assert!(
+        prom.contains("# TYPE opm_point_latency_ns histogram"),
+        "{prom}"
+    );
+    let dump = PromDump::parse(&prom).expect("metrics.prom must parse typed");
+    let hists: Vec<_> = dump
+        .histograms
+        .iter()
+        .filter(|h| h.metric == "opm_point_latency_ns")
+        .collect();
+    // Every evaluated point was observed exactly once, under a
+    // figure>stage path label, covering both figure families.
+    assert_eq!(hists.iter().map(|h| h.count).sum::<u64>(), 126);
+    for fig in ["fig12_stream_broadwell", "fig23_stream_knl"] {
+        assert!(
+            hists.iter().any(|h| h.labels.contains(fig)),
+            "no latency series for {fig}"
+        );
+    }
+    // Quantiles recomputed from the file are well-formed bucket edges.
+    for h in &hists {
+        let (p50, p99) = (h.quantile(0.50), h.quantile(0.99));
+        assert!(p50 > 0 && p50 <= p99, "{}: p50 {p50} p99 {p99}", h.labels);
+    }
+    // Roofline attribution gauges exist for every stream point of both
+    // figure families, each with its per-level bandwidth breakdown and a
+    // positive ceiling fraction (cache reuse can push it past 1000 milli,
+    // so only positivity is asserted here; the bound lives in roofline.rs).
+    let ai: Vec<_> = dump
+        .gauges
+        .iter()
+        .filter(|g| g.metric == "opm_roofline_ai_milli")
+        .collect();
+    assert!(!ai.is_empty(), "no roofline gauges in {prom}");
+    for fig in ["fig12_stream_broadwell", "fig23_stream_knl"] {
+        assert!(
+            ai.iter().any(|g| g.labels.contains(fig)),
+            "no roofline gauges for {fig}"
+        );
+    }
+    for g in &ai {
+        let frac = dump
+            .gauges
+            .iter()
+            .find(|o| o.metric == "opm_roofline_ceiling_frac_milli" && o.labels == g.labels)
+            .unwrap_or_else(|| panic!("no ceiling_frac for {}", g.labels));
+        assert!(frac.value > 0, "{}: {}", g.labels, frac.value);
+        let level_sum: u64 = dump
+            .gauges
+            .iter()
+            .filter(|o| {
+                o.metric == "opm_roofline_level_gbs_milli"
+                    && o.labels.starts_with(g.labels.as_str())
+            })
+            .map(|o| o.value)
+            .sum();
+        assert!(level_sum > 0, "{}: no per-level bandwidth", g.labels);
     }
 }
