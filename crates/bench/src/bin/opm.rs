@@ -1,12 +1,14 @@
 //! The `opm` CLI: ad-hoc model queries, guideline recommendations,
-//! stepping curves and corpus inspection. Run `opm help` for usage.
+//! stepping curves, corpus inspection, and the opm-api/v1 query service
+//! (`serve`/`advise`/`loadgen`). Run `opm help` for usage. Exit codes:
+//! 0 success, 1 runtime failure, 2 usage/configuration error.
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    match opm_bench::cli::run(&raw) {
+    match opm_bench::cli::dispatch(&raw) {
         Ok(out) => println!("{out}"),
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
+        Err(f) => {
+            eprintln!("{}", f.message);
+            std::process::exit(f.code);
         }
     }
 }

@@ -1,10 +1,26 @@
 //! The `opm` command-line driver: ad-hoc model queries without writing
 //! code. Subcommands: `model` (evaluate one kernel configuration),
 //! `recommend` (§6 guidelines), `stepping` (print a stepping curve),
-//! `corpus` (inspect the UF-substitute corpus). Argument parsing is
-//! hand-rolled (`--key value` pairs) to stay inside the approved
-//! dependency set.
+//! `corpus` (inspect the UF-substitute corpus), `serve`/`advise`/
+//! `loadgen` (the `opm-api/v1` query service and its clients), plus the
+//! campaign/bench machinery. Argument parsing is hand-rolled
+//! (`--key value` pairs) to stay inside the approved dependency set.
+//!
+//! ## Globals and exit codes
+//!
+//! Every subcommand accepts the shared globals `--threads <n>`,
+//! `--telemetry <off|summary|full>`, and `--out <path>`; they are
+//! applied (via the corresponding `OPM_*` variables, which remain the
+//! configuration source for worker processes) before the subcommand
+//! runs, and the merged configuration is validated once up front. The
+//! process exits with:
+//!
+//! * `0` — success;
+//! * `1` — runtime failure (evaluation, I/O, a regression gate);
+//! * `2` — usage or configuration error (unknown subcommand, malformed
+//!   global flag or `OPM_*` value).
 
+use opm_core::api::Request;
 use opm_core::guideline::{explain_mcdram, recommend_mcdram, Workload};
 use opm_core::perf::PerfModel;
 use opm_core::platform::{Machine, OpmConfig, PlatformSpec};
@@ -132,37 +148,137 @@ pub fn profile_from_args(kernel: KernelId, machine: Machine, args: &Args) -> Acc
     }
 }
 
-/// Run the CLI; returns the text that would be printed (testable).
-pub fn run(raw: &[String]) -> Result<String, String> {
+/// Default TCP port of `opm serve`.
+pub const DEFAULT_SERVE_PORT: u16 = 7979;
+
+/// A CLI failure carrying its process exit code: `2` for usage or
+/// configuration errors, `1` for runtime failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliFailure {
+    /// Process exit code (1 or 2).
+    pub code: i32,
+    /// Message for stderr.
+    pub message: String,
+}
+
+impl CliFailure {
+    fn usage(message: impl Into<String>) -> CliFailure {
+        CliFailure {
+            code: 2,
+            message: message.into(),
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> CliFailure {
+        CliFailure {
+            code: 1,
+            message: message.into(),
+        }
+    }
+}
+
+/// Apply the shared globals (`--threads`, `--telemetry`, `--out`) to
+/// the process environment — env stays the configuration source, so
+/// spawned shard workers inherit the settings — then validate the
+/// merged configuration once. Subcommands with their own `--out`
+/// meaning (a file path, a campaign directory) consume the option
+/// directly; for everything else `--out` selects the results directory.
+fn apply_globals(args: &Args, cmd: &str) -> Result<(), CliFailure> {
+    if let Some(threads) = args.options.get("threads") {
+        std::env::set_var("OPM_THREADS", threads);
+    }
+    if let Some(mode) = args.options.get("telemetry") {
+        std::env::set_var("OPM_TELEMETRY", mode);
+    }
+    if let Some(out) = args.options.get("out") {
+        // bench/loadgen treat --out as an output *file*; campaign and
+        // merge-shards handle the directory themselves.
+        if !matches!(cmd, "bench" | "loadgen" | "campaign" | "merge-shards") && out != "true" {
+            std::env::set_var("OPM_RESULTS", out);
+        }
+    }
+    opm_core::config::Config::from_env().map_err(|e| CliFailure::usage(e.to_string()))?;
+    Ok(())
+}
+
+/// Run the CLI; returns the text to print, or a failure with its exit
+/// code. This is the `opm` binary's entry point.
+pub fn dispatch(raw: &[String]) -> Result<String, CliFailure> {
     let args = parse_args(raw);
     let cmd = args
         .positional
         .first()
         .map(String::as_str)
         .unwrap_or("help");
+    apply_globals(&args, cmd)?;
     match cmd {
-        "model" => cmd_model(&args),
-        "recommend" => cmd_recommend(&args),
-        "stepping" => cmd_stepping(&args),
-        "corpus" => cmd_corpus(&args),
-        "top" => cmd_top(&args),
-        "bench" => cmd_bench(&args),
-        "campaign" => cmd_campaign(&args),
-        "shard-worker" => crate::shard::run_worker(&args),
-        "merge-shards" => cmd_merge_shards(&args),
+        "model" => cmd_model(&args).map_err(CliFailure::runtime),
+        "recommend" => cmd_recommend(&args).map_err(CliFailure::runtime),
+        "stepping" => cmd_stepping(&args).map_err(CliFailure::runtime),
+        "corpus" => cmd_corpus(&args).map_err(CliFailure::runtime),
+        "top" => cmd_top(&args).map_err(CliFailure::runtime),
+        "bench" => cmd_bench(&args).map_err(CliFailure::runtime),
+        "campaign" => cmd_campaign(&args).map_err(CliFailure::runtime),
+        "shard-worker" => crate::shard::run_worker(&args).map_err(CliFailure::runtime),
+        "merge-shards" => cmd_merge_shards(&args).map_err(CliFailure::runtime),
+        "serve" => cmd_serve(&args).map_err(CliFailure::runtime),
+        "advise" => cmd_advise(&args).map_err(CliFailure::runtime),
+        "loadgen" => cmd_loadgen(&args).map_err(CliFailure::runtime),
         "help" | "--help" => Ok(HELP.to_string()),
-        other => Err(format!("unknown subcommand '{other}'\n{HELP}")),
+        other => Err(CliFailure::usage(format!(
+            "unknown subcommand '{other}'\n{HELP}"
+        ))),
     }
+}
+
+/// [`dispatch`] with the exit code flattened away (kept for tests and
+/// embedders that only care about success/failure).
+pub fn run(raw: &[String]) -> Result<String, String> {
+    dispatch(raw).map_err(|f| f.message)
 }
 
 const HELP: &str = "\
 opm — query the OPM reproduction models
+
+GLOBAL OPTIONS (accepted by every subcommand):
+  --threads <n>        engine worker threads (applies OPM_THREADS)
+  --telemetry <mode>   off | summary | full (applies OPM_TELEMETRY)
+  --out <path>         results destination (directory via OPM_RESULTS; an
+                       output *file* for bench/loadgen; campaign dir for
+                       campaign/merge-shards)
+
+EXIT CODES:
+  0  success
+  1  runtime failure (evaluation, I/O, regression gate)
+  2  usage/configuration error (unknown subcommand, malformed global
+     flag or OPM_* environment value)
 
 USAGE:
   opm model --kernel <name> --config <label> [kernel options]
       kernels: GEMM Cholesky SpMV SpTRANS SpTRSV FFT Stencil Stream
       configs: brd-no-edram brd-edram knl-ddr knl-flat knl-cache knl-hybrid
       options: --n --tile --rows --nnz --span --levels --grid --footprint-mb --threads
+  opm serve [--addr <host:port>] [--max-inflight <n>]
+      run the mode advisor as an opm-api/v1 daemon (length-prefixed JSON
+      frames over TCP; default 127.0.0.1:7979). Prints \"opm serve
+      listening on <addr>\" once ready; answers batched what-if queries
+      from a cross-request LRU profile cache (bound it with
+      OPM_CACHE_CAP); requests beyond --max-inflight are load-shed with
+      a typed `overloaded` response. A request with \"shutdown\": true
+      drains the daemon.
+  opm advise (--kernel <name> --config <label> [kernel options]
+             [--hot-mb <f>] [--latency-bound <bool>] [--id <n>]
+             | --request <json>) [--addr <host:port>]
+      one-shot advisor query; prints the canonical opm-api/v1 response
+      document — byte-identical to the daemon's answer for the same
+      request. --request sends a raw request document; --addr forwards
+      to a live daemon instead of answering in-process.
+  opm loadgen [--addr <host:port>] [--requests <n>] [--concurrency <n>]
+             [--batch <n>] [--rate <req/s>] [--shutdown] [--out <path>]
+      drive a daemon with closed-loop (default) or open-loop (--rate)
+      load over a deterministic kernel×config query mix and write
+      BENCH_serve.json (schema opm-bench-serve/v1: throughput and
+      p50/p95/p99 latency). --shutdown tears the daemon down after.
   opm recommend --footprint-gib <f> [--hot-gib <f>] [--latency-bound]
   opm stepping --config <label> [--ai <f>] [--samples <n>]
   opm corpus [--count <n>] [--index <i>]
@@ -212,6 +328,155 @@ USAGE:
       merged typed (counters summed, gauges maxed, latency-histogram
       buckets summed exactly) — byte-identical to a single-process run.
 ";
+
+/// Build one `opm-api/v1` query from `--kernel`/`--config` plus the
+/// kernel parameter flags (shared by `opm advise` and anything else
+/// that wants a query from flags).
+pub fn query_from_args(args: &Args) -> Result<opm_core::api::Query, String> {
+    let kernel = args
+        .options
+        .get("kernel")
+        .ok_or("advise requires --kernel")?
+        .clone();
+    let config = args
+        .options
+        .get("config")
+        .ok_or("advise requires --config")?
+        .clone();
+    let u = |key: &str| -> Option<u64> {
+        args.options
+            .get(key)
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|v| v as u64)
+    };
+    let f = |key: &str| -> Option<f64> { args.options.get(key).and_then(|v| v.parse().ok()) };
+    Ok(opm_core::api::Query {
+        kernel,
+        config,
+        n: u("n"),
+        tile: u("tile"),
+        rows: u("rows"),
+        nnz: u("nnz"),
+        grid: u("grid"),
+        threads: u("query-threads").or_else(|| u("threads")),
+        span: f("span"),
+        levels: f("levels"),
+        footprint_mb: f("footprint-mb"),
+        hot_mb: f("hot-mb"),
+        latency_bound: if args.options.contains_key("latency-bound") {
+            Some(args.get_flag("latency-bound"))
+        } else {
+            None
+        },
+    })
+}
+
+/// `opm advise`: the one-shot advisor. Prints the canonical
+/// `opm-api/v1` response document — byte-identical to what a daemon
+/// returns for the same request, because both run [`crate::serve::respond`].
+/// With `--addr`, forwards the request to a live daemon instead and
+/// prints its bytes (a byte-identity probe).
+fn cmd_advise(args: &Args) -> Result<String, String> {
+    let req = match args.options.get("request") {
+        Some(raw) => {
+            Request::parse(raw).map_err(|e| format!("advise: bad --request document: {e}"))?
+        }
+        None => Request {
+            id: args.get_usize("id", 0) as u64,
+            queries: vec![query_from_args(args)?],
+            shutdown: false,
+        },
+    };
+    match args.options.get("addr") {
+        Some(addr) => crate::serve::Client::connect(addr)
+            .map_err(|e| format!("advise: connecting {addr}: {e}"))?
+            .roundtrip_raw(&req.render()),
+        None => Ok(crate::serve::respond(opm_kernels::Engine::global(), &req).render()),
+    }
+}
+
+/// `opm serve`: bind the advisor daemon and serve until a shutdown
+/// request drains (see [`crate::serve`]).
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| format!("127.0.0.1:{DEFAULT_SERVE_PORT}"));
+    let max_inflight = args.get_usize("max-inflight", crate::serve::DEFAULT_MAX_INFLIGHT);
+    let cfg = opm_core::config::Config::from_env().map_err(|e| e.to_string())?;
+    let tele = opm_core::telemetry::Telemetry::new(cfg.telemetry);
+    let run = crate::telemetry::init(&tele);
+    let mut engine_cfg =
+        opm_kernels::engine::EngineConfig::from_config(&cfg).with_telemetry(tele.clone());
+    // A daemon serves an unbounded key population: bound the profile
+    // cache unless OPM_CACHE_CAP chose an explicit bound.
+    engine_cfg.cache_capacity = engine_cfg
+        .cache_capacity
+        .or(Some(crate::serve::DEFAULT_SERVE_CACHE_CAP));
+    let engine = std::sync::Arc::new(opm_kernels::Engine::new(engine_cfg));
+    let server = crate::serve::Server::bind(&addr, engine, max_inflight)
+        .map_err(|e| format!("serve: binding {addr}: {e}"))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| format!("serve: local_addr: {e}"))?;
+    // The readiness line clients and the CI smoke job wait for.
+    println!("opm serve listening on {bound} (max-inflight {max_inflight})");
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    let stats = server.run().map_err(|e| format!("serve: {e}"))?;
+    if let Some(run) = run {
+        run.finish();
+    }
+    Ok(format!(
+        "served {} requests ({} queries) over {} connections; {} shed, {} malformed",
+        stats.requests, stats.queries, stats.connections, stats.shed, stats.malformed
+    ))
+}
+
+/// `opm loadgen`: drive a daemon and write `BENCH_serve.json` (see
+/// [`crate::loadgen`]).
+fn cmd_loadgen(args: &Args) -> Result<String, String> {
+    for key in args.options.keys() {
+        if !matches!(
+            key.as_str(),
+            "addr" | "requests" | "concurrency" | "batch" | "rate" | "shutdown" | "out"
+                | "threads" | "telemetry"
+        ) {
+            return Err(format!("loadgen: unknown option --{key}\n{HELP}"));
+        }
+    }
+    let defaults = crate::loadgen::LoadgenOptions::default();
+    let out = match args.options.get("out") {
+        Some(v) if v == "true" => return Err("loadgen: --out needs a path".to_string()),
+        Some(v) => Some(std::path::PathBuf::from(v)),
+        None => defaults.out.clone(),
+    };
+    let opts = crate::loadgen::LoadgenOptions {
+        addr: args
+            .options
+            .get("addr")
+            .cloned()
+            .unwrap_or(defaults.addr.clone()),
+        requests: args.get_usize("requests", defaults.requests),
+        concurrency: args.get_usize("concurrency", defaults.concurrency),
+        batch: args.get_usize("batch", defaults.batch),
+        rate: match args.options.get("rate") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("loadgen: --rate expects a number, got {v:?}"))?,
+            ),
+            None => None,
+        },
+        shutdown: args.get_flag("shutdown"),
+        out,
+    };
+    let report = crate::loadgen::run_loadgen(&opts)?;
+    let mut text = report.summary();
+    if let Some(out) = &opts.out {
+        text.push_str(&format!("\nwrote {}", out.display()));
+    }
+    Ok(text)
+}
 
 /// `opm campaign`: supervised multi-process shard execution (see
 /// [`crate::supervisor`]).

@@ -27,9 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Output directory for results (`OPM_RESULTS` env override, default
 /// `results/`).
 pub fn out_dir() -> PathBuf {
-    std::env::var("OPM_RESULTS")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"))
+    opm_core::config::Config::from_env_or_die().results_dir
 }
 
 /// Monotonic count of CSV rows written through [`emit`] by this process.
@@ -57,10 +55,7 @@ pub fn emit(series: &Series, name: &str) {
 /// paper's full 968 is the default; set `OPM_CORPUS` to shrink for smoke
 /// runs, or `OPM_REDUCED=1` for the reduced-grid default of 48.
 pub fn corpus_size() -> usize {
-    let explicit = std::env::var("OPM_CORPUS")
-        .ok()
-        .and_then(|v| v.parse().ok());
-    match explicit {
+    match opm_core::config::Config::from_env_or_die().corpus {
         Some(n) => n,
         None if Engine::global().config().reduced => REDUCED_CORPUS_SIZE,
         None => PAPER_CORPUS_SIZE,
@@ -349,9 +344,11 @@ pub mod compare;
 pub mod corpus;
 pub mod extensions;
 pub mod figures;
+pub mod loadgen;
 pub mod manifest;
 pub mod merge;
 pub mod plot;
+pub mod serve;
 pub mod shard;
 pub mod supervisor;
 pub mod telemetry;

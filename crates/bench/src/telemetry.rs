@@ -26,8 +26,8 @@ pub fn telemetry_dir() -> PathBuf {
 /// Identifier naming this run's trace file: `OPM_RUN_ID` if set (CI pins
 /// it for stable artifact names), else `run-<pid>`.
 pub fn run_id() -> String {
-    std::env::var("OPM_RUN_ID")
-        .ok()
+    opm_core::config::Config::from_env_or_die()
+        .run_id
         .map(|v| {
             v.chars()
                 .map(|c| {

@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod config;
 pub mod guideline;
 pub mod perf;
 pub mod platform;
@@ -26,6 +28,7 @@ pub mod stepping;
 pub mod telemetry;
 pub mod units;
 
+pub use config::{Config, ConfigError};
 pub use guideline::{recommend_edram, recommend_mcdram, Workload};
 pub use perf::{Estimate, ModelParams, PerfModel};
 pub use platform::{EdramMode, Machine, McdramMode, MemLevel, OpmConfig, PlatformSpec};

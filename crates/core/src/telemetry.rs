@@ -83,12 +83,11 @@ impl TelemetryMode {
         }
     }
 
-    /// Read `OPM_TELEMETRY` (default [`TelemetryMode::Off`]).
+    /// Read `OPM_TELEMETRY` through the typed [`crate::config::Config`]
+    /// (default [`TelemetryMode::Off`]; a malformed value is a typed
+    /// configuration error, not a silent fallback).
     pub fn from_env() -> TelemetryMode {
-        std::env::var("OPM_TELEMETRY")
-            .ok()
-            .and_then(|v| TelemetryMode::parse(&v))
-            .unwrap_or_default()
+        crate::config::Config::from_env_or_die().telemetry
     }
 
     /// Canonical label (`off`/`summary`/`full`).

@@ -135,6 +135,14 @@ pub struct EngineConfig {
     /// minimum 1). More shards means less lock contention between
     /// concurrent workers missing on different keys.
     pub cache_shards: usize,
+    /// Bound on memoized profiles across all shards (`None` =
+    /// unbounded, the sweep-campaign default — a campaign's key set is
+    /// finite and reuse is the whole point). Long-running serving
+    /// processes (`opm serve`) set a bound; the cache then evicts the
+    /// least-recently-used entry of the inserting shard. In-flight
+    /// (pending) computations never count against the bound and are
+    /// never evicted.
+    pub cache_capacity: Option<usize>,
     /// Deterministic fault-injection plan (tests, CI smoke runs).
     pub fault_plan: Option<Arc<FaultPlan>>,
     /// Telemetry instance the engine reports into (`None` = the
@@ -146,22 +154,28 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// Read `OPM_THREADS` / `OPM_PROFILE_CACHE` / `OPM_REDUCED` /
-    /// `OPM_MAX_RETRIES` / `OPM_CKPT_EVERY` / `OPM_FAULT_SPEC`.
+    /// `OPM_MAX_RETRIES` / `OPM_CKPT_EVERY` / `OPM_CACHE_SHARDS` /
+    /// `OPM_CACHE_CAP` / `OPM_FAULT_SPEC` through the typed
+    /// [`opm_core::config::Config`]; a malformed value stops the
+    /// process with the variable named instead of silently selecting a
+    /// default.
     pub fn from_env() -> Self {
-        let threads = std::env::var("OPM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(default_threads);
+        Self::from_config(&opm_core::config::Config::from_env_or_die())
+    }
+
+    /// Engine settings from a parsed process configuration (the `opm`
+    /// CLI parses once at startup and passes the struct down).
+    pub fn from_config(cfg: &opm_core::config::Config) -> Self {
         EngineConfig {
-            threads,
-            cache_enabled: !env_is_off("OPM_PROFILE_CACHE"),
-            reduced: env_is_on("OPM_REDUCED"),
-            max_retries: env_usize("OPM_MAX_RETRIES", 2),
+            threads: cfg.threads.unwrap_or_else(default_threads),
+            cache_enabled: cfg.profile_cache,
+            reduced: cfg.reduced,
+            max_retries: cfg.max_retries,
             backoff_base_us: 50,
-            checkpoint_every: env_usize("OPM_CKPT_EVERY", 64).max(1),
-            cache_shards: env_usize("OPM_CACHE_SHARDS", DEFAULT_CACHE_SHARDS),
-            fault_plan: FaultPlan::from_env().map(Arc::new),
+            checkpoint_every: cfg.checkpoint_every.max(1),
+            cache_shards: cfg.cache_shards,
+            cache_capacity: cfg.cache_capacity,
+            fault_plan: FaultPlan::from_config(cfg).map(Arc::new),
             telemetry: None,
         }
     }
@@ -199,6 +213,7 @@ impl Default for EngineConfig {
             backoff_base_us: 50,
             checkpoint_every: 64,
             cache_shards: DEFAULT_CACHE_SHARDS,
+            cache_capacity: None,
             fault_plan: None,
             telemetry: None,
         }
@@ -209,27 +224,6 @@ fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-}
-
-fn env_is_off(name: &str) -> bool {
-    matches!(
-        std::env::var(name).as_deref(),
-        Ok("0") | Ok("off") | Ok("false") | Ok("no")
-    )
-}
-
-fn env_is_on(name: &str) -> bool {
-    matches!(
-        std::env::var(name).as_deref(),
-        Ok("1") | Ok("on") | Ok("true") | Ok("yes")
-    )
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 /// Lifetime profile-cache counters of one engine, with the derived
@@ -394,10 +388,11 @@ impl EngineCounters {
     }
 }
 
-/// Default shard count of the profile cache. 16 shards keep the odds of
+/// Default shard count of the profile cache (16 shards keep the odds of
 /// two of 8–64 workers colliding on one lock low while the whole shard
-/// array still fits two cache lines of mutex headers.
-pub const DEFAULT_CACHE_SHARDS: usize = 16;
+/// array still fits two cache lines of mutex headers). The value lives
+/// in [`opm_core::config`] with the rest of the knob defaults.
+pub use opm_core::config::DEFAULT_CACHE_SHARDS;
 
 /// A memoized access profile together with its folded evaluation plan.
 ///
@@ -478,8 +473,15 @@ type FlightPair = Arc<(Mutex<InFlight>, Condvar)>;
 
 /// One pending-entry slot in a cache shard.
 enum Slot {
-    /// Memoized profile, served lock-free of any compute.
-    Ready(PlannedProfile),
+    /// Memoized profile, served lock-free of any compute. `stamp` is
+    /// the cache-global LRU tick of the last lookup that served it
+    /// (only consulted when a capacity bound is set).
+    Ready {
+        /// The memoized value.
+        profile: PlannedProfile,
+        /// Last-use tick for LRU eviction.
+        stamp: u64,
+    },
     /// A computation for this key is in flight; arrivals coalesce onto
     /// it instead of duplicating the work. `None` until the first
     /// waiter installs the [`FlightPair`] it wants to block on.
@@ -578,6 +580,12 @@ type ShardMap = HashMap<ProfileKey, Slot, FastBuild>;
 struct ShardedCache {
     shards: Box<[Mutex<ShardMap>]>,
     mask: usize,
+    /// Monotonic LRU clock; bumped on every hit and publish. Relaxed —
+    /// eviction order only needs to roughly track recency, never to
+    /// order across threads.
+    tick: AtomicU64,
+    /// Per-shard bound on `Ready` entries (`None` = unbounded).
+    shard_cap: Option<usize>,
 }
 
 impl ShardedCache {
@@ -587,7 +595,7 @@ impl ShardedCache {
     /// take right in the measured loop.
     const SHARD_CAPACITY: usize = 64;
 
-    fn new(shards: usize) -> Self {
+    fn new(shards: usize, capacity: Option<usize>) -> Self {
         let n = shards.max(1).next_power_of_two();
         ShardedCache {
             shards: (0..n)
@@ -599,6 +607,49 @@ impl ShardedCache {
                 })
                 .collect(),
             mask: n - 1,
+            tick: AtomicU64::new(0),
+            // Ceil-divide the global bound across shards, at least one
+            // entry each, so the configured total is honored however
+            // keys hash.
+            shard_cap: capacity.map(|c| (c.div_ceil(n)).max(1)),
+        }
+    }
+
+    /// Next LRU stamp.
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Evict least-recently-used `Ready` entries of one shard until it
+    /// is back under its capacity share. Pending markers are never
+    /// evicted (waiters hold the condvar pair) and never counted. The
+    /// linear min-scan is fine here: eviction only happens on a miss,
+    /// which just paid a full profile computation — orders of magnitude
+    /// above an O(shard) walk.
+    fn enforce_cap(&self, map: &mut ShardMap) {
+        let Some(cap) = self.shard_cap else { return };
+        loop {
+            let ready = map
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count();
+            if ready <= cap {
+                return;
+            }
+            let victim = map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { stamp, .. } => Some((*stamp, *k)),
+                    Slot::Pending(_) => None,
+                })
+                .min_by_key(|(stamp, _)| *stamp)
+                .map(|(_, k)| k);
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                }
+                None => return,
+            }
         }
     }
 
@@ -620,7 +671,7 @@ impl ShardedCache {
             .map(|s| {
                 lock_recover(s)
                     .values()
-                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .filter(|v| matches!(v, Slot::Ready { .. }))
                     .count()
             })
             .sum()
@@ -685,7 +736,7 @@ impl Engine {
             .clone()
             .unwrap_or_else(|| Telemetry::global().clone());
         let counters = EngineCounters::resolve(&tele);
-        let cache = ShardedCache::new(config.cache_shards);
+        let cache = ShardedCache::new(config.cache_shards, config.cache_capacity);
         Engine {
             config,
             cache,
@@ -758,8 +809,9 @@ impl Engine {
                 // op is publishing the Ready slot after compute).
                 match map.entry(key) {
                     Entry::Occupied(mut occ) => match occ.get_mut() {
-                        Slot::Ready(p) => {
-                            let p = p.clone();
+                        Slot::Ready { profile, stamp } => {
+                            *stamp = self.cache.next_tick();
+                            let p = profile.clone();
                             drop(map);
                             self.hits.fetch_add(1, Ordering::Relaxed);
                             self.counters.cache_hits.inc();
@@ -793,7 +845,17 @@ impl Engine {
                         };
                         let fresh = PlannedProfile::compute(compute);
                         guard.armed = false;
-                        let prev = lock_recover(shard).insert(key, Slot::Ready(fresh.clone()));
+                        let stamp = self.cache.next_tick();
+                        let mut map = lock_recover(shard);
+                        let prev = map.insert(
+                            key,
+                            Slot::Ready {
+                                profile: fresh.clone(),
+                                stamp,
+                            },
+                        );
+                        self.cache.enforce_cap(&mut map);
+                        drop(map);
                         // Only wake (and only then pay the futex syscall)
                         // if a waiter actually coalesced while we computed.
                         if let Some(Slot::Pending(Some(flight))) = prev {
@@ -1401,6 +1463,51 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 3);
         assert_eq!(eng.cache_stats(), CacheStats::default());
         assert_eq!(eng.cache_len(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            cache_shards: 1,
+            cache_capacity: Some(2),
+            ..EngineConfig::default()
+        });
+        let key = |n: usize| ProfileKey::Stream {
+            n,
+            unroll: 4,
+            threads: 1,
+        };
+        let _ = eng.profile(key(1), || probe_profile(1));
+        let _ = eng.profile(key(2), || probe_profile(2));
+        // Touch key(1) so key(2) becomes the LRU entry.
+        let _ = eng.profile(key(1), || panic!("must not recompute"));
+        // Third insert overflows the 2-entry bound and evicts key(2).
+        let _ = eng.profile(key(3), || probe_profile(3));
+        assert_eq!(eng.cache_len(), 2);
+        let _ = eng.profile(key(1), || panic!("key(1) was touched, must stay"));
+        let recomputed = AtomicU64::new(0);
+        let _ = eng.profile(key(2), || {
+            recomputed.fetch_add(1, Ordering::Relaxed);
+            probe_profile(2)
+        });
+        assert_eq!(recomputed.load(Ordering::Relaxed), 1, "LRU entry evicted");
+    }
+
+    #[test]
+    fn unbounded_cache_keeps_everything() {
+        let eng = Engine::new(EngineConfig::serial());
+        for n in 0..64 {
+            let _ = eng.profile(
+                ProfileKey::Stream {
+                    n,
+                    unroll: 4,
+                    threads: 1,
+                },
+                || probe_profile(n.max(1)),
+            );
+        }
+        assert_eq!(eng.cache_len(), 64);
     }
 
     #[test]

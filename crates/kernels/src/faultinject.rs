@@ -355,15 +355,20 @@ impl FaultPlan {
         Ok(FaultPlan { rules })
     }
 
-    /// Read and parse `OPM_FAULT_SPEC`; `None` when unset/empty. An
+    /// Read and parse `OPM_FAULT_SPEC` (through the typed
+    /// [`opm_core::config::Config`]); `None` when unset/empty. An
     /// invalid spec is a hard error — silently ignoring it would make a
     /// fault-injection CI job pass without injecting anything.
     pub fn from_env() -> Option<FaultPlan> {
-        let spec = std::env::var("OPM_FAULT_SPEC").ok()?;
-        if spec.trim().is_empty() {
-            return None;
-        }
-        match FaultPlan::parse(&spec) {
+        FaultPlan::from_config(&opm_core::config::Config::from_env_or_die())
+    }
+
+    /// The fault plan named by a parsed configuration; `None` when no
+    /// spec is set. Grammar errors panic with the offending spec, as in
+    /// [`FaultPlan::from_env`].
+    pub fn from_config(cfg: &opm_core::config::Config) -> Option<FaultPlan> {
+        let spec = cfg.fault_spec.as_deref()?;
+        match FaultPlan::parse(spec) {
             Ok(plan) => Some(plan),
             Err(e) => panic!("invalid OPM_FAULT_SPEC {spec:?}: {e}"),
         }

@@ -278,11 +278,7 @@ const PROBE_BATCH: usize = 8;
 /// Trace-shard count requested via `OPM_TRACE_SHARDS` (default 1 = serial
 /// simulation). Values are normalized by [`HierarchySim::run_sharded`].
 pub fn trace_shards_from_env() -> usize {
-    std::env::var("OPM_TRACE_SHARDS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+    opm_core::config::Config::from_env_or_die().trace_shards
 }
 
 impl HierarchySim {

@@ -1,101 +1,73 @@
-//! Mode advisor: the paper's §6 optimization guidelines as a tool. Describe
-//! a workload (footprint, hot set, latency-boundedness) and get the MCDRAM
-//! mode recommendation, its explanation, and an empirical cross-check
-//! against the performance model.
+//! Mode advisor: a thin `opm-api/v1` client. Describe a workload as a
+//! what-if query (kernel, problem size, platform, memory mode) and get
+//! back the predicted performance, energy, and the §6 mode
+//! recommendation with its guideline citation.
 //!
 //! ```sh
-//! cargo run --release --example mode_advisor [footprint_gib] [hot_gib] [latency_bound]
+//! cargo run --release --example mode_advisor [kernel] [config]
+//! OPM_SERVE_ADDR=127.0.0.1:7979 cargo run --release --example mode_advisor
 //! ```
+//!
+//! By default the example answers in-process through the exact same
+//! [`opm_bench::serve::respond`] path the `opm serve` daemon runs. Set
+//! `OPM_SERVE_ADDR` to forward the request to a live daemon instead —
+//! the response bytes are identical either way (the `opm-api/v1`
+//! byte-identity promise).
 
-use opm_repro::core::guideline::{
-    empirically_best_mode, explain_mcdram, recommend_mcdram, Workload,
-};
-use opm_repro::core::platform::McdramMode;
-use opm_repro::core::report::TextTable;
-use opm_repro::core::units::GIB;
+use opm_bench::serve::{respond, Client};
+use opm_core::api::{Query, QueryResult, Request, Response};
+use opm_kernels::Engine;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() > 1 {
-        let footprint: f64 = args[1].parse().expect("footprint in GiB");
-        let hot: f64 = args
-            .get(2)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(footprint);
-        let latency_bound = args
-            .get(3)
-            .map(|s| s == "true" || s == "1")
-            .unwrap_or(false);
-        let w = Workload {
-            footprint: footprint * GIB,
-            hot_set: hot * GIB,
-            latency_bound,
-        };
-        println!("recommendation: {:?}", recommend_mcdram(&w));
-        println!("{}", explain_mcdram(&w));
-        return;
-    }
+    let kernel = args.get(1).cloned().unwrap_or_else(|| "GEMM".to_string());
+    let config = args.get(2).cloned().unwrap_or_else(|| "knl-flat".to_string());
 
-    // No arguments: tour the guideline space and cross-check against the
-    // model.
-    println!("MCDRAM mode guidelines (paper §6) across the workload space:\n");
-    let mut table = TextTable::new(vec![
-        "footprint",
-        "hot set",
-        "latency bound",
-        "guideline",
-        "model's best",
-        "agree",
-    ]);
-    let cases = [
-        (4.0, 4.0, false),
-        (12.0, 2.0, false),
-        (40.0, 4.0, false),
-        (40.0, 12.0, false),
-        (8.0, 8.0, true),
-    ];
-    for (fp, hot, lat) in cases {
-        let w = Workload {
-            footprint: fp * GIB,
-            hot_set: hot * GIB,
-            latency_bound: lat,
-        };
-        let rec = recommend_mcdram(&w);
-        // Probe the model with a matching synthetic workload. The guideline
-        // distinguishes hot-set structure, which the single-tier probe
-        // cannot express for the hybrid case — probe with the hot set when
-        // it differs meaningfully.
-        let (probe_fp, threads, mlp, prefetch) = if lat {
-            (w.footprint, 8, 1.2, 0.05)
-        } else {
-            (w.footprint, 256, 10.0, 0.95)
-        };
-        let (best, _) = empirically_best_mode(probe_fp, 0.0625, prefetch, mlp, threads);
-        // Hybrid vs cache differ by hot-set structure, which the
-        // single-tier probe cannot express — count either as agreement.
-        let agree = match rec {
-            McdramMode::Hybrid | McdramMode::Cache => {
-                best == McdramMode::Cache || best == McdramMode::Hybrid
-            }
-            r => r == best,
-        };
-        table.push(vec![
-            format!("{fp:.0} GiB"),
-            format!("{hot:.0} GiB"),
-            format!("{lat}"),
-            format!("{rec:?}"),
-            format!("{best:?}"),
-            format!("{agree}"),
-        ]);
+    // One batched request touring the queried kernel across every KNL
+    // memory mode (plus whatever config was asked for).
+    let mut configs = vec![config.clone()];
+    for label in ["knl-ddr", "knl-flat", "knl-cache", "knl-hybrid"] {
+        if label != config {
+            configs.push(label.to_string());
+        }
     }
-    print!("{}", table.render());
-    println!("\nexplanations:");
-    for (fp, hot, lat) in cases {
-        let w = Workload {
-            footprint: fp * GIB,
-            hot_set: hot * GIB,
-            latency_bound: lat,
-        };
-        println!("- {}", explain_mcdram(&w));
+    let request = Request {
+        id: 1,
+        queries: configs
+            .iter()
+            .map(|c| Query {
+                kernel: kernel.clone(),
+                config: c.clone(),
+                ..Query::default()
+            })
+            .collect(),
+        shutdown: false,
+    };
+
+    let response: Response = match std::env::var("OPM_SERVE_ADDR") {
+        Ok(addr) if !addr.trim().is_empty() => {
+            let mut client = Client::connect(&addr)
+                .unwrap_or_else(|e| panic!("connecting to opm serve at {addr}: {e}"));
+            client
+                .roundtrip(&request)
+                .unwrap_or_else(|e| panic!("querying {addr}: {e}"))
+        }
+        _ => respond(Engine::global(), &request),
+    };
+
+    println!("{kernel} what-if tour (opm-api/v1):\n");
+    for (q, r) in request.queries.iter().zip(&response.results) {
+        match r {
+            QueryResult::Ok(a) => {
+                println!(
+                    "  {:<12} {:>9.1} GFLOP/s  {:>8.2} ms  {:>8.2} J  -> {} ({})",
+                    q.config, a.gflops, a.time_ms, a.energy_j, a.recommended_mode, a.guideline
+                );
+            }
+            QueryResult::Err(e) => println!("  {:<12} error: {e}", q.config),
+        }
+    }
+    if let Some(QueryResult::Ok(first)) = response.results.first() {
+        println!("\n{}", first.explanation);
     }
 }
